@@ -1,0 +1,164 @@
+// E8 (ablation) — DFM table scaling and monitoring cost.
+//
+// The paper's overhead result implies two properties of the DFM that this
+// bench verifies on real hardware (wall-clock):
+//   * lookup cost is (near-)independent of the number of entries in the
+//     table — calls don't slow down as objects grow;
+//   * thread-activity monitoring (the guard counters) adds only a small
+//     constant to each call;
+//   * configuration operations (enable/disable/switch) stay cheap as the
+//     table and the dependency set grow.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dfm/mapper.h"
+
+namespace dcdo::bench {
+namespace {
+
+class NullCtx : public CallContext {
+ public:
+  Result<ByteBuffer> CallInternal(const std::string&,
+                                  const ByteBuffer&) override {
+    return FunctionMissingError("none");
+  }
+  ObjectId self_id() const override { return ObjectId(); }
+  void BlockOnOutcall(double) override {}
+};
+
+struct MapperScenario {
+  NativeCodeRegistry registry;
+  DynamicFunctionMapper mapper;
+  ObjectId component_id;
+
+  explicit MapperScenario(std::size_t entries) {
+    ComponentBuilder builder("scale");
+    builder.SetCodeBytes(64 * 1024);
+    for (std::size_t i = 0; i < entries; ++i) {
+      std::string fn = "fn" + std::to_string(i);
+      std::string symbol = "scale/" + fn;
+      registry.Register(symbol, ImplementationType::Portable(),
+                        [](CallContext&, const ByteBuffer& args) {
+                          return Result<ByteBuffer>(args);
+                        });
+      builder.AddFunction(fn, "b(b)", symbol);
+    }
+    auto comp = builder.Build();
+    if (!comp.ok()) std::abort();
+    component_id = comp->id;
+    if (!mapper.IncorporateComponent(*comp, registry,
+                                     sim::Architecture::kX86Linux).ok()) {
+      std::abort();
+    }
+    // Enable every other function so lookups see a mixed table.
+    for (std::size_t i = 0; i < entries; i += 2) {
+      if (!mapper.EnableFunction("fn" + std::to_string(i),
+                                 component_id).ok()) {
+        std::abort();
+      }
+    }
+  }
+};
+
+void Wall_AcquireByTableSize(benchmark::State& state) {
+  MapperScenario scenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto guard = scenario.mapper.Acquire("fn0", CallOrigin::kExternal);
+    if (!guard.ok()) std::abort();
+    benchmark::DoNotOptimize(guard->function());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " entries");
+}
+BENCHMARK(Wall_AcquireByTableSize)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
+
+// Acquire + body + release (the guard's bookkeeping) vs. Acquire-less direct
+// body execution: the cost of thread-activity monitoring.
+void Wall_GuardedCall(benchmark::State& state) {
+  MapperScenario scenario(256);
+  NullCtx ctx;
+  ByteBuffer args;
+  for (auto _ : state) {
+    auto guard = scenario.mapper.Acquire("fn0", CallOrigin::kExternal);
+    if (!guard.ok()) std::abort();
+    benchmark::DoNotOptimize(guard->body()(ctx, args));
+  }
+  state.SetLabel("with activity monitoring");
+}
+BENCHMARK(Wall_GuardedCall);
+
+void Wall_UnguardedBody(benchmark::State& state) {
+  MapperScenario scenario(256);
+  NullCtx ctx;
+  ByteBuffer args;
+  auto guard = scenario.mapper.Acquire("fn0", CallOrigin::kExternal);
+  if (!guard.ok()) std::abort();
+  DynamicFn body = guard->body();
+  guard->Release();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(body(ctx, args));
+  }
+  state.SetLabel("raw body (no DFM, no monitoring)");
+}
+BENCHMARK(Wall_UnguardedBody);
+
+// Rejected lookups (disabled / missing) are also cheap — error paths matter
+// because the paper requires clients to handle absence gracefully.
+void Wall_AcquireDisabled(benchmark::State& state) {
+  MapperScenario scenario(256);
+  for (auto _ : state) {
+    auto guard = scenario.mapper.Acquire("fn1", CallOrigin::kExternal);
+    benchmark::DoNotOptimize(guard.status());
+  }
+  state.SetLabel("disabled function (typed error)");
+}
+BENCHMARK(Wall_AcquireDisabled);
+
+void Wall_EnableDisableCycle(benchmark::State& state) {
+  MapperScenario scenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    if (!scenario.mapper.DisableFunction("fn0", scenario.component_id).ok()) {
+      std::abort();
+    }
+    if (!scenario.mapper.EnableFunction("fn0", scenario.component_id).ok()) {
+      std::abort();
+    }
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " entries");
+}
+BENCHMARK(Wall_EnableDisableCycle)->Arg(64)->Arg(1024)->Arg(4096);
+
+// Configuration-time dependency checking: validation cost grows with the
+// dependency set, not with the table.
+void Wall_DisableWithDependencySet(benchmark::State& state) {
+  MapperScenario scenario(512);
+  std::size_t deps = static_cast<std::size_t>(state.range(0));
+  // Dependencies among *disabled* functions: present in the set, never
+  // binding, so the disable below stays legal while validation still scans.
+  for (std::size_t i = 0; i < deps; ++i) {
+    std::string from = "fn" + std::to_string(1 + 2 * (i % 200));  // odd: off
+    std::string to = "fn" + std::to_string(1 + 2 * ((i + 7) % 200));
+    if (!scenario.mapper.AddDependency(Dependency::TypeD(from, to)).ok()) {
+      std::abort();
+    }
+  }
+  for (auto _ : state) {
+    if (!scenario.mapper.DisableFunction("fn0", scenario.component_id).ok()) {
+      std::abort();
+    }
+    if (!scenario.mapper.EnableFunction("fn0", scenario.component_id).ok()) {
+      std::abort();
+    }
+  }
+  state.SetLabel(std::to_string(deps) + " dependencies in the set");
+}
+BENCHMARK(Wall_DisableWithDependencySet)->Arg(0)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace dcdo::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,269 @@
+// E6 — The cost of evolution (paper Section 4, "Cost") — the headline table.
+//
+// Paper claims reproduced here:
+//   * evolving a DCDO costs < 0.5 s, except when new components must be
+//     incorporated;
+//   * with cached components the incorporate cost is ~200 us per component;
+//   * with uncached components the cost is dominated by the download;
+//   * evolving a *normal* Legion object costs state capture + executable
+//     download + process respawn + state restore (tens of seconds), plus the
+//     25-35 s stale-binding penalty each old client pays afterwards.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+#include "common/strings.h"
+#include "rpc/client.h"
+#include "runtime/class_object.h"
+
+namespace dcdo::bench {
+namespace {
+
+struct EvolveScenario {
+  Testbed testbed;
+  std::unique_ptr<DcdoManager> manager;
+  std::vector<ImplementationComponent> base_components;
+  VersionId v1;
+  ObjectId instance;
+
+  // `base_functions` spread over `base_comps` in version 1.
+  EvolveScenario(std::size_t base_functions, std::size_t base_comps) {
+    base_components =
+        MakeFunctionGrid(testbed, "base", base_functions, base_comps);
+    manager = MakeManagerWithVersion(testbed, "svc", base_components,
+                                     MakeSingleVersionExplicit());
+    v1 = manager->current_version();
+    instance = CreateInstanceBlocking(testbed, *manager, testbed.host(1));
+  }
+
+  // Derives v1.<n>, configures, freezes, designates current.
+  VersionId MakeChild(const std::function<void(DfmDescriptor*)>& configure) {
+    VersionId child = *manager->DeriveVersion(v1);
+    DfmDescriptor* descriptor = *manager->MutableDescriptor(child);
+    configure(descriptor);
+    if (!descriptor->MarkInstantiable().ok()) std::abort();
+    if (!manager->SetCurrentVersion(child).ok()) std::abort();
+    return child;
+  }
+};
+
+// Row 1: enable/disable flips only — "less than half a second".
+void SimTime_EvolveFlipsOnly(benchmark::State& state) {
+  std::size_t flips = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    EvolveScenario scenario(/*functions=*/100, /*components=*/10);
+    VersionId child = scenario.MakeChild([&](DfmDescriptor* d) {
+      for (std::size_t i = 0; i < flips; ++i) {
+        const auto& grid = scenario.base_components;
+        const auto& comp = grid[i % grid.size()];
+        // Disable the i-th function of some component.
+        const std::string fn = comp.functions[i / grid.size()].function.name;
+        if (!d->DisableFunction(fn, comp.id).ok()) std::abort();
+      }
+    });
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      EvolveBlocking(scenario.testbed, *scenario.manager, scenario.instance,
+                     child);
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel(std::to_string(flips) + " enable/disable flips");
+}
+BENCHMARK(SimTime_EvolveFlipsOnly)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(50);
+
+// Row 2: incorporate k components whose images are already cached — ~200 us
+// per component.
+void SimTime_EvolveCachedComponents(benchmark::State& state) {
+  std::size_t added = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    EvolveScenario scenario(/*functions=*/50, /*components=*/5);
+    auto extra = MakeFunctionGrid(scenario.testbed, "extra", added * 4, added);
+    for (const ImplementationComponent& comp : extra) {
+      if (!scenario.manager->PublishComponent(comp).ok()) std::abort();
+      scenario.testbed.host(1)->CacheComponent(comp.id, comp.code_bytes);
+    }
+    VersionId child = scenario.MakeChild([&](DfmDescriptor* d) {
+      for (const ImplementationComponent& comp : extra) {
+        if (!d->IncorporateComponent(comp).ok()) std::abort();
+        for (const FunctionImplDescriptor& fn : comp.functions) {
+          if (!d->EnableFunction(fn.function.name, comp.id).ok()) std::abort();
+        }
+      }
+    });
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      EvolveBlocking(scenario.testbed, *scenario.manager, scenario.instance,
+                     child);
+    });
+    state.SetIterationTime(seconds);
+    state.counters["us_per_component"] =
+        seconds * 1e6 / static_cast<double>(added);
+  }
+  state.SetLabel("+" + std::to_string(added) + " cached components");
+}
+BENCHMARK(SimTime_EvolveCachedComponents)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(25);
+
+// Row 3: incorporate components that must be downloaded — transfer-dominated.
+void SimTime_EvolveDownloadedComponents(benchmark::State& state) {
+  std::size_t added = static_cast<std::size_t>(state.range(0));
+  std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    EvolveScenario scenario(/*functions=*/50, /*components=*/5);
+    auto extra = MakeFunctionGrid(scenario.testbed, "extra", added * 4, added,
+                                  bytes);
+    for (const ImplementationComponent& comp : extra) {
+      if (!scenario.manager->PublishComponent(comp).ok()) std::abort();
+    }
+    VersionId child = scenario.MakeChild([&](DfmDescriptor* d) {
+      for (const ImplementationComponent& comp : extra) {
+        if (!d->IncorporateComponent(comp).ok()) std::abort();
+        for (const FunctionImplDescriptor& fn : comp.functions) {
+          if (!d->EnableFunction(fn.function.name, comp.id).ok()) std::abort();
+        }
+      }
+    });
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      EvolveBlocking(scenario.testbed, *scenario.manager, scenario.instance,
+                     child);
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel("+" + std::to_string(added) + " downloaded components of " +
+                 HumanBytes(bytes));
+}
+BENCHMARK(SimTime_EvolveDownloadedComponents)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Args({1, 100'000})
+    ->Args({1, 550'000})
+    ->Args({5, 100'000})
+    ->Args({5, 550'000});
+
+// Row 4: the monolithic baseline — capture + download + respawn + restore.
+void SimTime_EvolveMonolithic(benchmark::State& state) {
+  std::size_t executable_bytes = static_cast<std::size_t>(state.range(0));
+  std::size_t state_bytes = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    Testbed testbed;
+    ClassObject class_object("legacy", testbed.host(0), &testbed.transport(),
+                             &testbed.agent());
+    auto make_executable = [&](const std::string& name) {
+      Executable executable;
+      executable.name = name;
+      executable.bytes = executable_bytes;
+      executable.methods.Add("grid_fn0", [](InstanceState&, const ByteBuffer& a) {
+        return Result<ByteBuffer>(a);
+      });
+      return executable;
+    };
+    class_object.AddExecutable(make_executable("v1"));
+    std::size_t v2 = class_object.AddExecutable(make_executable("v2"));
+
+    ObjectId instance;
+    bool created = false;
+    class_object.CreateInstance(testbed.host(1), state_bytes,
+                                [&](Result<ObjectId> result) {
+                                  if (!result.ok()) std::abort();
+                                  instance = *result;
+                                  created = true;
+                                });
+    testbed.simulation().RunWhile([&] { return !created; });
+
+    double seconds = SimSeconds(testbed, [&] {
+      bool evolved = false;
+      class_object.EvolveInstance(instance, v2, [&](Status status) {
+        if (!status.ok()) std::abort();
+        evolved = true;
+      });
+      testbed.simulation().RunWhile([&] { return !evolved; });
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel("monolithic, " + HumanBytes(executable_bytes) + " exec, " +
+                 HumanBytes(state_bytes) + " state");
+}
+BENCHMARK(SimTime_EvolveMonolithic)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Args({5'100'000, 1 << 20})   // the paper's typical implementation
+    ->Args({550'000, 1 << 20})
+    ->Args({5'100'000, 16 << 20});
+
+// Row 5: the client-visible penalty after each kind of evolution.
+void SimTime_PostEvolutionClientCall(benchmark::State& state) {
+  bool monolithic = state.range(0) != 0;
+  for (auto _ : state) {
+    Testbed testbed;
+    double seconds = 0;
+    if (monolithic) {
+      ClassObject class_object("legacy", testbed.host(0),
+                               &testbed.transport(), &testbed.agent());
+      Executable e1;
+      e1.name = "v1";
+      e1.bytes = 550'000;
+      e1.methods.Add("grid_fn0", [](InstanceState&, const ByteBuffer& a) {
+        return Result<ByteBuffer>(a);
+      });
+      Executable e2 = e1;
+      e2.name = "v2";
+      class_object.AddExecutable(std::move(e1));
+      std::size_t v2 = class_object.AddExecutable(std::move(e2));
+      ObjectId instance;
+      bool created = false;
+      class_object.CreateInstance(testbed.host(1), 0,
+                                  [&](Result<ObjectId> result) {
+                                    instance = *result;
+                                    created = true;
+                                  });
+      testbed.simulation().RunWhile([&] { return !created; });
+      auto client = testbed.MakeClient(2);
+      if (!client->InvokeBlocking(instance, "grid_fn0").ok()) std::abort();
+      bool evolved = false;
+      class_object.EvolveInstance(instance, v2,
+                                  [&](Status) { evolved = true; });
+      testbed.simulation().RunWhile([&] { return !evolved; });
+      seconds = SimSeconds(testbed, [&] {
+        if (!client->InvokeBlocking(instance, "grid_fn0").ok()) std::abort();
+      });
+    } else {
+      auto grid = MakeFunctionGrid(testbed, "grid", 10, 1);
+      auto manager = MakeManagerWithVersion(testbed, "svc", grid,
+                                            MakeSingleVersionExplicit());
+      ObjectId instance =
+          CreateInstanceBlocking(testbed, *manager, testbed.host(1));
+      auto client = testbed.MakeClient(2);
+      if (!client->InvokeBlocking(instance, "grid_fn0").ok()) std::abort();
+      VersionId child = *manager->DeriveVersion(manager->current_version());
+      if (!manager->MarkInstantiable(child).ok()) std::abort();
+      if (!manager->SetCurrentVersion(child).ok()) std::abort();
+      EvolveBlocking(testbed, *manager, instance, child);
+      seconds = SimSeconds(testbed, [&] {
+        if (!client->InvokeBlocking(instance, "grid_fn0").ok()) std::abort();
+      });
+    }
+    state.SetIterationTime(std::max(seconds, 1e-9));
+  }
+  state.SetLabel(monolithic
+                     ? "first client call after monolithic evolution (stale)"
+                     : "first client call after DCDO evolution (binding kept)");
+}
+BENCHMARK(SimTime_PostEvolutionClientCall)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Arg(0)
+    ->Arg(1);
+
+}  // namespace
+}  // namespace dcdo::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// E2 — Remote method invocation (paper Section 4, "Overhead").
+//
+// Paper claims reproduced here:
+//   * remote invocations of DCDO dynamic functions take no longer than calls
+//     on normal Legion objects (the 10-15 us DFM hop is a small fraction of
+//     a full RMI), and
+//   * the roundtrip time is independent of the number of functions and
+//     components in the DCDO's implementation.
+//
+// All numbers are simulated milliseconds (manual time).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "rpc/client.h"
+#include "runtime/class_object.h"
+
+namespace dcdo::bench {
+namespace {
+
+void SimTime_RemoteCallNormalObject(benchmark::State& state) {
+  Testbed testbed;
+  ClassObject class_object("legacy", testbed.host(0), &testbed.transport(),
+                           &testbed.agent());
+  Executable executable;
+  executable.name = "legacy-v1";
+  executable.bytes = 550'000;
+  executable.methods.Add("grid_fn0", [](InstanceState&, const ByteBuffer& args) {
+    return Result<ByteBuffer>(args);
+  });
+  class_object.AddExecutable(std::move(executable));
+  ObjectId instance;
+  bool created = false;
+  class_object.CreateInstance(testbed.host(1), 0, [&](Result<ObjectId> r) {
+    if (!r.ok()) std::abort();
+    instance = *r;
+    created = true;
+  });
+  testbed.simulation().RunWhile([&] { return !created; });
+
+  auto client = testbed.MakeClient(2);
+  ByteBuffer args = ByteBuffer::FromString("x");
+  for (auto _ : state) {
+    double seconds = SimSeconds(testbed, [&] {
+      if (!client->InvokeBlocking(instance, "grid_fn0", args).ok()) std::abort();
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel("normal Legion object");
+}
+BENCHMARK(SimTime_RemoteCallNormalObject)->UseManualTime()->Iterations(64);
+
+void SimTime_RemoteCallDcdo(benchmark::State& state) {
+  Testbed testbed;
+  auto grid = MakeFunctionGrid(testbed, "grid",
+                               static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(1)));
+  auto manager = MakeManagerWithVersion(testbed, "bench", grid,
+                                        MakeSingleVersionExplicit());
+  ObjectId instance =
+      CreateInstanceBlocking(testbed, *manager, testbed.host(1));
+
+  auto client = testbed.MakeClient(2);
+  ByteBuffer args = ByteBuffer::FromString("x");
+  for (auto _ : state) {
+    double seconds = SimSeconds(testbed, [&] {
+      if (!client->InvokeBlocking(instance, "grid_fn0", args).ok()) std::abort();
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel("DCDO " + std::to_string(state.range(0)) + " fns / " +
+                 std::to_string(state.range(1)) + " comps");
+}
+BENCHMARK(SimTime_RemoteCallDcdo)
+    ->UseManualTime()
+    ->Iterations(64)
+    ->Args({10, 1})
+    ->Args({100, 10})
+    ->Args({500, 50});
+
+// Payload-size sweep: the roundtrip is dominated by latency + marshaling,
+// identically for both object kinds.
+void SimTime_RemoteCallDcdoPayload(benchmark::State& state) {
+  Testbed testbed;
+  auto grid = MakeFunctionGrid(testbed, "grid", 10, 1);
+  auto manager = MakeManagerWithVersion(testbed, "bench", grid,
+                                        MakeSingleVersionExplicit());
+  ObjectId instance =
+      CreateInstanceBlocking(testbed, *manager, testbed.host(1));
+  auto client = testbed.MakeClient(2);
+  ByteBuffer args = ByteBuffer::Opaque(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    double seconds = SimSeconds(testbed, [&] {
+      if (!client->InvokeBlocking(instance, "grid_fn0", args).ok()) std::abort();
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "B payload");
+}
+BENCHMARK(SimTime_RemoteCallDcdoPayload)
+    ->UseManualTime()
+    ->Iterations(16)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Arg(65536);
+
+}  // namespace
+}  // namespace dcdo::bench
+
+BENCHMARK_MAIN();

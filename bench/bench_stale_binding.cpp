@@ -1,0 +1,121 @@
+// E5 — Stale-binding discovery (paper Section 4, "Cost").
+//
+// Paper claim reproduced here: "it takes objects approximately 25 to 35
+// seconds to realize that a local binding contains a physical address that
+// the object is no longer using."
+//
+// The scenario: a client with a warm binding calls an object that has been
+// re-activated elsewhere (the monolithic evolution aftermath). The measured
+// time is from the first doomed invocation to the successful reply via the
+// refreshed binding. An ablation sweeps the timeout/retry schedule that the
+// 25-35 s band is made of.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "rpc/client.h"
+
+namespace dcdo::bench {
+namespace {
+
+struct StaleScenario {
+  Testbed testbed;
+  ObjectId target;
+
+  explicit StaleScenario(const sim::CostModel& cost)
+      : testbed(MakeOptions(cost)) {
+    target = ObjectId::Next(domains::kInstance);
+    ServeAt(2, 10, 1);
+  }
+
+  static Testbed::Options MakeOptions(const sim::CostModel& cost) {
+    Testbed::Options options;
+    options.cost_model = cost;
+    return options;
+  }
+
+  void ServeAt(sim::NodeId node, sim::ProcessId pid, std::uint64_t epoch) {
+    testbed.transport().RegisterEndpoint(
+        node, pid, epoch,
+        [](const rpc::MethodInvocation& inv, rpc::ReplyFn reply) {
+          reply(rpc::MethodResult::Ok(ByteBuffer::FromString(inv.method)));
+        });
+    testbed.agent().Bind(target, ObjectAddress{node, pid, epoch});
+  }
+
+  void KillCurrentActivation() { testbed.transport().UnregisterEndpoint(2, 10); }
+};
+
+void SimTime_StaleBindingDiscovery(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::CostModel cost;  // defaults = calibrated schedule
+    StaleScenario scenario(cost);
+    auto client = scenario.testbed.MakeClient(1);
+    if (!client->InvokeBlocking(scenario.target, "warm").ok()) std::abort();
+
+    // The object "evolves": old process dies, new activation elsewhere.
+    scenario.KillCurrentActivation();
+    scenario.ServeAt(3, 20, 2);
+
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      if (!client->InvokeBlocking(scenario.target, "recover").ok()) {
+        std::abort();
+      }
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel("default schedule (10 s timeout x 3 + rebind)");
+}
+BENCHMARK(SimTime_StaleBindingDiscovery)->UseManualTime()->Iterations(3);
+
+// Ablation: the discovery time is timeout * (1 + retries) + rebind — the
+// paper's 25-35 s band is a direct consequence of Legion's schedule.
+void SimTime_StaleBindingSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::CostModel cost;
+    cost.invocation_timeout =
+        sim::SimDuration::Seconds(static_cast<double>(state.range(0)));
+    cost.stale_retry_count = static_cast<int>(state.range(1));
+    StaleScenario scenario(cost);
+    auto client = scenario.testbed.MakeClient(1);
+    if (!client->InvokeBlocking(scenario.target, "warm").ok()) std::abort();
+    scenario.KillCurrentActivation();
+    scenario.ServeAt(3, 20, 2);
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      if (!client->InvokeBlocking(scenario.target, "recover").ok()) {
+        std::abort();
+      }
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " s timeout, " +
+                 std::to_string(state.range(1)) + " retries");
+}
+BENCHMARK(SimTime_StaleBindingSchedule)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Args({5, 1})
+    ->Args({5, 2})
+    ->Args({10, 1})
+    ->Args({10, 2})   // default: lands in the paper's band
+    ->Args({15, 2});
+
+// Contrast: a healthy warm-binding call for scale.
+void SimTime_WarmBindingCall(benchmark::State& state) {
+  sim::CostModel cost;
+  StaleScenario scenario(cost);
+  auto client = scenario.testbed.MakeClient(1);
+  if (!client->InvokeBlocking(scenario.target, "warm").ok()) std::abort();
+  for (auto _ : state) {
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      if (!client->InvokeBlocking(scenario.target, "again").ok()) std::abort();
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel("healthy binding");
+}
+BENCHMARK(SimTime_WarmBindingCall)->UseManualTime()->Iterations(16);
+
+}  // namespace
+}  // namespace dcdo::bench
+
+BENCHMARK_MAIN();

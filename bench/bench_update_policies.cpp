@@ -1,0 +1,221 @@
+// E7 (ablation) — Update-policy scaling (paper Sections 3.4-3.5).
+//
+// The paper argues the proactive strategy "does not scale well with the
+// number of DCDOs managed by a particular DCDO Manager; creating a new
+// current version can become expensive", while lazy strategies amortize the
+// cost across subsequent calls. This bench quantifies that trade-off on the
+// simulated testbed:
+//
+//   * SetCurrentVersion cost under proactive vs. explicit/lazy managers as
+//     the instance count grows;
+//   * total time for the population to converge to the new version;
+//   * the per-call tax of the strict every-call lazy variant.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace dcdo::bench {
+namespace {
+
+struct FleetScenario {
+  Testbed testbed;
+  std::unique_ptr<DcdoManager> manager;
+  std::vector<ObjectId> instances;
+  VersionId v1;
+
+  FleetScenario(std::size_t fleet, std::unique_ptr<EvolutionPolicy> policy)
+      : testbed(MakeOptions()) {
+    auto grid = MakeFunctionGrid(testbed, "grid", 20, 2);
+    manager = MakeManagerWithVersion(testbed, "fleet", grid,
+                                     std::move(policy));
+    v1 = manager->current_version();
+    for (std::size_t i = 0; i < fleet; ++i) {
+      instances.push_back(CreateInstanceBlocking(
+          testbed, *manager, testbed.host(1 + (i % 15))));
+    }
+  }
+
+  static Testbed::Options MakeOptions() {
+    Testbed::Options options;
+    options.host_count = 16;
+    return options;
+  }
+
+  VersionId PushNewVersion() {
+    VersionId child = *manager->DeriveVersion(v1);
+    if (!manager->MarkInstantiable(child).ok()) std::abort();
+    if (!manager->SetCurrentVersion(child).ok()) std::abort();
+    return child;
+  }
+
+  bool AllAt(const VersionId& version) {
+    for (const ObjectId& instance : instances) {
+      if (manager->InstanceVersion(instance).value_or(VersionId()) !=
+          version) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Time from SetCurrentVersion until every instance reflects the new version,
+// under the proactive policy (the push happens inside SetCurrentVersion).
+void SimTime_ProactiveConvergence(benchmark::State& state) {
+  std::size_t fleet = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    FleetScenario scenario(fleet, MakeSingleVersionProactive());
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      VersionId child = scenario.PushNewVersion();
+      scenario.testbed.simulation().Run();
+      if (!scenario.AllAt(child)) std::abort();
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel("proactive, " + std::to_string(fleet) + " instances");
+}
+BENCHMARK(SimTime_ProactiveConvergence)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+// Under explicit/lazy policies, SetCurrentVersion itself is O(1): the cost
+// moves to the update path.
+void SimTime_ExplicitDesignationCost(benchmark::State& state) {
+  std::size_t fleet = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    FleetScenario scenario(fleet, MakeSingleVersionExplicit());
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      (void)scenario.PushNewVersion();
+      scenario.testbed.simulation().Run();
+    });
+    state.SetIterationTime(std::max(seconds, 1e-9));
+  }
+  state.SetLabel("explicit, " + std::to_string(fleet) +
+                 " instances (no push)");
+}
+BENCHMARK(SimTime_ExplicitDesignationCost)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Arg(16)
+    ->Arg(256);
+
+// Lazy-every-call converges as instances are touched; measure driving one
+// call to each instance after the version bump.
+void SimTime_LazyConvergenceViaCalls(benchmark::State& state) {
+  std::size_t fleet = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    FleetScenario scenario(fleet, MakeSingleVersionLazyEveryCall());
+    VersionId child = scenario.PushNewVersion();
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      for (const ObjectId& instance : scenario.instances) {
+        Dcdo* object = scenario.manager->FindInstance(instance);
+        (void)object->Call("grid_fn0", ByteBuffer{});
+      }
+      scenario.testbed.simulation().Run();
+      if (!scenario.AllAt(child)) std::abort();
+    });
+    state.SetIterationTime(seconds);
+  }
+  state.SetLabel("lazy-every-call, " + std::to_string(fleet) +
+                 " instances (converges on first touch)");
+}
+BENCHMARK(SimTime_LazyConvergenceViaCalls)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+// The steady-state per-call tax of each lazy variant when NO update is
+// pending (the price of checking).
+void SimTime_LazySteadyStateCallTax(benchmark::State& state) {
+  int variant = static_cast<int>(state.range(0));
+  std::unique_ptr<EvolutionPolicy> policy;
+  const char* label = "";
+  switch (variant) {
+    case 0:
+      policy = MakeSingleVersionExplicit();
+      label = "no lazy check";
+      break;
+    case 1:
+      policy = MakeSingleVersionLazyEveryCall();
+      label = "check every call";
+      break;
+    case 2:
+      policy = MakeSingleVersionLazyEveryK(100);
+      label = "check every 100 calls";
+      break;
+  }
+  FleetScenario scenario(1, std::move(policy));
+  Dcdo* object = scenario.manager->FindInstance(scenario.instances[0]);
+  for (auto _ : state) {
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      for (int i = 0; i < 100; ++i) {
+        (void)object->Call("grid_fn0", ByteBuffer{});
+      }
+    });
+    state.SetIterationTime(seconds / 100.0);
+  }
+  state.SetLabel(label);
+}
+BENCHMARK(SimTime_LazySteadyStateCallTax)
+    ->UseManualTime()
+    ->Iterations(4)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
+// Manager load: binding-agent lookups + lazy checks + pushes per policy,
+// reported as counters for one version bump over a 64-instance fleet.
+void SimTime_PolicyManagerLoad(benchmark::State& state) {
+  int variant = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::unique_ptr<EvolutionPolicy> policy;
+    switch (variant) {
+      case 0: policy = MakeSingleVersionProactive(); break;
+      case 1: policy = MakeSingleVersionExplicit(); break;
+      default: policy = MakeSingleVersionLazyEveryCall(); break;
+    }
+    FleetScenario scenario(64, std::move(policy));
+    VersionId child = scenario.PushNewVersion();
+    double seconds = SimSeconds(scenario.testbed, [&] {
+      // Touch every instance once, then explicitly update (a no-op where
+      // the policy already converged it).
+      for (const ObjectId& instance : scenario.instances) {
+        (void)scenario.manager->FindInstance(instance)->Call("grid_fn0",
+                                                             ByteBuffer{});
+        bool done = false;
+        scenario.manager->UpdateInstance(instance,
+                                         [&](Status) { done = true; });
+        scenario.testbed.simulation().RunWhile([&] { return !done; });
+      }
+      scenario.testbed.simulation().Run();
+    });
+    if (!scenario.AllAt(child)) std::abort();
+    state.SetIterationTime(std::max(seconds, 1e-9));
+    state.counters["pushed"] =
+        static_cast<double>(scenario.manager->updates_pushed());
+    state.counters["lazy_checks"] =
+        static_cast<double>(scenario.manager->lazy_checks());
+    state.counters["lazy_updates"] =
+        static_cast<double>(scenario.manager->lazy_updates());
+  }
+  const char* kLabels[] = {"proactive", "explicit", "lazy-every-call"};
+  state.SetLabel(std::string(kLabels[variant]) + ", 64 instances");
+}
+BENCHMARK(SimTime_PolicyManagerLoad)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
+}  // namespace
+}  // namespace dcdo::bench
+
+BENCHMARK_MAIN();

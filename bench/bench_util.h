@@ -1,0 +1,113 @@
+// Shared scenario builders for the benchmark harness.
+//
+// Sim-time benches use google-benchmark's manual-time mode: each iteration
+// runs a deterministic discrete-event scenario and reports the *simulated*
+// duration as the iteration time, so the numbers printed by the harness are
+// directly comparable to the paper's (seconds of Centurion time, not
+// nanoseconds of host time). Wall-clock benches (DFM indirection, table
+// scaling) use ordinary real-time mode.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/manager.h"
+#include "runtime/class_object.h"
+#include "runtime/testbed.h"
+
+namespace dcdo::bench {
+
+// Registers `count` trivial exported functions named <prefix>_fn0.. spread
+// evenly over `components` components, and returns the component metas.
+// Bodies are registered in `testbed`'s registry.
+inline std::vector<ImplementationComponent> MakeFunctionGrid(
+    Testbed& testbed, const std::string& prefix, std::size_t count,
+    std::size_t components, std::size_t bytes_per_component = 100 * 1024) {
+  std::vector<ImplementationComponent> out;
+  out.reserve(components);
+  std::size_t per = count / components;
+  std::size_t extra = count % components;
+  std::size_t fn_index = 0;
+  for (std::size_t c = 0; c < components; ++c) {
+    std::string name = prefix + "-c" + std::to_string(c);
+    ComponentBuilder builder(name);
+    builder.SetCodeBytes(bytes_per_component);
+    std::size_t here = per + (c < extra ? 1 : 0);
+    for (std::size_t i = 0; i < here; ++i, ++fn_index) {
+      std::string fn = prefix + "_fn" + std::to_string(fn_index);
+      std::string symbol = name + "/" + fn;
+      testbed.registry().Register(
+          symbol, ImplementationType::Portable(),
+          [](CallContext&, const ByteBuffer& args) {
+            return Result<ByteBuffer>(args);  // identity body
+          });
+      builder.AddFunction(fn, "b(b)", symbol);
+    }
+    auto built = builder.Build();
+    if (!built.ok()) std::abort();
+    out.push_back(*built);
+  }
+  return out;
+}
+
+// A manager whose current version incorporates and enables every function of
+// `components` (published as ICOs on the manager's home host).
+inline std::unique_ptr<DcdoManager> MakeManagerWithVersion(
+    Testbed& testbed, const std::string& type_name,
+    const std::vector<ImplementationComponent>& components,
+    std::unique_ptr<EvolutionPolicy> policy) {
+  auto manager = std::make_unique<DcdoManager>(
+      type_name, testbed.host(0), &testbed.transport(), &testbed.agent(),
+      &testbed.registry(), std::move(policy));
+  for (const ImplementationComponent& comp : components) {
+    if (!manager->PublishComponent(comp).ok()) std::abort();
+  }
+  VersionId v1 = *manager->CreateRootVersion();
+  DfmDescriptor* descriptor = *manager->MutableDescriptor(v1);
+  for (const ImplementationComponent& comp : components) {
+    if (!descriptor->IncorporateComponent(comp).ok()) std::abort();
+    for (const FunctionImplDescriptor& fn : comp.functions) {
+      if (!descriptor->EnableFunction(fn.function.name, comp.id).ok()) {
+        std::abort();
+      }
+    }
+  }
+  if (!manager->MarkInstantiable(v1).ok()) std::abort();
+  if (!manager->SetCurrentVersion(v1).ok()) std::abort();
+  return manager;
+}
+
+// Blocks on an async manager operation, driving the simulation.
+inline ObjectId CreateInstanceBlocking(Testbed& testbed, DcdoManager& manager,
+                                       sim::SimHost* host) {
+  ObjectId out;
+  bool done = false;
+  manager.CreateInstance(host, [&](Result<ObjectId> result) {
+    if (!result.ok()) std::abort();
+    out = *result;
+    done = true;
+  });
+  testbed.simulation().RunWhile([&] { return !done; });
+  return out;
+}
+
+inline void EvolveBlocking(Testbed& testbed, DcdoManager& manager,
+                           const ObjectId& instance, const VersionId& version) {
+  bool done = false;
+  manager.EvolveInstanceTo(instance, version, [&](Status status) {
+    if (!status.ok()) std::abort();
+    done = true;
+  });
+  testbed.simulation().RunWhile([&] { return !done; });
+}
+
+// Measures the simulated duration of `body`.
+inline double SimSeconds(Testbed& testbed, const std::function<void()>& body) {
+  sim::SimTime start = testbed.simulation().Now();
+  body();
+  return (testbed.simulation().Now() - start).ToSeconds();
+}
+
+}  // namespace dcdo::bench

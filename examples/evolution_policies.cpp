@@ -1,0 +1,186 @@
+// Evolution management strategies side by side (paper Sections 3.3-3.5).
+//
+// Runs the same upgrade — a fleet of 8 instances moving from version 1 to
+// version 1.1 — under four different managers and reports when each instance
+// actually changed behaviour:
+//
+//   * single/proactive      — everyone updates the moment 1.1 is designated;
+//   * single/explicit       — nothing moves until updateInstance() is called;
+//   * single/lazy-every-k   — instances update themselves on their k-th call;
+//   * multi/no-update       — deployed instances never move; only new ones
+//                             pick up 1.1.
+//
+//   ./build/examples/evolution_policies
+#include <cstdio>
+#include <functional>
+
+#include "core/manager.h"
+#include "runtime/testbed.h"
+
+using namespace dcdo;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+struct Fleet {
+  Testbed testbed;
+  std::unique_ptr<DcdoManager> manager;
+  std::vector<ObjectId> instances;
+  ImplementationComponent comp_v1;
+  ImplementationComponent comp_v2;
+  VersionId v1, v11;
+
+  explicit Fleet(std::unique_ptr<EvolutionPolicy> policy) {
+    testbed.registry().Register("rates-v1/quote",
+                                ImplementationType::Portable(),
+                                [](CallContext&, const ByteBuffer&) {
+                                  return Result<ByteBuffer>(
+                                      ByteBuffer::FromString("v1"));
+                                });
+    testbed.registry().Register("rates-v2/quote",
+                                ImplementationType::Portable(),
+                                [](CallContext&, const ByteBuffer&) {
+                                  return Result<ByteBuffer>(
+                                      ByteBuffer::FromString("v1.1"));
+                                });
+    comp_v1 = *ComponentBuilder("rates-v1")
+                   .AddFunction("quote", "s()", "rates-v1/quote")
+                   .Build();
+    comp_v2 = *ComponentBuilder("rates-v2")
+                   .AddFunction("quote", "s()", "rates-v2/quote")
+                   .Build();
+    manager = std::make_unique<DcdoManager>(
+        "rates", testbed.host(0), &testbed.transport(), &testbed.agent(),
+        &testbed.registry(), std::move(policy));
+    Check(manager->PublishComponent(comp_v1).status(), "publish v1");
+    Check(manager->PublishComponent(comp_v2).status(), "publish v2");
+
+    v1 = *manager->CreateRootVersion();
+    DfmDescriptor* d1 = *manager->MutableDescriptor(v1);
+    Check(d1->IncorporateComponent(comp_v1), "incorporate");
+    Check(d1->EnableFunction("quote", comp_v1.id), "enable");
+    Check(manager->MarkInstantiable(v1), "freeze v1");
+    Check(manager->SetCurrentVersion(v1), "designate v1");
+
+    for (int i = 0; i < 8; ++i) {
+      bool done = false;
+      manager->CreateInstance(testbed.host(1 + i),
+                              [&](Result<ObjectId> result) {
+                                Check(result.status(), "create");
+                                instances.push_back(*result);
+                                done = true;
+                              });
+      testbed.simulation().RunWhile([&] { return !done; });
+    }
+
+    v11 = *manager->DeriveVersion(v1);
+    DfmDescriptor* d11 = *manager->MutableDescriptor(v11);
+    Check(d11->IncorporateComponent(comp_v2), "incorporate v2");
+    Check(d11->SwitchImplementation("quote", comp_v2.id), "switch");
+    Check(manager->MarkInstantiable(v11), "freeze v1.1");
+    // Pre-warm component caches so the comparison isolates policy behaviour.
+    for (int i = 0; i < 8; ++i) {
+      testbed.host(1 + i)->CacheComponent(comp_v2.id, comp_v2.code_bytes);
+    }
+  }
+
+  int CountAt(const VersionId& version) {
+    int count = 0;
+    for (const ObjectId& instance : instances) {
+      if (manager->InstanceVersion(instance).value_or(VersionId()) ==
+          version) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  std::string Quote(int index) {
+    auto result = manager->FindInstance(instances[index])
+                      ->Call("quote", ByteBuffer{});
+    return result.ok() ? result->ToString() : result.status().ToString();
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("upgrading a fleet of 8 'rates' instances from v1 to v1.1\n\n");
+
+  {
+    Fleet fleet(MakeSingleVersionProactive());
+    std::printf("[single/proactive]\n");
+    Check(fleet.manager->SetCurrentVersion(fleet.v11), "designate v1.1");
+    fleet.testbed.simulation().Run();
+    std::printf("  immediately after designation: %d/8 at v1.1, "
+                "%llu updates pushed by the manager\n",
+                fleet.CountAt(fleet.v11),
+                static_cast<unsigned long long>(
+                    fleet.manager->updates_pushed()));
+  }
+
+  {
+    Fleet fleet(MakeSingleVersionExplicit());
+    std::printf("[single/explicit]\n");
+    Check(fleet.manager->SetCurrentVersion(fleet.v11), "designate v1.1");
+    fleet.testbed.simulation().Run();
+    std::printf("  after designation: %d/8 at v1.1 (nothing moves by itself)\n",
+                fleet.CountAt(fleet.v11));
+    for (int i = 0; i < 3; ++i) {  // an external coordinator updates 3 of 8
+      bool done = false;
+      fleet.manager->UpdateInstance(fleet.instances[i],
+                                    [&](Status status) {
+                                      Check(status, "updateInstance");
+                                      done = true;
+                                    });
+      fleet.testbed.simulation().RunWhile([&] { return !done; });
+    }
+    std::printf("  after 3 explicit updateInstance() calls: %d/8 at v1.1\n",
+                fleet.CountAt(fleet.v11));
+  }
+
+  {
+    Fleet fleet(MakeSingleVersionLazyEveryK(3));
+    std::printf("[single/lazy-every-3-calls]\n");
+    Check(fleet.manager->SetCurrentVersion(fleet.v11), "designate v1.1");
+    fleet.testbed.simulation().Run();
+    std::printf("  after designation: %d/8 at v1.1\n",
+                fleet.CountAt(fleet.v11));
+    // Instance 0 receives traffic; the others stay idle.
+    for (int call = 1; call <= 3; ++call) {
+      std::string reply = fleet.Quote(0);
+      std::printf("  instance 0, call %d -> %s\n", call, reply.c_str());
+    }
+    fleet.testbed.simulation().Run();
+    std::printf("  instance 0 updated itself on its 3rd call; fleet: %d/8 at "
+                "v1.1 (%llu lazy checks)\n",
+                fleet.CountAt(fleet.v11),
+                static_cast<unsigned long long>(fleet.manager->lazy_checks()));
+  }
+
+  {
+    Fleet fleet(MakeMultiVersionNoUpdate());
+    std::printf("[multi/no-update]\n");
+    Check(fleet.manager->SetCurrentVersion(fleet.v11), "designate v1.1");
+    fleet.testbed.simulation().Run();
+    std::printf("  deployed instances: %d/8 at v1.1 (they never evolve)\n",
+                fleet.CountAt(fleet.v11));
+    bool done = false;
+    fleet.manager->CreateInstance(fleet.testbed.host(9),
+                                  [&](Result<ObjectId> result) {
+                                    Check(result.status(), "create new");
+                                    fleet.instances.push_back(*result);
+                                    done = true;
+                                  });
+    fleet.testbed.simulation().RunWhile([&] { return !done; });
+    std::printf("  a newly created instance runs %s\n",
+                fleet.Quote(8).c_str());
+  }
+  return 0;
+}

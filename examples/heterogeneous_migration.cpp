@@ -1,0 +1,161 @@
+// Heterogeneous migration with implementation types (paper Section 2.1).
+//
+// "The most important reason [for implementation types] is so that a system
+// can employ compiled, architecture-specific, executable code in a
+// heterogeneous environment, and still allow objects to migrate from one
+// node to another, even if the architectures of the two nodes are
+// different."
+//
+// A checksum service is built from one component whose registry holds a
+// *native build per architecture*. As the DCDO migrates around a mixed
+// x86/SPARC/Alpha/NT cluster it keeps its version and its clients, while the
+// mapped build swaps underneath. A second, x86-only service demonstrates the
+// guard rail: migration to an incompatible host is refused up front.
+//
+//   ./build/examples/heterogeneous_migration
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/manager.h"
+#include "rpc/client.h"
+#include "runtime/testbed.h"
+
+using namespace dcdo;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Testbed::Options options;
+  options.heterogeneous = true;  // hosts rotate x86 / sparc / alpha / nt
+  Testbed testbed(options);
+
+  // One symbol, four native builds. Each build reports itself so we can see
+  // which one the DFM mapped after each migration.
+  for (auto arch : {sim::Architecture::kX86Linux,
+                    sim::Architecture::kSparcSolaris,
+                    sim::Architecture::kAlphaOsf, sim::Architecture::kX86Nt}) {
+    testbed.registry().Register(
+        "cksum/sum", ImplementationType::Native(arch),
+        [arch](CallContext&, const ByteBuffer& args) {
+          std::uint64_t sum = 0;
+          for (std::byte b : args.span()) sum += std::to_integer<int>(b);
+          return Result<ByteBuffer>(ByteBuffer::FromString(
+              std::to_string(sum) + " (computed by the " +
+              std::string(sim::ArchitectureName(arch)) + " build)"));
+        });
+  }
+  auto comp = ComponentBuilder("cksum")
+                  .SetType(ImplementationType::Portable())  // mappable anywhere
+                  .SetCodeBytes(200 * 1024)
+                  .AddFunction("sum", "u(b)", "cksum/sum")
+                  .Build();
+  Check(comp.status(), "build component");
+
+  DcdoManager manager("cksum-svc", testbed.host(0), &testbed.transport(),
+                      &testbed.agent(), &testbed.registry(),
+                      MakeSingleVersionExplicit());
+  Check(manager.PublishComponent(*comp).status(), "publish");
+  VersionId v1 = *manager.CreateRootVersion();
+  DfmDescriptor* d1 = *manager.MutableDescriptor(v1);
+  Check(d1->IncorporateComponent(*comp), "incorporate");
+  Check(d1->EnableFunction("sum", comp->id), "enable");
+  Check(manager.MarkInstantiable(v1), "freeze");
+  Check(manager.SetCurrentVersion(v1), "designate");
+
+  ObjectId service;
+  bool created = false;
+  manager.CreateInstance(testbed.host(4), [&](Result<ObjectId> result) {
+    Check(result.status(), "create");
+    service = *result;
+    created = true;
+  });
+  testbed.simulation().RunWhile([&] { return !created; });
+
+  auto client = testbed.MakeClient(0);
+  ByteBuffer payload = ByteBuffer::FromString("abc");
+
+  // Tour the cluster: x86-linux (home) -> sparc -> alpha -> nt.
+  for (std::size_t host_index : {4u, 1u, 2u, 3u}) {
+    if (manager.FindInstance(service)->address().node !=
+        testbed.host(host_index)->node()) {
+      sim::SimTime start = testbed.simulation().Now();
+      bool moved = false;
+      manager.MigrateInstance(service, testbed.host(host_index),
+                              [&](Status status) {
+                                Check(status, "migrate");
+                                moved = true;
+                              });
+      testbed.simulation().RunWhile([&] { return !moved; });
+      std::printf("migrated to node %u (%s) in %s\n",
+                  testbed.host(host_index)->node(),
+                  std::string(sim::ArchitectureName(
+                                  testbed.host(host_index)->architecture()))
+                      .c_str(),
+                  HumanSeconds((testbed.simulation().Now() - start)
+                                   .ToSeconds())
+                      .c_str());
+    }
+    auto reply = client->InvokeBlocking(service, "sum", payload);
+    Check(reply.status(), "invoke");
+    std::printf("  sum(\"abc\") = %s  [version %s]\n",
+                reply->ToString().c_str(),
+                manager.InstanceVersion(service)->ToString().c_str());
+  }
+
+  // The guard rail: a service whose only build is x86-linux native.
+  std::printf("\nx86-only service:\n");
+  testbed.registry().Register(
+      "native86/sum", ImplementationType::Native(sim::Architecture::kX86Linux),
+      [](CallContext&, const ByteBuffer&) {
+        return Result<ByteBuffer>(ByteBuffer::FromString("x86 only"));
+      });
+  auto native = ComponentBuilder("native86")
+                    .SetType(ImplementationType::Native(
+                        sim::Architecture::kX86Linux))
+                    .AddFunction("sum", "u(b)", "native86/sum")
+                    .Build();
+  Check(native.status(), "build native component");
+  DcdoManager native_manager("native-svc", testbed.host(0),
+                             &testbed.transport(), &testbed.agent(),
+                             &testbed.registry(),
+                             MakeSingleVersionExplicit());
+  Check(native_manager.PublishComponent(*native).status(), "publish");
+  VersionId nv1 = *native_manager.CreateRootVersion();
+  DfmDescriptor* nd1 = *native_manager.MutableDescriptor(nv1);
+  Check(nd1->IncorporateComponent(*native), "incorporate");
+  Check(nd1->EnableFunction("sum", native->id), "enable");
+  Check(native_manager.MarkInstantiable(nv1), "freeze");
+  Check(native_manager.SetCurrentVersion(nv1), "designate");
+
+  ObjectId pinned;
+  created = false;
+  native_manager.CreateInstance(testbed.host(4), [&](Result<ObjectId> r) {
+    Check(r.status(), "create native");
+    pinned = *r;
+    created = true;
+  });
+  testbed.simulation().RunWhile([&] { return !created; });
+
+  bool refused = false;
+  native_manager.MigrateInstance(pinned, testbed.host(1),  // sparc host
+                                 [&](Status status) {
+                                   refused = !status.ok();
+                                   std::printf(
+                                       "  migrate x86-only service to sparc: "
+                                       "%s\n",
+                                       status.ToString().c_str());
+                                 });
+  testbed.simulation().Run();
+  std::printf("  service still serving on its x86 host: %s\n",
+              refused ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "common/bytes.h"
+
+namespace dcdo {
+
+ByteBuffer ByteBuffer::Opaque(std::size_t size, std::uint8_t seed) {
+  std::vector<std::byte> data(size);
+  // A cheap repeating pattern derived from the seed; tests can verify that a
+  // transferred buffer arrived intact without storing a second copy.
+  for (std::size_t i = 0; i < size; i += 4096) {
+    data[i] = static_cast<std::byte>(seed ^ (i >> 12));
+  }
+  if (size > 0) data[size - 1] = static_cast<std::byte>(seed);
+  return ByteBuffer(std::move(data));
+}
+
+ByteBuffer ByteBuffer::FromString(std::string_view text) {
+  std::vector<std::byte> data(text.size());
+  std::memcpy(data.data(), text.data(), text.size());
+  return ByteBuffer(std::move(data));
+}
+
+void ByteBuffer::Append(const void* bytes, std::size_t count) {
+  const auto* p = static_cast<const std::byte*>(bytes);
+  data_.insert(data_.end(), p, p + count);
+}
+
+void ByteBuffer::AppendBuffer(const ByteBuffer& other) {
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+}
+
+bool ByteBuffer::ReadAt(std::size_t offset, void* out, std::size_t count) const {
+  if (offset + count > data_.size()) return false;
+  std::memcpy(out, data_.data() + offset, count);
+  return true;
+}
+
+std::string ByteBuffer::ToString() const {
+  return std::string(reinterpret_cast<const char*>(data_.data()), data_.size());
+}
+
+}  // namespace dcdo

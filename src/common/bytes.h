@@ -1,0 +1,51 @@
+// ByteBuffer: the unit of data moved by the RPC layer and stored in
+// implementation component objects (executable images, captured object state).
+//
+// A thin wrapper over std::vector<std::byte> with append/read cursors used by
+// the serialization archive. Sizes matter throughout the system — transfer
+// cost in the simulator is a function of ByteBuffer::size() — so the type also
+// offers a constructor that fabricates an opaque payload of a given size
+// (e.g. a "5.1 MB executable") without materially spending memory bandwidth
+// on contents that are never inspected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcdo {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::byte> data) : data_(std::move(data)) {}
+
+  // An opaque payload of `size` bytes whose contents encode a repeating
+  // fingerprint of `seed` (cheap to create, checkable by tests).
+  static ByteBuffer Opaque(std::size_t size, std::uint8_t seed = 0xA5);
+
+  static ByteBuffer FromString(std::string_view text);
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  const std::byte* data() const { return data_.data(); }
+  std::span<const std::byte> span() const { return data_; }
+
+  void Append(const void* bytes, std::size_t count);
+  void AppendBuffer(const ByteBuffer& other);
+
+  // Reads `count` bytes at `offset` into `out`; false if out of range.
+  bool ReadAt(std::size_t offset, void* out, std::size_t count) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const ByteBuffer&, const ByteBuffer&) = default;
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+}  // namespace dcdo

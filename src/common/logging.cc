@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace dcdo {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace dcdo

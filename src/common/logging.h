@@ -1,0 +1,44 @@
+// Lightweight leveled logging.
+//
+// The runtime and benches log object lifecycle events (creation, evolution,
+// rebinds). Logging defaults to kWarning so tests and benchmarks stay quiet;
+// examples raise it to kInfo to narrate what the system is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dcdo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr (thread-safe).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) LogMessage(level_, stream_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= GetLogLevel()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define DCDO_LOG(level) \
+  ::dcdo::internal::LogLine(::dcdo::LogLevel::level)
+
+}  // namespace dcdo

@@ -1,0 +1,27 @@
+#include "common/object_id.h"
+
+#include <atomic>
+
+namespace dcdo {
+namespace {
+std::atomic<std::uint64_t> g_counter{1};
+}  // namespace
+
+ObjectId ObjectId::Next(std::uint64_t domain) {
+  return ObjectId(domain, g_counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+void ObjectId::ResetCounterForTest() {
+  g_counter.store(1, std::memory_order_relaxed);
+}
+
+std::string ObjectId::ToString() const {
+  if (nil()) return "<nil>";
+  return std::to_string(domain_) + ":" + std::to_string(instance_);
+}
+
+std::ostream& operator<<(std::ostream& os, const ObjectId& id) {
+  return os << id.ToString();
+}
+
+}  // namespace dcdo

@@ -1,0 +1,64 @@
+// Globally unique object identifiers, modelled on Legion LOIDs.
+//
+// Legion names every object with a location-independent Legion Object
+// IDentifier. We reproduce the essentials: a 64-bit type-domain field plus a
+// 64-bit instance field, generated from a deterministic per-process counter so
+// simulations are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace dcdo {
+
+class ObjectId {
+ public:
+  ObjectId() = default;  // nil id
+  ObjectId(std::uint64_t domain, std::uint64_t instance)
+      : domain_(domain), instance_(instance) {}
+
+  // Draws a fresh id in `domain` from a process-wide deterministic counter.
+  static ObjectId Next(std::uint64_t domain);
+
+  // Resets the counter (used by tests/benches for reproducibility).
+  static void ResetCounterForTest();
+
+  static ObjectId Nil() { return ObjectId(); }
+
+  bool nil() const { return domain_ == 0 && instance_ == 0; }
+  std::uint64_t domain() const { return domain_; }
+  std::uint64_t instance() const { return instance_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ObjectId&, const ObjectId&) = default;
+  friend auto operator<=>(const ObjectId&, const ObjectId&) = default;
+
+ private:
+  std::uint64_t domain_ = 0;
+  std::uint64_t instance_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const ObjectId& id);
+
+struct ObjectIdHash {
+  std::size_t operator()(const ObjectId& id) const {
+    return std::hash<std::uint64_t>()(id.domain() * 0x9e3779b97f4a7c15ull ^
+                                      id.instance());
+  }
+};
+
+// Well-known domains, used so ids are self-describing in logs.
+namespace domains {
+inline constexpr std::uint64_t kHost = 1;
+inline constexpr std::uint64_t kClassObject = 2;
+inline constexpr std::uint64_t kInstance = 3;
+inline constexpr std::uint64_t kBindingAgent = 4;
+inline constexpr std::uint64_t kComponent = 5;
+inline constexpr std::uint64_t kDcdoManager = 6;
+inline constexpr std::uint64_t kIco = 7;
+}  // namespace domains
+
+}  // namespace dcdo

@@ -1,0 +1,92 @@
+#include "common/serialize.h"
+
+namespace dcdo {
+
+void Writer::WriteU32(std::uint32_t v) { buffer_.Append(&v, sizeof(v)); }
+void Writer::WriteU64(std::uint64_t v) { buffer_.Append(&v, sizeof(v)); }
+void Writer::WriteI64(std::int64_t v) { buffer_.Append(&v, sizeof(v)); }
+void Writer::WriteDouble(double v) { buffer_.Append(&v, sizeof(v)); }
+void Writer::WriteBool(bool v) {
+  std::uint8_t b = v ? 1 : 0;
+  buffer_.Append(&b, 1);
+}
+
+void Writer::WriteString(std::string_view v) {
+  WriteU64(v.size());
+  buffer_.Append(v.data(), v.size());
+}
+
+void Writer::WriteBytes(const ByteBuffer& v) {
+  WriteU64(v.size());
+  buffer_.AppendBuffer(v);
+}
+
+void Writer::WriteObjectId(const ObjectId& v) {
+  WriteU64(v.domain());
+  WriteU64(v.instance());
+}
+
+void Writer::WriteVersionId(const VersionId& v) {
+  WriteU64(v.parts().size());
+  for (std::uint32_t part : v.parts()) WriteU32(part);
+}
+
+template <typename T>
+Result<T> Reader::ReadRaw() {
+  T value{};
+  if (!buffer_.ReadAt(offset_, &value, sizeof(T))) {
+    return OutOfRangeError("archive underflow");
+  }
+  offset_ += sizeof(T);
+  return value;
+}
+
+Result<std::uint32_t> Reader::ReadU32() { return ReadRaw<std::uint32_t>(); }
+Result<std::uint64_t> Reader::ReadU64() { return ReadRaw<std::uint64_t>(); }
+Result<std::int64_t> Reader::ReadI64() { return ReadRaw<std::int64_t>(); }
+Result<double> Reader::ReadDouble() { return ReadRaw<double>(); }
+
+Result<bool> Reader::ReadBool() {
+  DCDO_ASSIGN_OR_RETURN(std::uint8_t b, ReadRaw<std::uint8_t>());
+  return b != 0;
+}
+
+Result<std::string> Reader::ReadString() {
+  DCDO_ASSIGN_OR_RETURN(std::uint64_t size, ReadU64());
+  if (size > remaining()) return OutOfRangeError("string overruns archive");
+  std::string out(size, '\0');
+  buffer_.ReadAt(offset_, out.data(), size);
+  offset_ += size;
+  return out;
+}
+
+Result<ByteBuffer> Reader::ReadBytes() {
+  DCDO_ASSIGN_OR_RETURN(std::uint64_t size, ReadU64());
+  if (size > remaining()) return OutOfRangeError("bytes overrun archive");
+  std::vector<std::byte> data(size);
+  buffer_.ReadAt(offset_, data.data(), size);
+  offset_ += size;
+  return ByteBuffer(std::move(data));
+}
+
+Result<ObjectId> Reader::ReadObjectId() {
+  DCDO_ASSIGN_OR_RETURN(std::uint64_t domain, ReadU64());
+  DCDO_ASSIGN_OR_RETURN(std::uint64_t instance, ReadU64());
+  return ObjectId(domain, instance);
+}
+
+Result<VersionId> Reader::ReadVersionId() {
+  DCDO_ASSIGN_OR_RETURN(std::uint64_t count, ReadU64());
+  if (count > remaining() / sizeof(std::uint32_t)) {
+    return OutOfRangeError("version id overruns archive");
+  }
+  std::vector<std::uint32_t> parts;
+  parts.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DCDO_ASSIGN_OR_RETURN(std::uint32_t part, ReadU32());
+    parts.push_back(part);
+  }
+  return VersionId(std::move(parts));
+}
+
+}  // namespace dcdo

@@ -1,0 +1,66 @@
+// Minimal self-describing serialization for RPC parameters and object state.
+//
+// Legion marshals method-invocation parameters into wire buffers; we do the
+// same with a simple length-prefixed archive. Only the types the system
+// actually ships cross-host are supported: integers, doubles, strings, byte
+// buffers, and homogeneous sequences of those. Readers consume in the order
+// writers produced — a deliberate simplification over a full tag-per-field
+// scheme, which the invocation layer does not need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/object_id.h"
+#include "common/status.h"
+#include "common/version_id.h"
+
+namespace dcdo {
+
+class Writer {
+ public:
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+  void WriteI64(std::int64_t v);
+  void WriteDouble(double v);
+  void WriteBool(bool v);
+  void WriteString(std::string_view v);
+  void WriteBytes(const ByteBuffer& v);
+  void WriteObjectId(const ObjectId& v);
+  void WriteVersionId(const VersionId& v);
+
+  ByteBuffer Take() && { return std::move(buffer_); }
+  const ByteBuffer& buffer() const { return buffer_; }
+
+ private:
+  ByteBuffer buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const ByteBuffer& buffer) : buffer_(buffer) {}
+
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+  Result<ByteBuffer> ReadBytes();
+  Result<ObjectId> ReadObjectId();
+  Result<VersionId> ReadVersionId();
+
+  bool AtEnd() const { return offset_ == buffer_.size(); }
+  std::size_t remaining() const { return buffer_.size() - offset_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadRaw();
+
+  const ByteBuffer& buffer_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace dcdo

@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+namespace dcdo {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kStaleBinding: return "STALE_BINDING";
+    case ErrorCode::kFunctionDisabled: return "FUNCTION_DISABLED";
+    case ErrorCode::kFunctionMissing: return "FUNCTION_MISSING";
+    case ErrorCode::kComponentMissing: return "COMPONENT_MISSING";
+    case ErrorCode::kDependencyViolation: return "DEPENDENCY_VIOLATION";
+    case ErrorCode::kPermanentViolation: return "PERMANENT_VIOLATION";
+    case ErrorCode::kMandatoryViolation: return "MANDATORY_VIOLATION";
+    case ErrorCode::kVersionNotInstantiable: return "VERSION_NOT_INSTANTIABLE";
+    case ErrorCode::kVersionFrozen: return "VERSION_FROZEN";
+    case ErrorCode::kNotDerivedVersion: return "NOT_DERIVED_VERSION";
+    case ErrorCode::kActiveThreads: return "ACTIVE_THREADS";
+    case ErrorCode::kArchMismatch: return "ARCH_MISMATCH";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(ErrorCode::kUnimplemented, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+Status TimeoutError(std::string message) {
+  return Status(ErrorCode::kTimeout, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(ErrorCode::kUnavailable, std::move(message));
+}
+Status StaleBindingError(std::string message) {
+  return Status(ErrorCode::kStaleBinding, std::move(message));
+}
+Status FunctionDisabledError(std::string message) {
+  return Status(ErrorCode::kFunctionDisabled, std::move(message));
+}
+Status FunctionMissingError(std::string message) {
+  return Status(ErrorCode::kFunctionMissing, std::move(message));
+}
+Status ComponentMissingError(std::string message) {
+  return Status(ErrorCode::kComponentMissing, std::move(message));
+}
+Status DependencyViolationError(std::string message) {
+  return Status(ErrorCode::kDependencyViolation, std::move(message));
+}
+Status PermanentViolationError(std::string message) {
+  return Status(ErrorCode::kPermanentViolation, std::move(message));
+}
+Status MandatoryViolationError(std::string message) {
+  return Status(ErrorCode::kMandatoryViolation, std::move(message));
+}
+Status VersionNotInstantiableError(std::string message) {
+  return Status(ErrorCode::kVersionNotInstantiable, std::move(message));
+}
+Status VersionFrozenError(std::string message) {
+  return Status(ErrorCode::kVersionFrozen, std::move(message));
+}
+Status NotDerivedVersionError(std::string message) {
+  return Status(ErrorCode::kNotDerivedVersion, std::move(message));
+}
+Status ActiveThreadsError(std::string message) {
+  return Status(ErrorCode::kActiveThreads, std::move(message));
+}
+Status ArchMismatchError(std::string message) {
+  return Status(ErrorCode::kArchMismatch, std::move(message));
+}
+
+}  // namespace dcdo

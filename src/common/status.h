@@ -1,0 +1,163 @@
+// Error model for the DCDO library.
+//
+// All fallible operations in the library return either `Status` (no payload) or
+// `Result<T>` (payload or error). This mirrors the style of wide-area systems
+// where a remote call can fail for reasons the caller must handle explicitly —
+// the paper (Section 3.2) requires that "invocations on a dynamic function
+// should be written to expect the absence of the function", so absence is an
+// ordinary, typed error here, not an exception.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dcdo {
+
+// Canonical error space for the whole system. Codes are deliberately coarse;
+// the message carries detail.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  // Generic argument / state errors.
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  // Distributed-system errors.
+  kTimeout,          // an RPC or transfer exceeded its deadline
+  kUnavailable,      // target object not active / host down
+  kStaleBinding,     // cached object address no longer valid
+  // DCDO-specific errors (Section 3.1 problem classes).
+  kFunctionDisabled,     // call arrived for a disabled dynamic function
+  kFunctionMissing,      // no implementation of the function exists in the DFM
+  kComponentMissing,     // referenced component not incorporated
+  kDependencyViolation,  // config change would violate a Type A-D dependency
+  kPermanentViolation,   // config change would alter a permanent function
+  kMandatoryViolation,   // config change would remove a mandatory function
+  kVersionNotInstantiable,  // tried to use a configurable (unfrozen) version
+  kVersionFrozen,           // tried to configure an instantiable version
+  kNotDerivedVersion,       // evolution target not in the version subtree
+  kActiveThreads,           // removal blocked by nonzero active-thread count
+  kArchMismatch,            // implementation type incompatible with host
+};
+
+// Human-readable name of a code, e.g. "FUNCTION_DISABLED".
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A Status is either OK or an (ErrorCode, message) pair. Cheap to copy when OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, e.g. `return NotFoundError("no such function");`.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status TimeoutError(std::string message);
+Status UnavailableError(std::string message);
+Status StaleBindingError(std::string message);
+Status FunctionDisabledError(std::string message);
+Status FunctionMissingError(std::string message);
+Status ComponentMissingError(std::string message);
+Status DependencyViolationError(std::string message);
+Status PermanentViolationError(std::string message);
+Status MandatoryViolationError(std::string message);
+Status VersionNotInstantiableError(std::string message);
+Status VersionFrozenError(std::string message);
+Status NotDerivedVersionError(std::string message);
+Status ActiveThreadsError(std::string message);
+Status ArchMismatchError(std::string message);
+
+// Result<T> holds either a value or a non-OK Status (like absl::StatusOr).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from value and from error status, so `return value;` and
+  // `return NotFoundError(...)` both work.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status(ErrorCode::kInternal,
+                     "Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  // Precondition: ok().
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+// Propagation helpers: early-return on error.
+#define DCDO_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::dcdo::Status dcdo_status_tmp_ = (expr);        \
+    if (!dcdo_status_tmp_.ok()) return dcdo_status_tmp_; \
+  } while (false)
+
+#define DCDO_INTERNAL_CONCAT2(a, b) a##b
+#define DCDO_INTERNAL_CONCAT(a, b) DCDO_INTERNAL_CONCAT2(a, b)
+
+#define DCDO_ASSIGN_OR_RETURN(lhs, expr) \
+  DCDO_ASSIGN_OR_RETURN_IMPL(DCDO_INTERNAL_CONCAT(dcdo_result_tmp_, __LINE__), \
+                             lhs, expr)
+
+#define DCDO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace dcdo

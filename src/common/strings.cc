@@ -1,0 +1,69 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dcdo {
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t next = text.find(delimiter, pos);
+    if (next == std::string_view::npos) {
+      out.emplace_back(text.substr(pos));
+      return out;
+    }
+    out.emplace_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delimiter) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delimiter;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (size < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(size), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(std::size_t bytes) {
+  if (bytes >= 1024ull * 1024 * 1024) {
+    return StrFormat("%.1f GB", static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  }
+  if (bytes >= 1024ull * 1024) {
+    return StrFormat("%.1f MB", static_cast<double>(bytes) / (1024.0 * 1024));
+  }
+  if (bytes >= 1024) {
+    return StrFormat("%.1f KB", static_cast<double>(bytes) / 1024.0);
+  }
+  return StrFormat("%zu B", bytes);
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds >= 1.0) return StrFormat("%.2f s", seconds);
+  if (seconds >= 1e-3) return StrFormat("%.2f ms", seconds * 1e3);
+  if (seconds >= 1e-6) return StrFormat("%.2f us", seconds * 1e6);
+  return StrFormat("%.0f ns", seconds * 1e9);
+}
+
+}  // namespace dcdo

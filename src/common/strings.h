@@ -1,0 +1,24 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcdo {
+
+// Splits on a single-character delimiter; empty tokens are preserved.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// Joins with a delimiter string.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delimiter);
+
+// printf-style convenience used for log/bench labels.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// "1.5 MB", "200 us", etc. — used by benches to mirror the paper's units.
+std::string HumanBytes(std::size_t bytes);
+std::string HumanSeconds(double seconds);
+
+}  // namespace dcdo

@@ -1,0 +1,94 @@
+#include "common/version_id.h"
+
+#include <charconv>
+
+namespace dcdo {
+
+VersionId VersionId::Root() { return VersionId({1}); }
+
+VersionId::VersionId(std::initializer_list<std::uint32_t> parts)
+    : parts_(parts) {}
+
+VersionId::VersionId(std::vector<std::uint32_t> parts)
+    : parts_(std::move(parts)) {}
+
+Result<VersionId> VersionId::Parse(std::string_view text) {
+  if (text.empty()) {
+    return InvalidArgumentError("empty version identifier");
+  }
+  std::vector<std::uint32_t> parts;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t dot = text.find('.', pos);
+    std::string_view token = text.substr(
+        pos, dot == std::string_view::npos ? std::string_view::npos : dot - pos);
+    if (token.empty()) {
+      return InvalidArgumentError("empty component in version identifier '" +
+                                  std::string(text) + "'");
+    }
+    std::uint32_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return InvalidArgumentError("non-numeric component '" +
+                                  std::string(token) + "' in version '" +
+                                  std::string(text) + "'");
+    }
+    parts.push_back(value);
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+  }
+  return VersionId(std::move(parts));
+}
+
+VersionId VersionId::Child(std::uint32_t ordinal) const {
+  std::vector<std::uint32_t> parts = parts_;
+  parts.push_back(ordinal);
+  return VersionId(std::move(parts));
+}
+
+Result<VersionId> VersionId::Parent() const {
+  if (parts_.size() <= 1) {
+    return FailedPreconditionError("version '" + ToString() +
+                                   "' has no parent");
+  }
+  std::vector<std::uint32_t> parts(parts_.begin(), parts_.end() - 1);
+  return VersionId(std::move(parts));
+}
+
+bool VersionId::IsDerivedFrom(const VersionId& ancestor) const {
+  if (!valid() || !ancestor.valid()) return false;
+  if (ancestor.parts_.size() > parts_.size()) return false;
+  for (std::size_t i = 0; i < ancestor.parts_.size(); ++i) {
+    if (parts_[i] != ancestor.parts_[i]) return false;
+  }
+  return true;
+}
+
+bool VersionId::IsStrictlyDerivedFrom(const VersionId& ancestor) const {
+  return IsDerivedFrom(ancestor) && *this != ancestor;
+}
+
+std::string VersionId::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(parts_[i]);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const VersionId& v) {
+  return os << v.ToString();
+}
+
+std::size_t VersionIdHash::operator()(const VersionId& v) const {
+  std::size_t h = 0xcbf29ce484222325ull;
+  for (std::uint32_t part : v.parts()) {
+    h ^= part;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace dcdo

@@ -1,0 +1,79 @@
+// Version identifiers (paper Section 2.1).
+//
+// "A version identifier is an array of positive integers that identifies some
+// version of an object type's implementation." Versions form a tree: deriving
+// a new version from `V` yields a child of `V`, and evolution policies such as
+// the increasing-version-number policy (Section 3.5) only permit evolution to
+// versions *derived from* the current one — i.e. descendants in this tree.
+//
+// We encode derivation structurally: a child of [3,2] is [3,2,k] for some k,
+// and sibling order is tracked by the final integer. `IsDerivedFrom` is thus a
+// pure prefix test, exactly matching the paper's example that "a version 3.2
+// DCDO can evolve to version 3.2.1 or to version 3.2.0.4, but not to 3.3".
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dcdo {
+
+class VersionId {
+ public:
+  // The root version of every type's tree: "1".
+  static VersionId Root();
+
+  VersionId() = default;  // empty / invalid
+  VersionId(std::initializer_list<std::uint32_t> parts);
+  explicit VersionId(std::vector<std::uint32_t> parts);
+
+  // Parses a dotted string, e.g. "3.2.0.4". Parts must be non-negative
+  // integers; the identifier must be non-empty.
+  static Result<VersionId> Parse(std::string_view text);
+
+  bool valid() const { return !parts_.empty(); }
+  std::size_t depth() const { return parts_.size(); }
+  const std::vector<std::uint32_t>& parts() const { return parts_; }
+
+  // Child of this version with the given final ordinal, e.g.
+  // VersionId({3,2}).Child(1) == 3.2.1.
+  VersionId Child(std::uint32_t ordinal) const;
+
+  // Parent in the version tree; error if this is a depth-1 (root-level) id.
+  Result<VersionId> Parent() const;
+
+  // True if `this` is `ancestor` or a descendant of `ancestor` in the version
+  // tree (prefix relation). Every version derives from itself.
+  bool IsDerivedFrom(const VersionId& ancestor) const;
+
+  // True if `this` is a strict descendant (derived and not equal).
+  bool IsStrictlyDerivedFrom(const VersionId& ancestor) const;
+
+  // Dotted representation, e.g. "3.2.1".
+  std::string ToString() const;
+
+  friend bool operator==(const VersionId&, const VersionId&) = default;
+  // Lexicographic; gives a deterministic total order for map keys.
+  friend std::strong_ordering operator<=>(const VersionId& a,
+                                          const VersionId& b) {
+    return a.parts_ <=> b.parts_;
+  }
+
+ private:
+  std::vector<std::uint32_t> parts_;
+};
+
+std::ostream& operator<<(std::ostream& os, const VersionId& v);
+
+struct VersionIdHash {
+  std::size_t operator()(const VersionId& v) const;
+};
+
+}  // namespace dcdo

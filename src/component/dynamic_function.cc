@@ -1,0 +1,26 @@
+#include "component/dynamic_function.h"
+
+namespace dcdo {
+
+std::string_view VisibilityName(Visibility visibility) {
+  switch (visibility) {
+    case Visibility::kExported: return "exported";
+    case Visibility::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string_view ConstraintName(Constraint constraint) {
+  switch (constraint) {
+    case Constraint::kFullyDynamic: return "fully-dynamic";
+    case Constraint::kMandatory: return "mandatory";
+    case Constraint::kPermanent: return "permanent";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, const FunctionSignature& sig) {
+  return os << sig.ToString();
+}
+
+}  // namespace dcdo

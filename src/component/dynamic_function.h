@@ -1,0 +1,114 @@
+// Dynamic functions (paper Section 2).
+//
+// A dynamic function is the unit of dynamic configurability: it can be
+// exported or internal, enabled or disabled, and marked mandatory, permanent,
+// or fully dynamic (Section 3.2). Its callable body is a C++ closure looked
+// up by symbol in a NativeCodeRegistry — the reproduction's stand-in for OS
+// dynamic linking.
+//
+// Function bodies receive a CallContext so they can call *other* dynamic
+// functions in the same object. Crucially, such intra-object calls go back
+// through the object's DFM — "a centralized table through which all calls to
+// dynamic functions must go" — which is what makes the missing/disappearing
+// internal function problems possible, and what lets thread-activity
+// monitoring see every call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/object_id.h"
+#include "common/status.h"
+
+namespace dcdo {
+
+// Whether a function may be invoked from outside the object.
+enum class Visibility : std::uint8_t {
+  kExported,  // part of the object's public interface
+  kInternal,  // callable only from within the object
+};
+
+// Evolution constraints (Section 3.2, "Mandatory and Permanent Functions").
+enum class Constraint : std::uint8_t {
+  kFullyDynamic,  // may be disabled, replaced, or removed freely
+  kMandatory,     // some enabled implementation must always exist
+  kPermanent,     // this exact implementation is frozen
+};
+
+std::string_view VisibilityName(Visibility visibility);
+std::string_view ConstraintName(Constraint constraint);
+
+// Name + signature identify a *function*; (function, component) identifies an
+// *implementation* of that function. Signatures are opaque strings ("i(ii)"
+// style); the DFM treats equal strings as compatible.
+struct FunctionSignature {
+  std::string name;
+  std::string signature;
+
+  std::string ToString() const { return name + ":" + signature; }
+  friend bool operator==(const FunctionSignature&,
+                         const FunctionSignature&) = default;
+  friend auto operator<=>(const FunctionSignature&,
+                          const FunctionSignature&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const FunctionSignature& sig);
+
+// The environment a dynamic function body executes in. Implemented by the
+// DCDO; lets bodies make DFM-mediated intra-object calls and observe self.
+class CallContext {
+ public:
+  virtual ~CallContext() = default;
+
+  // Calls dynamic function `function` in the same object through the DFM.
+  // Fails with kFunctionMissing / kFunctionDisabled when the callee has been
+  // removed or disabled out from under the caller — the paper's "missing
+  // internal function problem" surfaces here as a typed error.
+  virtual Result<ByteBuffer> CallInternal(const std::string& function,
+                                          const ByteBuffer& args) = 0;
+
+  // Identity of the executing object.
+  virtual ObjectId self_id() const = 0;
+
+  // Simulates this call blocking on an outcall to another object for
+  // `sim_seconds`: the executing "thread" stays active inside the function
+  // while the rest of the system (including configuration calls!) proceeds.
+  // This is the trigger for the disappearing internal function/component
+  // problems in tests.
+  virtual void BlockOnOutcall(double sim_seconds) = 0;
+
+  // Mutable per-object application data, shared by every component of the
+  // object. Because a DCDO evolves by re-mapping its DFM — the process and
+  // its heap survive — this data persists across evolution *in core*,
+  // whereas monolithic evolution must capture and restore it. The default
+  // returns a throwaway buffer for contexts without state (test fakes).
+  virtual ByteBuffer& object_data() {
+    static thread_local ByteBuffer scratch;
+    return scratch;
+  }
+};
+
+// A dynamic function body: args in, payload or typed error out.
+using DynamicFn =
+    std::function<Result<ByteBuffer>(CallContext&, const ByteBuffer&)>;
+
+// Compile-time descriptor of one function implementation inside a component:
+// what it is (signature), how it may be called (visibility), what evolution
+// constraint the component author demands, and the registry symbol of its
+// body.
+struct FunctionImplDescriptor {
+  FunctionSignature function;
+  Visibility visibility = Visibility::kExported;
+  Constraint constraint = Constraint::kFullyDynamic;
+  std::string symbol;  // NativeCodeRegistry key for the body
+  // Structural-dependency hints discovered by "static analysis" when the
+  // component was built (paper: creating structural dependencies "could be
+  // automated via static analysis of source code"). Names of functions this
+  // implementation calls through the DFM.
+  std::vector<std::string> calls;
+};
+
+}  // namespace dcdo

@@ -1,0 +1,71 @@
+#include "component/ico.h"
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace dcdo {
+
+ImplementationComponentObject::ImplementationComponentObject(
+    sim::SimHost* host, rpc::RpcTransport* transport, BindingAgent* agent,
+    ImplementationComponent component)
+    : host_(*host), transport_(*transport), agent_(*agent),
+      component_(std::move(component)) {
+  pid_ = host_.AdoptProcess(component_.id);
+  // The ICO stores its image in the host file store and caches it locally —
+  // fetching a component to its own home host is free.
+  host_.StoreFile("ico/" + component_.id.ToString(), component_.code_bytes);
+  host_.CacheComponent(component_.id, component_.code_bytes);
+  agent_.Bind(component_.id,
+              ObjectAddress{host_.node(), pid_, /*epoch=*/1});
+
+  transport_.RegisterEndpoint(
+      host_.node(), pid_, /*epoch=*/1,
+      [this](const rpc::MethodInvocation& invocation, rpc::ReplyFn reply) {
+        if (invocation.method == kGetDescriptor) {
+          reply(rpc::MethodResult::Ok(SerializeComponentMeta(component_)));
+          return;
+        }
+        if (invocation.method == kGetSize) {
+          Writer writer;
+          writer.WriteU64(component_.code_bytes);
+          reply(rpc::MethodResult::Ok(std::move(writer).Take()));
+          return;
+        }
+        reply(rpc::MethodResult::Error(NotFoundError(
+            "ICO " + component_.name + " has no method '" +
+            invocation.method + "'")));
+      });
+}
+
+ImplementationComponentObject::~ImplementationComponentObject() {
+  transport_.UnregisterEndpoint(host_.node(), pid_);
+  agent_.Unbind(component_.id);
+  (void)host_.KillProcess(pid_);
+}
+
+void ImplementationComponentObject::FetchTo(sim::SimHost* dest,
+                                            std::function<void(Status)> done) {
+  if (dest->ComponentCached(component_.id)) {
+    done(Status::Ok());
+    return;
+  }
+  ++fetches_served_;
+  ObjectId component_id = component_.id;
+  std::size_t bytes = component_.code_bytes;
+  DCDO_LOG(kDebug) << "ico " << component_.name << ": streaming "
+                   << bytes << "B to node " << dest->node();
+  // Components stream object-to-object (session overhead + fast streaming),
+  // not through the slow file-object path executables use.
+  sim::SimDuration duration =
+      (host_.node() == dest->node())
+          ? host_.cost_model().DiskRead(bytes)
+          : host_.cost_model().ComponentDownloadTime(bytes);
+  host_.network().TimedTransfer(
+      host_.node(), dest->node(), bytes, duration,
+      [dest, component_id, bytes, done = std::move(done)]() {
+        dest->CacheComponent(component_id, bytes);
+        done(Status::Ok());
+      });
+}
+
+}  // namespace dcdo

@@ -1,0 +1,40 @@
+#include "component/implementation_type.h"
+
+#include "common/strings.h"
+
+namespace dcdo {
+
+std::string_view CodeFormatName(CodeFormat format) {
+  switch (format) {
+    case CodeFormat::kElfSharedObject: return "elf-so";
+    case CodeFormat::kCoffDll: return "coff-dll";
+    case CodeFormat::kPortableBytecode: return "bytecode";
+  }
+  return "unknown";
+}
+
+std::string_view LanguageName(Language language) {
+  switch (language) {
+    case Language::kCpp: return "c++";
+    case Language::kC: return "c";
+    case Language::kFortran: return "fortran";
+    case Language::kJava: return "java";
+    case Language::kAny: return "any";
+  }
+  return "unknown";
+}
+
+std::string ImplementationType::ToString() const {
+  std::string out(sim::ArchitectureName(architecture));
+  out += "/";
+  out += CodeFormatName(format);
+  out += "/";
+  out += LanguageName(language);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const ImplementationType& type) {
+  return os << type.ToString();
+}
+
+}  // namespace dcdo

@@ -1,0 +1,67 @@
+// Implementation types (paper Section 2.1).
+//
+// "Every implementation component has an associated implementation type,
+// which describes properties such as the component's architecture, its
+// object code format, and (if important) the programming language with which
+// it was built." Implementation types are what let functionally equivalent
+// implementations coexist so objects can migrate across a heterogeneous
+// testbed: a DCDO moving from a Linux/x86 host to a Solaris/SPARC host keeps
+// its version but swaps to components whose implementation type matches the
+// destination.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/host.h"
+
+namespace dcdo {
+
+enum class CodeFormat : std::uint8_t {
+  kElfSharedObject,
+  kCoffDll,
+  kPortableBytecode,  // format usable on any architecture
+};
+
+enum class Language : std::uint8_t {
+  kCpp,
+  kC,
+  kFortran,
+  kJava,
+  kAny,  // language is unimportant for compatibility
+};
+
+std::string_view CodeFormatName(CodeFormat format);
+std::string_view LanguageName(Language language);
+
+struct ImplementationType {
+  sim::Architecture architecture = sim::Architecture::kX86Linux;
+  CodeFormat format = CodeFormat::kElfSharedObject;
+  Language language = Language::kCpp;
+
+  // True if code of this type can be mapped into a process on `host_arch`.
+  // Portable bytecode runs anywhere; native formats must match architecture.
+  bool CompatibleWith(sim::Architecture host_arch) const {
+    if (format == CodeFormat::kPortableBytecode) return true;
+    return architecture == host_arch;
+  }
+
+  static ImplementationType Native(sim::Architecture arch) {
+    return ImplementationType{arch, CodeFormat::kElfSharedObject,
+                              Language::kCpp};
+  }
+  static ImplementationType Portable() {
+    return ImplementationType{sim::Architecture::kX86Linux,
+                              CodeFormat::kPortableBytecode, Language::kAny};
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ImplementationType&,
+                         const ImplementationType&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const ImplementationType& type);
+
+}  // namespace dcdo

@@ -1,0 +1,37 @@
+#include "component/native_code_registry.h"
+
+namespace dcdo {
+
+void NativeCodeRegistry::Register(const std::string& symbol,
+                                  const ImplementationType& type,
+                                  DynamicFn body) {
+  auto& builds = bodies_[symbol];
+  for (Entry& entry : builds) {
+    if (entry.type == type) {
+      entry.body = std::move(body);
+      return;
+    }
+  }
+  builds.push_back(Entry{type, std::move(body)});
+}
+
+Result<DynamicFn> NativeCodeRegistry::Resolve(const std::string& symbol,
+                                              sim::Architecture arch) const {
+  auto it = bodies_.find(symbol);
+  if (it == bodies_.end()) {
+    return NotFoundError("unresolved symbol '" + symbol + "'");
+  }
+  const DynamicFn* portable = nullptr;
+  for (const Entry& entry : it->second) {
+    if (entry.type.format == CodeFormat::kPortableBytecode) {
+      portable = &entry.body;
+      continue;
+    }
+    if (entry.type.CompatibleWith(arch)) return entry.body;
+  }
+  if (portable != nullptr) return *portable;
+  return ArchMismatchError("symbol '" + symbol + "' has no build for " +
+                           std::string(sim::ArchitectureName(arch)));
+}
+
+}  // namespace dcdo

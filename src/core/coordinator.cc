@@ -1,0 +1,118 @@
+#include "core/coordinator.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace dcdo {
+
+Status UpdateCoordinator::ValidateAll(
+    const std::vector<Step>& steps, std::vector<VersionId>& prior_versions,
+    std::vector<std::string>& notes) const {
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    if (step.manager == nullptr) {
+      return InvalidArgumentError("step " + std::to_string(i) +
+                                  " has no manager");
+    }
+    Dcdo* object = step.manager->FindInstance(step.instance);
+    if (object == nullptr) {
+      return NotFoundError("step " + std::to_string(i) + ": no instance " +
+                           step.instance.ToString() + " of type " +
+                           step.manager->type_name());
+    }
+    DCDO_ASSIGN_OR_RETURN(const DfmDescriptor* target,
+                          step.manager->Descriptor(step.target));
+    if (!target->instantiable()) {
+      return VersionNotInstantiableError(
+          "step " + std::to_string(i) + ": version " +
+          step.target.ToString() + " of " + step.manager->type_name() +
+          " is still configurable");
+    }
+    DCDO_RETURN_IF_ERROR(step.manager->policy().CheckEvolution(
+        object->version(), step.target, step.manager->current_version()));
+
+    CompatibilityReport report =
+        ClassifyTransition(object->mapper().state(), target->state());
+    notes.push_back(step.manager->type_name() + "/" +
+                    step.instance.ToString() + ": " + report.Summary());
+    if (options_.require_client_compatible &&
+        !report.SafeForExistingClients()) {
+      return FailedPreconditionError(
+          "step " + std::to_string(i) + ": transition to " +
+          step.target.ToString() + " is " + report.Summary());
+    }
+    prior_versions.push_back(object->version());
+  }
+  return Status::Ok();
+}
+
+void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
+  auto outcome = std::make_shared<Outcome>();
+  auto prior = std::make_shared<std::vector<VersionId>>();
+  Status validated = ValidateAll(steps, *prior, outcome->notes);
+  if (!validated.ok()) {
+    outcome->status = validated;
+    done(std::move(*outcome));
+    return;
+  }
+
+  auto shared_steps = std::make_shared<std::vector<Step>>(std::move(steps));
+  auto shared_done = std::make_shared<DoneCallback>(std::move(done));
+
+  // Roll back steps [0, upto) in reverse, then report `failure`.
+  auto rollback = std::make_shared<std::function<void(std::size_t, Status)>>();
+  *rollback = [outcome, prior, shared_steps, shared_done, rollback](
+                  std::size_t upto, Status failure) {
+    if (upto == 0) {
+      outcome->status = failure;
+      (*shared_done)(std::move(*outcome));
+      return;
+    }
+    std::size_t index = upto - 1;
+    const Step& step = (*shared_steps)[index];
+    step.manager->EvolveInstanceTo(
+        step.instance, (*prior)[index],
+        [outcome, rollback, index, failure](Status status) {
+          if (status.ok()) {
+            ++outcome->rolled_back;
+            --outcome->applied;
+          } else {
+            outcome->notes.push_back("rollback of step " +
+                                     std::to_string(index) +
+                                     " refused: " + status.ToString());
+          }
+          (*rollback)(index, failure);
+        });
+  };
+
+  auto apply = std::make_shared<std::function<void(std::size_t)>>();
+  *apply = [outcome, shared_steps, shared_done, apply, rollback](
+               std::size_t index) {
+    if (index == shared_steps->size()) {
+      outcome->status = Status::Ok();
+      (*shared_done)(std::move(*outcome));
+      return;
+    }
+    const Step& step = (*shared_steps)[index];
+    step.manager->EvolveInstanceTo(
+        step.instance, step.target,
+        [outcome, apply, rollback, index](Status status) {
+          if (!status.ok()) {
+            DCDO_LOG(kWarning) << "coordinated update: step " << index
+                               << " failed (" << status.ToString()
+                               << "); rolling back";
+            (*rollback)(index,
+                        FailedPreconditionError(
+                            "step " + std::to_string(index) +
+                            " failed: " + status.ToString()));
+            return;
+          }
+          ++outcome->applied;
+          (*apply)(index + 1);
+        });
+  };
+  (*apply)(0);
+}
+
+}  // namespace dcdo

@@ -1,0 +1,563 @@
+#include "core/dcdo.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "dfm/descriptor_wire.h"
+
+namespace dcdo {
+
+Dcdo::RemovalPolicy Dcdo::RemovalPolicy::Delay() {
+  RemovalPolicy policy;
+  policy.kind = Kind::kDelay;
+  return policy;
+}
+
+Dcdo::RemovalPolicy Dcdo::RemovalPolicy::Timeout(sim::SimDuration deadline) {
+  RemovalPolicy policy;
+  policy.kind = Kind::kTimeout;
+  policy.timeout = deadline;
+  return policy;
+}
+
+Dcdo::Dcdo(std::string name, sim::SimHost* host, rpc::RpcTransport* transport,
+           BindingAgent* agent, const NativeCodeRegistry* registry,
+           const IcoDirectory* icos, VersionId version)
+    : name_(std::move(name)),
+      id_(ObjectId::Next(domains::kInstance)),
+      host_(host),
+      transport_(*transport),
+      agent_(*agent),
+      registry_(*registry),
+      icos_(*icos),
+      version_(std::move(version)) {
+  address_.node = host_->node();
+  address_.pid = host_->AdoptProcess(id_);
+  address_.epoch = 1;
+  agent_.Bind(id_, address_);
+  RegisterEndpoint();
+}
+
+Dcdo::~Dcdo() {
+  transport_.UnregisterEndpoint(address_.node, address_.pid);
+  agent_.Unbind(id_);
+  (void)host_->KillProcess(address_.pid);
+}
+
+void Dcdo::RegisterEndpoint() {
+  transport_.RegisterEndpoint(
+      address_.node, address_.pid, address_.epoch,
+      [this](const rpc::MethodInvocation& invocation, rpc::ReplyFn reply) {
+        HandleInvocation(invocation, std::move(reply));
+      });
+}
+
+void Dcdo::Deactivate() {
+  if (!active_) return;
+  transport_.UnregisterEndpoint(address_.node, address_.pid);
+  (void)host_->KillProcess(address_.pid);
+  agent_.Unbind(id_);
+  active_ = false;
+  DCDO_LOG(kDebug) << name_ << ": deactivated (state kept, "
+                   << state_.CaptureSize() << "B)";
+}
+
+void Dcdo::Reactivate() {
+  if (active_) return;
+  address_.pid = host_->AdoptProcess(id_);
+  ++address_.epoch;
+  agent_.Bind(id_, address_);
+  RegisterEndpoint();
+  active_ = true;
+  DCDO_LOG(kDebug) << name_ << ": reactivated at " << address_.ToString();
+}
+
+void Dcdo::Rebind(sim::SimHost* new_host) {
+  transport_.UnregisterEndpoint(address_.node, address_.pid);
+  (void)host_->KillProcess(address_.pid);
+  host_ = new_host;
+  address_.node = host_->node();
+  address_.pid = host_->AdoptProcess(id_);
+  ++address_.epoch;
+  agent_.Bind(id_, address_);
+  RegisterEndpoint();
+}
+
+// ===== User-defined function invocation =====
+
+Result<ByteBuffer> Dcdo::Call(const std::string& function,
+                              const ByteBuffer& args) {
+  if (!active_) {
+    return UnavailableError(name_ + " is deactivated");
+  }
+  if (pre_call_hook_) pre_call_hook_();
+  ++user_calls_;
+  // The paper's measured DFM indirection: every dynamic call pays it.
+  simulation().AdvanceInline(cost().dfm_lookup);
+  DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
+                        mapper_.Acquire(function, CallOrigin::kExternal));
+  return guard.body()(*this, args);
+}
+
+Result<ByteBuffer> Dcdo::CallInternal(const std::string& function,
+                                      const ByteBuffer& args) {
+  // Intra-object calls go through the DFM too — same indirection cost for
+  // self-calls, intra-component, and inter-component calls alike.
+  simulation().AdvanceInline(cost().dfm_lookup);
+  DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
+                        mapper_.Acquire(function, CallOrigin::kInternal));
+  return guard.body()(*this, args);
+}
+
+ObjectId Dcdo::self_id() const { return id_; }
+
+void Dcdo::BlockOnOutcall(double sim_seconds) {
+  // Re-enters the event loop so the rest of the system — including
+  // configuration calls against this object — proceeds while this "thread"
+  // is parked inside the function (its CallGuard stays alive up the stack).
+  sim::Simulation& simulation = host_->simulation();
+  simulation.RunUntil(simulation.Now() +
+                      sim::SimDuration::Seconds(sim_seconds));
+}
+
+// ===== Configuration functions =====
+
+Status Dcdo::IncorporateCached(const ImplementationComponent& meta,
+                               bool auto_structural_deps) {
+  if (!host_->ComponentCached(meta.id)) {
+    return ComponentMissingError("component " + meta.name +
+                                 " is not cached on node " +
+                                 std::to_string(host_->node()));
+  }
+  DCDO_RETURN_IF_ERROR(mapper_.IncorporateComponent(
+      meta, registry_, host_->architecture(), auto_structural_deps));
+  // Map the cached image into the address space + register each function.
+  simulation().AdvanceInline(
+      cost().component_map_cached +
+      cost().dfm_register_per_function *
+          static_cast<std::int64_t>(meta.functions.size()));
+  return Status::Ok();
+}
+
+void Dcdo::IncorporateComponent(const ObjectId& component_id,
+                                DoneCallback done) {
+  Result<ImplementationComponentObject*> ico = icos_.Find(component_id);
+  if (!ico.ok()) {
+    done(ico.status());
+    return;
+  }
+  ImplementationComponent meta = (*ico)->component();
+  if (host_->ComponentCached(component_id)) {
+    done(IncorporateCached(meta));
+    return;
+  }
+  // Fetch from the ICO (session overhead + image streaming), then map.
+  (*ico)->FetchTo(host_, [this, meta = std::move(meta),
+                          done = std::move(done)](Status status) {
+    if (!status.ok()) {
+      done(status);
+      return;
+    }
+    done(IncorporateCached(meta));
+  });
+}
+
+Status Dcdo::RemoveComponent(const ObjectId& component_id,
+                             ActiveThreadPolicy thread_policy) {
+  return mapper_.RemoveComponent(component_id, thread_policy);
+}
+
+void Dcdo::RemoveComponentWithPolicy(const ObjectId& component_id,
+                                     const RemovalPolicy& policy,
+                                     DoneCallback done) {
+  switch (policy.kind) {
+    case RemovalPolicy::Kind::kError:
+      done(mapper_.RemoveComponent(component_id, ActiveThreadPolicy::kError));
+      return;
+    case RemovalPolicy::Kind::kDelay:
+    case RemovalPolicy::Kind::kTimeout: {
+      Status attempt =
+          mapper_.RemoveComponent(component_id, ActiveThreadPolicy::kError);
+      if (attempt.ok() || attempt.code() != ErrorCode::kActiveThreads) {
+        done(attempt);
+        return;
+      }
+      // Threads are inside the component: poll until they drain — and, for
+      // kTimeout, force the removal at the deadline ("simply go ahead with
+      // the operation after some time-out period").
+      sim::SimTime deadline = simulation().Now() + policy.timeout;
+      bool has_deadline = policy.kind == RemovalPolicy::Kind::kTimeout;
+      auto poll = std::make_shared<std::function<void()>>();
+      *poll = [this, component_id, policy, deadline, has_deadline, poll,
+               done = std::move(done)]() {
+        Status attempt =
+            mapper_.RemoveComponent(component_id, ActiveThreadPolicy::kError);
+        if (attempt.ok() || attempt.code() != ErrorCode::kActiveThreads) {
+          done(attempt);
+          return;
+        }
+        if (has_deadline && simulation().Now() >= deadline) {
+          done(mapper_.RemoveComponent(component_id,
+                                       ActiveThreadPolicy::kForce));
+          return;
+        }
+        simulation().Schedule(policy.poll, *poll);
+      };
+      simulation().Schedule(policy.poll, *poll);
+      return;
+    }
+  }
+}
+
+Status Dcdo::EnableFunction(const std::string& function,
+                            const ObjectId& component) {
+  return mapper_.EnableFunction(function, component);
+}
+
+Status Dcdo::DisableFunction(const std::string& function,
+                             const ObjectId& component,
+                             bool respect_active_dependents) {
+  return mapper_.DisableFunction(function, component,
+                                 respect_active_dependents);
+}
+
+Status Dcdo::SwitchImplementation(const std::string& function,
+                                  const ObjectId& to_component) {
+  return mapper_.SwitchImplementation(function, to_component);
+}
+
+Status Dcdo::SetVisibility(const std::string& function,
+                           const ObjectId& component, Visibility visibility) {
+  return mapper_.SetVisibility(function, component, visibility);
+}
+
+Status Dcdo::MarkMandatory(const std::string& function) {
+  return mapper_.MarkMandatory(function);
+}
+
+Status Dcdo::MarkPermanent(const std::string& function,
+                           const ObjectId& component) {
+  return mapper_.MarkPermanent(function, component);
+}
+
+Status Dcdo::AddDependency(Dependency dep) {
+  return mapper_.AddDependency(std::move(dep));
+}
+
+Status Dcdo::RemoveDependency(const Dependency& dep) {
+  return mapper_.RemoveDependency(dep);
+}
+
+// ===== Evolution =====
+
+void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
+                    DoneCallback done, bool enforce_marks) {
+  if (!target.instantiable()) {
+    done(VersionNotInstantiableError("version " + target.version().ToString() +
+                                     " is still configurable"));
+    return;
+  }
+  EvolutionPlan plan = ComputePlan(mapper_.state(), target.state());
+  DCDO_LOG(kDebug) << name_ << ": evolving " << version_.ToString() << " -> "
+                   << target.version().ToString() << " (" << plan.TotalSteps()
+                   << " steps, " << plan.incorporate.size()
+                   << " new components)";
+
+  // The evolution runs asynchronously; snapshot the target so the caller's
+  // descriptor need not outlive the operation.
+  auto target_state = std::make_shared<DfmState>(target.state());
+
+  // Stage 1: incorporate the new components one by one (each may fetch).
+  auto incorporate_queue =
+      std::make_shared<std::vector<ImplementationComponent>>(plan.incorporate);
+  auto remove_queue = std::make_shared<std::vector<ObjectId>>(plan.remove);
+  std::size_t flip_count = plan.enable.size() + plan.disable.size();
+
+  auto stage3_finish = [this, target_version = target.version(),
+                        done](Status status) {
+    if (!status.ok()) {
+      done(status);
+      return;
+    }
+    version_ = target_version;
+    done(Status::Ok());
+  };
+
+  // Stage 2 (runs after incorporations): adopt the target configuration,
+  // then drain removals under the removal policy.
+  auto stage2 = std::make_shared<std::function<void(Status)>>();
+  *stage2 = [this, target_state, enforce_marks, flip_count, removal,
+             remove_queue, stage3_finish](Status status) {
+    if (!status.ok()) {
+      stage3_finish(status);
+      return;
+    }
+    // Flips + metadata, atomically; charge per-flip DFM update cost.
+    simulation().AdvanceInline(cost().dfm_register_per_function *
+                               static_cast<std::int64_t>(flip_count));
+    Status adopted = mapper_.AdoptConfiguration(*target_state, enforce_marks);
+    if (!adopted.ok()) {
+      stage3_finish(adopted);
+      return;
+    }
+    // Removals, sequentially under the policy.
+    auto remove_next = std::make_shared<std::function<void()>>();
+    *remove_next = [this, remove_queue, removal, remove_next,
+                    stage3_finish]() {
+      if (remove_queue->empty()) {
+        stage3_finish(Status::Ok());
+        return;
+      }
+      ObjectId next = remove_queue->back();
+      remove_queue->pop_back();
+      RemoveComponentWithPolicy(next, removal,
+                                [remove_next, stage3_finish](Status status) {
+                                  if (!status.ok()) {
+                                    stage3_finish(status);
+                                    return;
+                                  }
+                                  (*remove_next)();
+                                });
+    };
+    (*remove_next)();
+  };
+
+  auto incorporate_next = std::make_shared<std::function<void()>>();
+  *incorporate_next = [this, incorporate_queue, incorporate_next, stage2]() {
+    if (incorporate_queue->empty()) {
+      (*stage2)(Status::Ok());
+      return;
+    }
+    ImplementationComponent next = incorporate_queue->back();
+    incorporate_queue->pop_back();
+    // During evolution, dependencies come from the target's metadata, not
+    // from auto-derived hints.
+    Result<ImplementationComponentObject*> ico = icos_.Find(next.id);
+    if (!ico.ok()) {
+      (*stage2)(ico.status());
+      return;
+    }
+    if (host_->ComponentCached(next.id)) {
+      Status incorporated =
+          IncorporateCached(next, /*auto_structural_deps=*/false);
+      if (!incorporated.ok()) {
+        (*stage2)(incorporated);
+        return;
+      }
+      (*incorporate_next)();
+      return;
+    }
+    (*ico)->FetchTo(host_, [this, next, incorporate_next,
+                            stage2](Status status) {
+      if (!status.ok()) {
+        (*stage2)(status);
+        return;
+      }
+      Status incorporated =
+          IncorporateCached(next, /*auto_structural_deps=*/false);
+      if (!incorporated.ok()) {
+        (*stage2)(incorporated);
+        return;
+      }
+      (*incorporate_next)();
+    });
+  };
+  (*incorporate_next)();
+}
+
+// ===== RPC dispatch =====
+
+namespace {
+Result<std::pair<std::string, ObjectId>> ReadFunctionComponent(
+    const ByteBuffer& args) {
+  Reader reader(args);
+  DCDO_ASSIGN_OR_RETURN(std::string function, reader.ReadString());
+  DCDO_ASSIGN_OR_RETURN(ObjectId component, reader.ReadObjectId());
+  return std::make_pair(std::move(function), component);
+}
+}  // namespace
+
+Result<ByteBuffer> Dcdo::DispatchConfig(const std::string& method,
+                                        const ByteBuffer& args) {
+  if (method == "dcdo.getInterface") {
+    // Annotated interface: clients see, per exported function, whether it is
+    // mandatory (assured present for the object's lifetime along derived
+    // versions) and whether its implementation is permanent (frozen). This
+    // is what lets a client decide how defensively to code a call site.
+    Writer writer;
+    std::vector<FunctionSignature> interface = GetInterface();
+    writer.WriteU64(interface.size());
+    const DfmState& state = mapper_.state();
+    for (const FunctionSignature& fn : interface) {
+      writer.WriteString(fn.name);
+      writer.WriteString(fn.signature);
+      writer.WriteBool(state.IsMandatory(fn.name));
+      const DfmEntry* impl = state.EnabledImpl(fn.name);
+      writer.WriteBool(impl != nullptr && impl->permanent);
+    }
+    return std::move(writer).Take();
+  }
+  if (method == "dcdo.getVersion") {
+    Writer writer;
+    writer.WriteVersionId(version_);
+    return std::move(writer).Take();
+  }
+  if (method == "dcdo.getActiveCounts") {
+    // Thread-activity report: every implementation currently hosting at
+    // least one executing thread, with its count.
+    Writer writer;
+    std::vector<std::tuple<std::string, ObjectId, int>> rows;
+    for (const DfmEntry* entry : mapper_.state().AllEntries()) {
+      int count = mapper_.ActiveCount(entry->function.name, entry->component);
+      if (count > 0) rows.emplace_back(entry->function.name,
+                                       entry->component, count);
+    }
+    writer.WriteU64(rows.size());
+    for (const auto& [function, component, count] : rows) {
+      writer.WriteString(function);
+      writer.WriteObjectId(component);
+      writer.WriteU32(static_cast<std::uint32_t>(count));
+    }
+    return std::move(writer).Take();
+  }
+  if (method == "dcdo.getComponents") {
+    Writer writer;
+    std::vector<ObjectId> components = GetComponents();
+    writer.WriteU64(components.size());
+    for (const ObjectId& id : components) writer.WriteObjectId(id);
+    return std::move(writer).Take();
+  }
+  if (method == "dcdo.enableFunction") {
+    DCDO_ASSIGN_OR_RETURN(auto fc, ReadFunctionComponent(args));
+    DCDO_RETURN_IF_ERROR(EnableFunction(fc.first, fc.second));
+    return ByteBuffer{};
+  }
+  if (method == "dcdo.disableFunction") {
+    DCDO_ASSIGN_OR_RETURN(auto fc, ReadFunctionComponent(args));
+    DCDO_RETURN_IF_ERROR(DisableFunction(fc.first, fc.second));
+    return ByteBuffer{};
+  }
+  if (method == "dcdo.switchImplementation") {
+    DCDO_ASSIGN_OR_RETURN(auto fc, ReadFunctionComponent(args));
+    DCDO_RETURN_IF_ERROR(SwitchImplementation(fc.first, fc.second));
+    return ByteBuffer{};
+  }
+  if (method == "dcdo.removeComponent") {
+    Reader reader(args);
+    DCDO_ASSIGN_OR_RETURN(ObjectId component, reader.ReadObjectId());
+    DCDO_RETURN_IF_ERROR(RemoveComponent(component));
+    return ByteBuffer{};
+  }
+  if (method == "dcdo.markMandatory") {
+    Reader reader(args);
+    DCDO_ASSIGN_OR_RETURN(std::string function, reader.ReadString());
+    DCDO_RETURN_IF_ERROR(MarkMandatory(function));
+    return ByteBuffer{};
+  }
+  if (method == "dcdo.markPermanent") {
+    DCDO_ASSIGN_OR_RETURN(auto fc, ReadFunctionComponent(args));
+    DCDO_RETURN_IF_ERROR(MarkPermanent(fc.first, fc.second));
+    return ByteBuffer{};
+  }
+  if (method == "dcdo.addDependency" || method == "dcdo.removeDependency") {
+    // Wire form: kind u32, dependent, has-c1/c1, target, has-c2/c2 —
+    // the same layout descriptor_wire uses.
+    Reader reader(args);
+    Dependency dep;
+    DCDO_ASSIGN_OR_RETURN(std::uint32_t kind, reader.ReadU32());
+    if (kind > static_cast<std::uint32_t>(DependencyKind::kTypeD)) {
+      return InvalidArgumentError("bad dependency kind");
+    }
+    dep.kind = static_cast<DependencyKind>(kind);
+    DCDO_ASSIGN_OR_RETURN(dep.dependent, reader.ReadString());
+    DCDO_ASSIGN_OR_RETURN(bool has_c1, reader.ReadBool());
+    if (has_c1) {
+      DCDO_ASSIGN_OR_RETURN(ObjectId c1, reader.ReadObjectId());
+      dep.dependent_component = c1;
+    }
+    DCDO_ASSIGN_OR_RETURN(dep.target, reader.ReadString());
+    DCDO_ASSIGN_OR_RETURN(bool has_c2, reader.ReadBool());
+    if (has_c2) {
+      DCDO_ASSIGN_OR_RETURN(ObjectId c2, reader.ReadObjectId());
+      dep.target_component = c2;
+    }
+    if (method == "dcdo.addDependency") {
+      DCDO_RETURN_IF_ERROR(AddDependency(std::move(dep)));
+    } else {
+      DCDO_RETURN_IF_ERROR(RemoveDependency(dep));
+    }
+    return ByteBuffer{};
+  }
+  return NotFoundError("no configuration method '" + method + "'");
+}
+
+void Dcdo::HandleInvocation(const rpc::MethodInvocation& invocation,
+                            rpc::ReplyFn reply) {
+  if (invocation.method == "dcdo.incorporateComponent") {
+    Reader reader(invocation.args);
+    Result<ObjectId> component = reader.ReadObjectId();
+    if (!component.ok()) {
+      reply(rpc::MethodResult::Error(component.status()));
+      return;
+    }
+    IncorporateComponent(*component, [reply = std::move(reply)](Status status) {
+      if (status.ok()) {
+        reply(rpc::MethodResult::Ok());
+      } else {
+        reply(rpc::MethodResult::Error(status));
+      }
+    });
+    return;
+  }
+  if (invocation.method == "dcdo.evolveTo") {
+    // The fully remote evolution path: the caller ships a serialized DFM
+    // descriptor; parsing re-validates every invariant before anything is
+    // applied. Args: descriptor bytes, enforce-marks bool.
+    Reader reader(invocation.args);
+    Result<ByteBuffer> wire = reader.ReadBytes();
+    if (!wire.ok()) {
+      reply(rpc::MethodResult::Error(wire.status()));
+      return;
+    }
+    Result<bool> enforce = reader.ReadBool();
+    if (!enforce.ok()) {
+      reply(rpc::MethodResult::Error(enforce.status()));
+      return;
+    }
+    Result<DfmDescriptor> target = ParseDescriptor(*wire);
+    if (!target.ok()) {
+      reply(rpc::MethodResult::Error(target.status()));
+      return;
+    }
+    EvolveTo(*target, RemovalPolicy::Error(),
+             [reply = std::move(reply)](Status status) {
+               if (status.ok()) {
+                 reply(rpc::MethodResult::Ok());
+               } else {
+                 reply(rpc::MethodResult::Error(status));
+               }
+             },
+             *enforce);
+    return;
+  }
+  if (invocation.method.starts_with("dcdo.")) {
+    Result<ByteBuffer> result =
+        DispatchConfig(invocation.method, invocation.args);
+    if (result.ok()) {
+      reply(rpc::MethodResult::Ok(std::move(result).value()));
+    } else {
+      reply(rpc::MethodResult::Error(result.status()));
+    }
+    return;
+  }
+  // User-defined dynamic function.
+  Result<ByteBuffer> result = Call(invocation.method, invocation.args);
+  if (result.ok()) {
+    reply(rpc::MethodResult::Ok(std::move(result).value()));
+  } else {
+    reply(rpc::MethodResult::Error(result.status()));
+  }
+}
+
+}  // namespace dcdo

@@ -1,0 +1,207 @@
+// Dcdo: a dynamically configurable distributed object (paper Section 2.2).
+//
+// A DCDO is an active object whose implementation is a *set of components*
+// mapped through a DFM rather than a monolithic executable. Its interface has
+// the paper's three function categories:
+//
+//   configuration functions — incorporateComponent / removeComponent /
+//     enableFunction / disableFunction / switchImplementation / mark* /
+//     dependency edits, plus EvolveTo (apply a whole DFM descriptor);
+//   status-reporting functions — getInterface / version / components /
+//     active-thread counts;
+//   user-defined functions — everything else: any exported dynamic function,
+//     dispatched through the DFM.
+//
+// Remote invocations reaching the DCDO's endpoint are routed the same way:
+// "dcdo."-prefixed methods hit the configuration/status interface, all other
+// method names are treated as dynamic function calls.
+//
+// Every dynamic call (local or remote, external or internal) charges
+// CostModel::dfm_lookup in simulated time — the paper's measured 10-15 us
+// DFM indirection overhead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "common/version_id.h"
+#include "component/native_code_registry.h"
+#include "core/ico_directory.h"
+#include "dfm/descriptor.h"
+#include "dfm/mapper.h"
+#include "naming/binding_agent.h"
+#include "rpc/transport.h"
+#include "runtime/method_table.h"
+#include "sim/host.h"
+
+namespace dcdo {
+
+class Dcdo final : public CallContext {
+ public:
+  // What to do when removeComponent meets active threads (Section 3.2):
+  // fail, wait for the counts to drain, or wait up to a deadline then force.
+  struct RemovalPolicy {
+    enum class Kind : std::uint8_t { kError, kDelay, kTimeout };
+    Kind kind = Kind::kError;
+    sim::SimDuration timeout = sim::SimDuration::Seconds(5);  // kTimeout only
+    sim::SimDuration poll = sim::SimDuration::Millis(50);
+
+    static RemovalPolicy Error() { return RemovalPolicy{}; }
+    static RemovalPolicy Delay();
+    static RemovalPolicy Timeout(sim::SimDuration deadline);
+  };
+
+  using DoneCallback = std::function<void(Status)>;
+
+  // Activates the DCDO on `host` as a fresh process (no spawn cost charged —
+  // managers charge creation explicitly; see DcdoManager::CreateInstance).
+  Dcdo(std::string name, sim::SimHost* host, rpc::RpcTransport* transport,
+       BindingAgent* agent, const NativeCodeRegistry* registry,
+       const IcoDirectory* icos, VersionId version);
+  ~Dcdo() override;
+
+  Dcdo(const Dcdo&) = delete;
+  Dcdo& operator=(const Dcdo&) = delete;
+
+  const ObjectId& id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const VersionId& version() const { return version_; }
+  sim::SimHost& host() const { return *host_; }
+
+  // ===== Configuration functions =====
+
+  // Incorporates the component whose image is already in the host cache.
+  // Charges component_map_cached + per-function DFM registration.
+  Status IncorporateCached(const ImplementationComponent& meta,
+                           bool auto_structural_deps = true);
+
+  // Full incorporate: resolves the ICO, fetches the image if not cached
+  // (bulk download), then maps it. `done` runs when incorporated.
+  void IncorporateComponent(const ObjectId& component_id, DoneCallback done);
+
+  // Immediate removal honouring `thread_policy` (kError rejects on active
+  // threads; kForce removes regardless).
+  Status RemoveComponent(const ObjectId& component_id,
+                         ActiveThreadPolicy thread_policy =
+                             ActiveThreadPolicy::kError);
+
+  // Removal under a RemovalPolicy: kDelay retries until thread counts drain;
+  // kTimeout waits up to the deadline then forces.
+  void RemoveComponentWithPolicy(const ObjectId& component_id,
+                                 const RemovalPolicy& policy,
+                                 DoneCallback done);
+
+  Status EnableFunction(const std::string& function, const ObjectId& component);
+  Status DisableFunction(const std::string& function, const ObjectId& component,
+                         bool respect_active_dependents = true);
+  Status SwitchImplementation(const std::string& function,
+                              const ObjectId& to_component);
+  Status SetVisibility(const std::string& function, const ObjectId& component,
+                       Visibility visibility);
+  Status MarkMandatory(const std::string& function);
+  Status MarkPermanent(const std::string& function, const ObjectId& component);
+  Status AddDependency(Dependency dep);
+  Status RemoveDependency(const Dependency& dep);
+
+  // Applies the delta to `target`: fetches and incorporates new components,
+  // removes dropped ones (with `removal`), applies enable/disable flips,
+  // adopts the target's constraint/dependency metadata, and finally takes on
+  // the target's version id. This is "evolving the DCDO" — sub-second unless
+  // components must be downloaded.
+  // `enforce_marks` is the policy's enforce_marks_on_evolve(): when set,
+  // moves that would break a mandatory/permanent rule are rejected.
+  void EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
+                DoneCallback done, bool enforce_marks = true);
+
+  // ===== Status-reporting functions =====
+
+  std::vector<FunctionSignature> GetInterface() const {
+    return mapper_.state().ExportedInterface();
+  }
+  std::vector<ObjectId> GetComponents() const {
+    return mapper_.state().ComponentIds();
+  }
+  int ActiveCount(const std::string& function, const ObjectId& component) const {
+    return mapper_.ActiveCount(function, component);
+  }
+  const DynamicFunctionMapper& mapper() const { return mapper_; }
+  const ObjectAddress& address() const { return address_; }
+
+  // ===== User-defined function invocation =====
+
+  // External-origin call (what a remote client's invocation performs once it
+  // reaches the object). Charges the DFM lookup cost.
+  Result<ByteBuffer> Call(const std::string& function, const ByteBuffer& args);
+
+  // CallContext (bodies calling other dynamic functions in this object):
+  Result<ByteBuffer> CallInternal(const std::string& function,
+                                  const ByteBuffer& args) override;
+  ObjectId self_id() const override;
+  void BlockOnOutcall(double sim_seconds) override;
+  ByteBuffer& object_data() override { return state_.data; }
+
+  // Per-instance application state (captured on migration).
+  InstanceState& mutable_state() { return state_; }
+
+  // Counters used by lazy-update policies and benches.
+  std::uint64_t user_calls() const { return user_calls_; }
+
+  // Hook installed by DcdoManager: runs before each user call so lazy
+  // policies can pull updates. Null by default.
+  void SetPreCallHook(std::function<void()> hook) {
+    pre_call_hook_ = std::move(hook);
+  }
+
+  // Re-binds this DCDO after its manager migrated it (new host/pid/epoch).
+  void Rebind(sim::SimHost* new_host);
+
+  // --- Deactivation lifecycle (Legion objects vacate their process when
+  // idle and re-activate on demand; the new activation has a new address,
+  // so old client bindings go stale exactly as after migration) ---
+
+  // Tears down the activation: endpoint unregistered, process killed,
+  // binding removed. The object's state stays captured in this handle.
+  void Deactivate();
+
+  // Spins up a fresh activation on the same host (new pid, bumped epoch).
+  void Reactivate();
+
+  bool active() const { return active_; }
+
+  // Re-resolves every incorporated component for the current host's
+  // architecture — call after Rebind() when migrating. Fails with
+  // kArchMismatch if a component has no usable build here.
+  Status RemapForHost() {
+    return mapper_.RemapBodies(registry_, host_->architecture());
+  }
+
+ private:
+  void RegisterEndpoint();
+  void HandleInvocation(const rpc::MethodInvocation& invocation,
+                        rpc::ReplyFn reply);
+  Result<ByteBuffer> DispatchConfig(const std::string& method,
+                                    const ByteBuffer& args);
+  sim::Simulation& simulation() { return host_->simulation(); }
+  const sim::CostModel& cost() const { return host_->cost_model(); }
+
+  std::string name_;
+  ObjectId id_;
+  sim::SimHost* host_;
+  rpc::RpcTransport& transport_;
+  BindingAgent& agent_;
+  const NativeCodeRegistry& registry_;
+  const IcoDirectory& icos_;
+  VersionId version_;
+  DynamicFunctionMapper mapper_;
+  InstanceState state_;
+  ObjectAddress address_;
+  std::uint64_t user_calls_ = 0;
+  std::function<void()> pre_call_hook_;
+  bool active_ = true;
+};
+
+}  // namespace dcdo

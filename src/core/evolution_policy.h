@@ -1,0 +1,119 @@
+// Evolution management policies (paper Sections 3.3-3.5).
+//
+// A policy decides (a) which version transitions are legal for the DCDOs of
+// a type, and (b) when existing instances are brought to a new version. The
+// paper organizes the space along two axes:
+//
+//   single-version managers  — exactly one official current version; all
+//     instances are driven toward it. Update strategies: proactive (push on
+//     designation), explicit (an external object calls updateInstance), and
+//     lazy (the DCDO checks on its own schedule: every call, every k calls,
+//     every t time units, or on migration).
+//
+//   multi-version managers   — versions coexist. Strategies: no-update
+//     (instances never evolve), increasing-version-number (evolve only to
+//     descendants in the version tree), general evolution (any instantiable
+//     version), and a hybrid that permits arbitrary targets unless the move
+//     would break a mandatory/permanent rule (checked by the descriptor
+//     machinery when the plan is applied).
+//
+// Policies are strategy objects so new ones can be added without touching
+// the manager — "the main object types' interfaces are designed to support
+// an extensible set of different evolution management policies."
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/version_id.h"
+#include "sim/sim_time.h"
+
+namespace dcdo {
+
+// Everything a lazy-update decision may look at.
+struct LazyCheckContext {
+  std::uint64_t calls_since_check = 0;
+  sim::SimDuration since_check = sim::SimDuration::Zero();
+  bool migrating = false;
+};
+
+class EvolutionPolicy {
+ public:
+  virtual ~EvolutionPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Single-version policies constrain every instance toward the manager's
+  // designated current version; multi-version policies let versions coexist.
+  virtual bool single_version() const = 0;
+
+  // Is an instance at `from` allowed to evolve to `to`, given the manager's
+  // designated `current` version? (For single-version styles `to` must be
+  // `current`; multi-version styles apply their own rule.)
+  virtual Status CheckEvolution(const VersionId& from, const VersionId& to,
+                                const VersionId& current) const = 0;
+
+  // Should designating a new current version immediately push the update to
+  // all existing instances (the proactive strategy)?
+  virtual bool push_on_new_version() const { return false; }
+
+  // Lazy strategies: should this DCDO consult its manager for an update now?
+  virtual bool ShouldLazyCheck(const LazyCheckContext&) const { return false; }
+
+  // Whether an evolution applied under this policy must preserve mandatory /
+  // permanent marks. Only the general-evolution policy relaxes this — the
+  // paper notes it "undermines the use of mandatory and permanent
+  // functions"; the hybrid policy is exactly general evolution with this
+  // check kept on.
+  virtual bool enforce_marks_on_evolve() const { return true; }
+
+  // When a lazy/explicit update discovers the instance is outdated, may the
+  // manager update it to `current` from `from`? (Multi-version lazy variants
+  // update only instances whose version the current one derives from.)
+  virtual bool AutoUpdateAllowed(const VersionId& from,
+                                 const VersionId& current) const {
+    return CheckEvolution(from, current, current).ok();
+  }
+};
+
+// --- Single-version strategies (Section 3.4) ---
+
+// Designating a new current version triggers an immediate attempt to update
+// all existing instances.
+std::unique_ptr<EvolutionPolicy> MakeSingleVersionProactive();
+
+// The manager relies on external objects to call UpdateInstance.
+std::unique_ptr<EvolutionPolicy> MakeSingleVersionExplicit();
+
+// Strict consistency: the DCDO consults its manager on every invocation.
+std::unique_ptr<EvolutionPolicy> MakeSingleVersionLazyEveryCall();
+
+// The DCDO checks once every k invocations.
+std::unique_ptr<EvolutionPolicy> MakeSingleVersionLazyEveryK(std::uint64_t k);
+
+// The DCDO checks when more than `period` has elapsed since the last check.
+std::unique_ptr<EvolutionPolicy> MakeSingleVersionLazyPeriodic(
+    sim::SimDuration period);
+
+// The DCDO checks only when it migrates between hosts.
+std::unique_ptr<EvolutionPolicy> MakeSingleVersionLazyOnMigrate();
+
+// --- Multi-version strategies (Section 3.5) ---
+
+// Instances never evolve; new versions apply only to new instances.
+std::unique_ptr<EvolutionPolicy> MakeMultiVersionNoUpdate();
+
+// Instances may evolve only to versions derived from their current one.
+std::unique_ptr<EvolutionPolicy> MakeMultiVersionIncreasing();
+
+// Instances may evolve to any instantiable version at any time, even if the
+// move drops mandatory functions or disables permanent implementations.
+std::unique_ptr<EvolutionPolicy> MakeMultiVersionGeneral();
+
+// General evolution, but moves that would remove a mandatory function or
+// disable a permanent implementation are checked and disallowed.
+std::unique_ptr<EvolutionPolicy> MakeMultiVersionHybrid();
+
+}  // namespace dcdo

@@ -1,0 +1,20 @@
+#include "core/ico_directory.h"
+
+namespace dcdo {
+
+void IcoDirectory::Register(ImplementationComponentObject* ico) {
+  icos_[ico->id()] = ico;
+}
+
+void IcoDirectory::Unregister(const ObjectId& id) { icos_.erase(id); }
+
+Result<ImplementationComponentObject*> IcoDirectory::Find(
+    const ObjectId& id) const {
+  auto it = icos_.find(id);
+  if (it == icos_.end()) {
+    return ComponentMissingError("no ICO for component " + id.ToString());
+  }
+  return it->second;
+}
+
+}  // namespace dcdo

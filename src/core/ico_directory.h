@@ -1,0 +1,33 @@
+// IcoDirectory: name-to-object resolution for implementation components.
+//
+// ICOs live in the system's global namespace; a DCDO incorporating component
+// X resolves X's ObjectId to the live ICO through this directory (the
+// reproduction's stand-in for a binding-agent lookup plus proxy — kept
+// separate from DcdoManager so a DCDO can fetch components without a
+// dependency cycle on its manager).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "component/ico.h"
+
+namespace dcdo {
+
+class IcoDirectory {
+ public:
+  // Registers a live ICO; the directory does not own it.
+  void Register(ImplementationComponentObject* ico);
+  void Unregister(const ObjectId& id);
+
+  Result<ImplementationComponentObject*> Find(const ObjectId& id) const;
+  bool Has(const ObjectId& id) const { return icos_.contains(id); }
+  std::size_t size() const { return icos_.size(); }
+
+ private:
+  std::unordered_map<ObjectId, ImplementationComponentObject*, ObjectIdHash>
+      icos_;
+};
+
+}  // namespace dcdo

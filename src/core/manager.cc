@@ -1,0 +1,614 @@
+#include "core/manager.h"
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "dfm/descriptor_wire.h"
+
+namespace dcdo {
+
+DcdoManager::DcdoManager(std::string type_name, sim::SimHost* home,
+                         rpc::RpcTransport* transport, BindingAgent* agent,
+                         const NativeCodeRegistry* registry,
+                         std::unique_ptr<EvolutionPolicy> policy)
+    : type_name_(std::move(type_name)),
+      id_(ObjectId::Next(domains::kDcdoManager)),
+      home_(*home),
+      transport_(*transport),
+      agent_(*agent),
+      registry_(*registry),
+      policy_(std::move(policy)) {
+  pid_ = home_.AdoptProcess(id_);
+  agent_.Bind(id_, ObjectAddress{home_.node(), pid_, /*epoch=*/1});
+  // The manager's exported interface (used by the explicit-update policy,
+  // where "other objects call to the manager in order to evolve" instances).
+  transport_.RegisterEndpoint(
+      home_.node(), pid_, /*epoch=*/1,
+      [this](const rpc::MethodInvocation& invocation, rpc::ReplyFn reply) {
+        if (invocation.method == "mgr.getCurrentVersion") {
+          Writer writer;
+          writer.WriteVersionId(current_version_);
+          reply(rpc::MethodResult::Ok(std::move(writer).Take()));
+          return;
+        }
+        if (invocation.method == "mgr.updateInstance") {
+          Reader reader(invocation.args);
+          Result<ObjectId> instance = reader.ReadObjectId();
+          if (!instance.ok()) {
+            reply(rpc::MethodResult::Error(instance.status()));
+            return;
+          }
+          UpdateInstance(*instance, [reply = std::move(reply)](Status status) {
+            if (status.ok()) {
+              reply(rpc::MethodResult::Ok());
+            } else {
+              reply(rpc::MethodResult::Error(status));
+            }
+          });
+          return;
+        }
+        if (invocation.method == "mgr.getDescriptor") {
+          Reader reader(invocation.args);
+          Result<VersionId> version = reader.ReadVersionId();
+          if (!version.ok()) {
+            reply(rpc::MethodResult::Error(version.status()));
+            return;
+          }
+          Result<const DfmDescriptor*> descriptor = Descriptor(*version);
+          if (!descriptor.ok()) {
+            reply(rpc::MethodResult::Error(descriptor.status()));
+            return;
+          }
+          reply(rpc::MethodResult::Ok(SerializeDescriptor(**descriptor)));
+          return;
+        }
+        if (invocation.method == "mgr.getTable") {
+          Writer writer;
+          std::vector<TableEntry> table = Table();
+          writer.WriteU64(table.size());
+          for (const TableEntry& entry : table) {
+            writer.WriteObjectId(entry.id);
+            writer.WriteVersionId(entry.version);
+            writer.WriteU32(entry.node);
+          }
+          reply(rpc::MethodResult::Ok(std::move(writer).Take()));
+          return;
+        }
+        reply(rpc::MethodResult::Error(NotFoundError(
+            "manager has no method '" + invocation.method + "'")));
+      });
+}
+
+DcdoManager::~DcdoManager() {
+  instances_.clear();  // Dcdo destructors unregister endpoints/bindings
+  for (auto& ico : published_) icos_.Unregister(ico->id());
+  transport_.UnregisterEndpoint(home_.node(), pid_);
+  agent_.Unbind(id_);
+  (void)home_.KillProcess(pid_);
+}
+
+// ===== Components =====
+
+Status DcdoManager::AttachNameService(NameService* names) {
+  names_ = names;
+  if (names_ == nullptr) return Status::Ok();
+  DCDO_RETURN_IF_ERROR(
+      names_->Bind(NamePrefix() + "/manager", id_));
+  for (const auto& ico : published_) {
+    DCDO_RETURN_IF_ERROR(names_->Bind(
+        NamePrefix() + "/components/" + ico->component().name, ico->id()));
+  }
+  for (const auto& [instance_id, record] : instances_) {
+    DCDO_RETURN_IF_ERROR(names_->Bind(
+        NamePrefix() + "/instances/" + std::to_string(instance_id.instance()),
+        instance_id));
+  }
+  return Status::Ok();
+}
+
+Result<ObjectId> DcdoManager::PublishComponent(ImplementationComponent meta) {
+  DCDO_RETURN_IF_ERROR(meta.Validate());
+  std::string name = meta.name;
+  auto ico = std::make_unique<ImplementationComponentObject>(
+      &home_, &transport_, &agent_, std::move(meta));
+  ObjectId component_id = ico->id();
+  icos_.Register(ico.get());
+  published_.push_back(std::move(ico));
+  if (names_ != nullptr) {
+    DCDO_RETURN_IF_ERROR(
+        names_->Bind(NamePrefix() + "/components/" + name, component_id));
+  }
+  return component_id;
+}
+
+// ===== DFM store =====
+
+Result<VersionId> DcdoManager::CreateRootVersion() {
+  if (!dfm_store_.empty()) {
+    return AlreadyExistsError("type " + type_name_ + " already has versions");
+  }
+  VersionId root = VersionId::Root();
+  dfm_store_.emplace(root, DfmDescriptor(root));
+  return root;
+}
+
+Result<VersionId> DcdoManager::DeriveVersion(const VersionId& parent) {
+  auto it = dfm_store_.find(parent);
+  if (it == dfm_store_.end()) {
+    return NotFoundError("no version " + parent.ToString() + " in the DFM "
+                         "store of " + type_name_);
+  }
+  // Next free ordinal under `parent`.
+  std::uint32_t ordinal = 1;
+  while (dfm_store_.contains(parent.Child(ordinal))) ++ordinal;
+  VersionId child = parent.Child(ordinal);
+  dfm_store_.emplace(child, it->second.DeriveChild(child));
+  DCDO_LOG(kDebug) << type_name_ << ": derived version " << child.ToString()
+                   << " from " << parent.ToString();
+  return child;
+}
+
+Result<DfmDescriptor*> DcdoManager::MutableDescriptor(
+    const VersionId& version) {
+  auto it = dfm_store_.find(version);
+  if (it == dfm_store_.end()) {
+    return NotFoundError("no version " + version.ToString());
+  }
+  return &it->second;
+}
+
+Result<const DfmDescriptor*> DcdoManager::Descriptor(
+    const VersionId& version) const {
+  auto it = dfm_store_.find(version);
+  if (it == dfm_store_.end()) {
+    return NotFoundError("no version " + version.ToString());
+  }
+  return &it->second;
+}
+
+Status DcdoManager::MarkInstantiable(const VersionId& version) {
+  DCDO_ASSIGN_OR_RETURN(DfmDescriptor * descriptor,
+                        MutableDescriptor(version));
+  return descriptor->MarkInstantiable();
+}
+
+Status DcdoManager::CheckInstantiable(const VersionId& version) const {
+  DCDO_ASSIGN_OR_RETURN(const DfmDescriptor* descriptor, Descriptor(version));
+  if (!descriptor->instantiable()) {
+    return VersionNotInstantiableError("version " + version.ToString() +
+                                       " of " + type_name_ +
+                                       " is still configurable");
+  }
+  return Status::Ok();
+}
+
+Status DcdoManager::SetCurrentVersion(const VersionId& version) {
+  DCDO_RETURN_IF_ERROR(CheckInstantiable(version));
+  current_version_ = version;
+  DCDO_LOG(kInfo) << type_name_ << ": current version is now "
+                  << version.ToString();
+  if (policy_->push_on_new_version()) {
+    // Proactive update: push to every instance in the DCDO table now.
+    for (auto& [instance_id, record] : instances_) {
+      if (record.object->version() == version) continue;
+      ++updates_pushed_;
+      EvolveInstanceTo(instance_id, version, [instance_id](Status status) {
+        if (!status.ok()) {
+          DCDO_LOG(kWarning) << "proactive update of "
+                             << instance_id.ToString()
+                             << " failed: " << status.ToString();
+        }
+      });
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<VersionId> DcdoManager::Versions() const {
+  std::vector<VersionId> out;
+  out.reserve(dfm_store_.size());
+  for (const auto& [version, descriptor] : dfm_store_) out.push_back(version);
+  return out;
+}
+
+// ===== Instances =====
+
+void DcdoManager::ApplyVersion(Dcdo* object, const VersionId& version,
+                               DoneCallback done) {
+  Result<const DfmDescriptor*> descriptor = Descriptor(version);
+  if (!descriptor.ok()) {
+    done(descriptor.status());
+    return;
+  }
+  object->EvolveTo(**descriptor, removal_policy_, std::move(done),
+                   policy_->enforce_marks_on_evolve());
+}
+
+void DcdoManager::CreateInstance(sim::SimHost* host, CreateCallback done) {
+  if (!current_version_.valid()) {
+    done(FailedPreconditionError("no current version designated for " +
+                                 type_name_));
+    return;
+  }
+  CreateInstanceAt(current_version_, host, std::move(done));
+}
+
+void DcdoManager::CreateInstanceAt(const VersionId& version,
+                                   sim::SimHost* host, CreateCallback done) {
+  Status instantiable = CheckInstantiable(version);
+  if (!instantiable.ok()) {
+    done(instantiable);
+    return;
+  }
+  // Spawn the shell process (the DCDO runtime without any components)...
+  host->SpawnProcess(
+      id_, kShellExecutableBytes,
+      [this, version, host, done = std::move(done)](sim::ProcessId shell_pid) {
+        // The Dcdo object adopts its own process entry; retire the shell's.
+        (void)host->KillProcess(shell_pid);
+        auto object = std::make_unique<Dcdo>(
+            type_name_ + "#" + std::to_string(instances_.size() + 1), host,
+            &transport_, &agent_, &registry_, &icos_, VersionId{});
+        Dcdo* raw = object.get();
+        ObjectId instance_id = raw->id();
+        InstanceRecord& record = instances_[instance_id];
+        record.object = std::move(object);
+        record.last_check = home_.simulation().Now();
+        InstallLazyHook(instance_id);
+        // ...then bring it to the requested version (incorporates and
+        // enables every component of the version's descriptor).
+        ApplyVersion(raw, version,
+                     [this, instance_id, done = std::move(done)](
+                         Status status) {
+                       if (!status.ok()) {
+                         instances_.erase(instance_id);
+                         done(status);
+                         return;
+                       }
+                       if (names_ != nullptr) {
+                         (void)names_->Bind(
+                             NamePrefix() + "/instances/" +
+                                 std::to_string(instance_id.instance()),
+                             instance_id);
+                       }
+                       // Activation handshake completes creation.
+                       home_.simulation().Schedule(
+                           home_.cost_model().activation_handshake,
+                           [instance_id, done = std::move(done)]() {
+                             done(instance_id);
+                           });
+                     });
+      });
+}
+
+void DcdoManager::EvolveInstanceTo(const ObjectId& instance,
+                                   const VersionId& version,
+                                   DoneCallback done) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    done(NotFoundError("no instance " + instance.ToString() + " of " +
+                       type_name_));
+    return;
+  }
+  Status instantiable = CheckInstantiable(version);
+  if (!instantiable.ok()) {
+    done(instantiable);
+    return;
+  }
+  Status allowed = policy_->CheckEvolution(it->second.object->version(),
+                                           version, current_version_);
+  if (!allowed.ok()) {
+    done(allowed);
+    return;
+  }
+  // The evolution request is itself a (small) remote call to the instance:
+  // charge one control-message round.
+  home_.simulation().AdvanceInline(home_.cost_model().MessageTime(
+      rpc::kHeaderBytes + 64 * it->second.object->mapper().state().entry_count()));
+  VersionId from = it->second.object->version();
+  sim::SimTime started = home_.simulation().Now();
+  ApplyVersion(it->second.object.get(), version,
+               [this, instance, from, version, started,
+                done = std::move(done)](Status status) {
+                 EvolutionEvent event;
+                 event.instance = instance;
+                 event.from = from;
+                 event.to = version;
+                 event.completed_at = home_.simulation().Now();
+                 event.duration = event.completed_at - started;
+                 event.status = status;
+                 history_.push_back(std::move(event));
+                 done(status);
+               });
+}
+
+void DcdoManager::UpdateInstance(const ObjectId& instance, DoneCallback done) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    done(NotFoundError("no instance " + instance.ToString()));
+    return;
+  }
+  if (!current_version_.valid()) {
+    done(FailedPreconditionError("no current version designated"));
+    return;
+  }
+  const VersionId& from = it->second.object->version();
+  if (from == current_version_) {
+    done(Status::Ok());
+    return;
+  }
+  if (!policy_->AutoUpdateAllowed(from, current_version_)) {
+    done(NotDerivedVersionError("policy " + std::string(policy_->name()) +
+                                " does not auto-update " + from.ToString() +
+                                " to " + current_version_.ToString()));
+    return;
+  }
+  EvolveInstanceTo(instance, current_version_, std::move(done));
+}
+
+void DcdoManager::MigrateInstance(const ObjectId& instance,
+                                  sim::SimHost* dest, DoneCallback done) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    done(NotFoundError("no instance " + instance.ToString()));
+    return;
+  }
+  Dcdo* object = it->second.object.get();
+  sim::SimHost& source = object->host();
+  const sim::CostModel& cost = home_.cost_model();
+  sim::Simulation& simulation = home_.simulation();
+  std::size_t state_bytes = object->mutable_state().CaptureSize();
+
+  // Every incorporated component must be mappable on the destination before
+  // we commit to moving.
+  for (const ObjectId& component_id : object->GetComponents()) {
+    const ImplementationComponent* meta =
+        object->mapper().state().FindComponent(component_id);
+    if (meta != nullptr && !meta->type.CompatibleWith(dest->architecture())) {
+      done(ArchMismatchError("component " + meta->name +
+                             " has no build for the destination host"));
+      return;
+    }
+  }
+
+  simulation.Schedule(cost.StateCapture(state_bytes), [this, instance, dest,
+                                                       state_bytes, &source,
+                                                       done = std::move(
+                                                           done)]() mutable {
+    auto it = instances_.find(instance);
+    if (it == instances_.end()) {
+      done(NotFoundError("instance destroyed during migration"));
+      return;
+    }
+    source.network().BulkTransfer(
+        source.node(), dest->node(), state_bytes,
+        [this, instance, dest, done = std::move(done)]() mutable {
+          auto it = instances_.find(instance);
+          if (it == instances_.end()) {
+            done(NotFoundError("instance destroyed during migration"));
+            return;
+          }
+          Dcdo* object = it->second.object.get();
+          // Fetch any component images missing from the destination cache,
+          // then re-bind and re-map.
+          auto components = std::make_shared<std::vector<ObjectId>>(
+              object->GetComponents());
+          auto fetch_next = std::make_shared<std::function<void()>>();
+          *fetch_next = [this, instance, dest, components, fetch_next,
+                         done = std::move(done)]() mutable {
+            auto it = instances_.find(instance);
+            if (it == instances_.end()) {
+              done(NotFoundError("instance destroyed during migration"));
+              return;
+            }
+            Dcdo* object = it->second.object.get();
+            while (!components->empty() &&
+                   dest->ComponentCached(components->back())) {
+              home_.simulation().AdvanceInline(
+                  home_.cost_model().component_map_cached);
+              components->pop_back();
+            }
+            if (components->empty()) {
+              object->Rebind(dest);
+              Status remapped = object->RemapForHost();
+              if (!remapped.ok()) {
+                done(remapped);
+                return;
+              }
+              home_.simulation().Schedule(
+                  home_.cost_model().StateRestore(
+                      object->mutable_state().CaptureSize()),
+                  [this, instance, done = std::move(done)]() {
+                    // Lazy-on-migrate policies check for updates here.
+                    LazyCheckContext ctx;
+                    ctx.migrating = true;
+                    if (policy_->ShouldLazyCheck(ctx)) {
+                      ++lazy_checks_;
+                      UpdateInstance(instance, [done = std::move(done)](
+                                                   Status status) {
+                        // Failing to update does not fail the migration.
+                        (void)status;
+                        done(Status::Ok());
+                      });
+                    } else {
+                      done(Status::Ok());
+                    }
+                  });
+              return;
+            }
+            ObjectId next = components->back();
+            components->pop_back();
+            Result<ImplementationComponentObject*> ico = icos_.Find(next);
+            if (!ico.ok()) {
+              done(ico.status());
+              return;
+            }
+            (*ico)->FetchTo(dest, [fetch_next](Status status) {
+              if (!status.ok()) {
+                DCDO_LOG(kWarning) << "component fetch during migration "
+                                   << "failed: " << status.ToString();
+              }
+              (*fetch_next)();
+            });
+          };
+          (*fetch_next)();
+        });
+  });
+}
+
+void DcdoManager::DeactivateInstance(const ObjectId& instance,
+                                     DoneCallback done) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    done(NotFoundError("no instance " + instance.ToString()));
+    return;
+  }
+  Dcdo* object = it->second.object.get();
+  if (!object->active()) {
+    done(Status::Ok());
+    return;
+  }
+  if (object->mapper().TotalActive() > 0) {
+    done(ActiveThreadsError("instance " + instance.ToString() +
+                            " has executing threads"));
+    return;
+  }
+  const sim::CostModel& cost = home_.cost_model();
+  std::size_t state_bytes = object->mutable_state().CaptureSize();
+  // Capture state, write it to the host store, then tear down.
+  home_.simulation().Schedule(
+      cost.StateCapture(state_bytes) + cost.DiskWrite(state_bytes),
+      [this, instance, state_bytes, done = std::move(done)]() {
+        auto it = instances_.find(instance);
+        if (it == instances_.end()) {
+          done(NotFoundError("instance destroyed during deactivation"));
+          return;
+        }
+        Dcdo* object = it->second.object.get();
+        object->host().StoreFile("state/" + instance.ToString(), state_bytes);
+        object->Deactivate();
+        done(Status::Ok());
+      });
+}
+
+void DcdoManager::ReactivateInstance(const ObjectId& instance,
+                                     DoneCallback done) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    done(NotFoundError("no instance " + instance.ToString()));
+    return;
+  }
+  Dcdo* object = it->second.object.get();
+  if (object->active()) {
+    done(Status::Ok());
+    return;
+  }
+  sim::SimHost& host = object->host();
+  host.SpawnProcess(
+      instance, kShellExecutableBytes,
+      [this, instance, done = std::move(done)](sim::ProcessId shell_pid) {
+        auto it = instances_.find(instance);
+        if (it == instances_.end()) {
+          done(NotFoundError("instance destroyed during reactivation"));
+          return;
+        }
+        Dcdo* object = it->second.object.get();
+        (void)object->host().KillProcess(shell_pid);
+        // Re-map each (cached) component, read the state back, re-bind.
+        const sim::CostModel& cost = home_.cost_model();
+        std::size_t components = object->GetComponents().size();
+        std::size_t state_bytes = object->mutable_state().CaptureSize();
+        home_.simulation().AdvanceInline(
+            cost.component_map_cached *
+            static_cast<std::int64_t>(components));
+        home_.simulation().Schedule(
+            cost.DiskRead(state_bytes) + cost.StateRestore(state_bytes),
+            [this, instance, done = std::move(done)]() {
+              auto it = instances_.find(instance);
+              if (it == instances_.end()) {
+                done(NotFoundError("instance destroyed during reactivation"));
+                return;
+              }
+              it->second.object->Reactivate();
+              done(Status::Ok());
+            });
+      });
+}
+
+Status DcdoManager::DestroyInstance(const ObjectId& instance) {
+  if (instances_.erase(instance) == 0) {
+    return NotFoundError("no instance " + instance.ToString());
+  }
+  if (names_ != nullptr) {
+    (void)names_->Unbind(NamePrefix() + "/instances/" +
+                         std::to_string(instance.instance()));
+  }
+  return Status::Ok();
+}
+
+void DcdoManager::InstallLazyHook(const ObjectId& instance) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) return;
+  Dcdo* object = it->second.object.get();
+  object->SetPreCallHook([this, instance]() { LazyCheck(instance); });
+}
+
+void DcdoManager::LazyCheck(const ObjectId& instance) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) return;
+  InstanceRecord& record = it->second;
+  Dcdo* object = record.object.get();
+
+  LazyCheckContext ctx;
+  ctx.calls_since_check = object->user_calls() - record.calls_at_last_check;
+  ctx.since_check = home_.simulation().Now() - record.last_check;
+  if (!policy_->ShouldLazyCheck(ctx)) return;
+
+  ++lazy_checks_;
+  record.calls_at_last_check = object->user_calls();
+  record.last_check = home_.simulation().Now();
+  // Consulting the manager is a control-message round trip.
+  home_.simulation().AdvanceInline(
+      home_.cost_model().MessageTime(rpc::kHeaderBytes));
+
+  if (!current_version_.valid() || object->version() == current_version_) {
+    return;
+  }
+  if (!policy_->AutoUpdateAllowed(object->version(), current_version_)) {
+    return;
+  }
+  ++lazy_updates_;
+  EvolveInstanceTo(instance, current_version_, [](Status status) {
+    if (!status.ok()) {
+      DCDO_LOG(kWarning) << "lazy update failed: " << status.ToString();
+    }
+  });
+}
+
+Dcdo* DcdoManager::FindInstance(const ObjectId& instance) {
+  auto it = instances_.find(instance);
+  return it == instances_.end() ? nullptr : it->second.object.get();
+}
+
+Result<VersionId> DcdoManager::InstanceVersion(const ObjectId& instance) const {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    return NotFoundError("no instance " + instance.ToString());
+  }
+  return it->second.object->version();
+}
+
+std::vector<DcdoManager::TableEntry> DcdoManager::Table() const {
+  std::vector<TableEntry> out;
+  out.reserve(instances_.size());
+  for (const auto& [instance_id, record] : instances_) {
+    TableEntry entry;
+    entry.id = instance_id;
+    entry.version = record.object->version();
+    entry.node = record.object->address().node;
+    entry.architecture = record.object->host().architecture();
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace dcdo

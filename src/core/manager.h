@@ -1,0 +1,208 @@
+// DcdoManager (paper Section 2.4).
+//
+// "A DCDO Manager is in charge of maintaining implementation components for
+// a particular object type, and for evolving the DCDOs that it manages."
+// Its two primary data structures are here exactly as the paper defines
+// them:
+//
+//   the DFM store  — DFM descriptors defining the versions of the type, each
+//     marked instantiable (frozen; usable for creation/evolution) or
+//     configurable (editable; unusable until marked instantiable);
+//   the DCDO table — every instance under the manager's control, with its
+//     current version and implementation type, consulted when deciding when
+//     and how to evolve instances.
+//
+// The manager also publishes implementation components as ICOs, designates
+// the current version (single-version styles), and drives its
+// EvolutionPolicy: proactive pushes on designation, explicit updates on
+// request, and lazy checks hooked into each instance's call path.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dcdo.h"
+#include "core/evolution_policy.h"
+#include "core/ico_directory.h"
+#include "naming/name_service.h"
+
+namespace dcdo {
+
+class DcdoManager {
+ public:
+  using CreateCallback = std::function<void(Result<ObjectId>)>;
+  using DoneCallback = std::function<void(Status)>;
+
+  // Size of the generic "DCDO shell" executable every instance process runs
+  // (the component-free runtime: DFM, RPC plumbing). Components are loaded
+  // into it dynamically.
+  static constexpr std::size_t kShellExecutableBytes = 320 * 1024;
+
+  DcdoManager(std::string type_name, sim::SimHost* home,
+              rpc::RpcTransport* transport, BindingAgent* agent,
+              const NativeCodeRegistry* registry,
+              std::unique_ptr<EvolutionPolicy> policy);
+  ~DcdoManager();
+
+  DcdoManager(const DcdoManager&) = delete;
+  DcdoManager& operator=(const DcdoManager&) = delete;
+
+  const std::string& type_name() const { return type_name_; }
+  const ObjectId& id() const { return id_; }
+  const EvolutionPolicy& policy() const { return *policy_; }
+  const IcoDirectory& icos() const { return icos_; }
+
+  // Attaches the system name service: the manager then maintains
+  // human-readable names under /types/<type_name>/ — "components/<name>"
+  // for every published ICO and "instances/<n>" for every live DCDO.
+  // Components published before attachment are bound retroactively.
+  Status AttachNameService(NameService* names);
+
+  // ===== Implementation components =====
+
+  // Publishes `meta` as an ICO on the manager's home host; the component
+  // becomes fetchable system-wide. Returns the component's global id.
+  Result<ObjectId> PublishComponent(ImplementationComponent meta);
+
+  // ===== The DFM store: version management =====
+
+  // Creates the root version "1" (configurable). Fails if versions exist.
+  Result<VersionId> CreateRootVersion();
+
+  // Derives a new configurable version from `parent` (which must exist):
+  // the paper's "logically copying an existing instantiable one". The child
+  // gets the next free ordinal under `parent`.
+  Result<VersionId> DeriveVersion(const VersionId& parent);
+
+  // The descriptor for `version`, for configuration. Mutations fail with
+  // kVersionFrozen once the version is instantiable.
+  Result<DfmDescriptor*> MutableDescriptor(const VersionId& version);
+  Result<const DfmDescriptor*> Descriptor(const VersionId& version) const;
+
+  // Freezes `version` after validation; it becomes usable for creation and
+  // evolution.
+  Status MarkInstantiable(const VersionId& version);
+
+  // Designates the current version (must be instantiable). Under a
+  // proactive single-version policy this immediately pushes the update to
+  // every instance in the DCDO table.
+  Status SetCurrentVersion(const VersionId& version);
+  const VersionId& current_version() const { return current_version_; }
+  std::vector<VersionId> Versions() const;
+
+  // ===== The DCDO table: instance management =====
+
+  // Creates an instance of the current version on `host`: spawns a shell
+  // process, then incorporates every component of the version's descriptor
+  // (fetching images not cached on `host`).
+  void CreateInstance(sim::SimHost* host, CreateCallback done);
+
+  // Multi-version managers: create at a specific instantiable version.
+  void CreateInstanceAt(const VersionId& version, sim::SimHost* host,
+                        CreateCallback done);
+
+  // Policy-checked evolution of one instance to `version`.
+  void EvolveInstanceTo(const ObjectId& instance, const VersionId& version,
+                        DoneCallback done);
+
+  // The explicit-update entry point: brings `instance` to the current
+  // version (subject to the policy's auto-update rule).
+  void UpdateInstance(const ObjectId& instance, DoneCallback done);
+
+  // Moves an instance to `dest`: capture + state transfer + component
+  // fetches at dest + re-map + re-bind. Runs the policy's on-migrate lazy
+  // check afterwards.
+  void MigrateInstance(const ObjectId& instance, sim::SimHost* dest,
+                       DoneCallback done);
+
+  // Deactivates a (presumably idle) instance: its state is captured to the
+  // host's store and its process exits; the binding disappears. Reactivation
+  // pays a fresh shell spawn, cached component re-maps, and state restore —
+  // and yields a new address, so pre-deactivation client bindings go stale.
+  void DeactivateInstance(const ObjectId& instance, DoneCallback done);
+  void ReactivateInstance(const ObjectId& instance, DoneCallback done);
+
+  Status DestroyInstance(const ObjectId& instance);
+
+  // ===== Status reporting =====
+
+  Dcdo* FindInstance(const ObjectId& instance);
+  std::size_t instance_count() const { return instances_.size(); }
+  Result<VersionId> InstanceVersion(const ObjectId& instance) const;
+
+  struct TableEntry {
+    ObjectId id;
+    VersionId version;
+    sim::NodeId node = 0;
+    sim::Architecture architecture = sim::Architecture::kX86Linux;
+  };
+  std::vector<TableEntry> Table() const;
+
+  // One completed (or failed) evolution of one instance. The manager keeps
+  // this ledger so operators can audit when and how the population moved —
+  // the bookkeeping side of "the DCDO Manager uses this information when
+  // deciding when and how to evolve its DCDOs".
+  struct EvolutionEvent {
+    ObjectId instance;
+    VersionId from;
+    VersionId to;
+    sim::SimTime completed_at;
+    sim::SimDuration duration;
+    Status status;
+  };
+  const std::vector<EvolutionEvent>& History() const { return history_; }
+
+  // Policy activity counters (reported by the update-policy bench).
+  std::uint64_t updates_pushed() const { return updates_pushed_; }
+  std::uint64_t lazy_checks() const { return lazy_checks_; }
+  std::uint64_t lazy_updates() const { return lazy_updates_; }
+
+  // Removal policy applied when evolution drops components from instances.
+  void SetRemovalPolicy(const Dcdo::RemovalPolicy& policy) {
+    removal_policy_ = policy;
+  }
+
+ private:
+  struct InstanceRecord {
+    std::unique_ptr<Dcdo> object;
+    std::uint64_t calls_at_last_check = 0;
+    sim::SimTime last_check;
+  };
+
+  // Applies the descriptor of `version` to the (fresh or existing) DCDO.
+  void ApplyVersion(Dcdo* object, const VersionId& version, DoneCallback done);
+  void InstallLazyHook(const ObjectId& instance);
+  void LazyCheck(const ObjectId& instance);
+  Status CheckInstantiable(const VersionId& version) const;
+
+  std::string type_name_;
+  ObjectId id_;
+  sim::SimHost& home_;
+  rpc::RpcTransport& transport_;
+  BindingAgent& agent_;
+  const NativeCodeRegistry& registry_;
+  std::unique_ptr<EvolutionPolicy> policy_;
+  sim::ProcessId pid_ = 0;
+
+  std::string NamePrefix() const { return "/types/" + type_name_; }
+
+  std::vector<std::unique_ptr<ImplementationComponentObject>> published_;
+  IcoDirectory icos_;
+  NameService* names_ = nullptr;  // not owned; may be null
+
+  std::map<VersionId, DfmDescriptor> dfm_store_;
+  VersionId current_version_;
+
+  std::map<ObjectId, InstanceRecord> instances_;
+  Dcdo::RemovalPolicy removal_policy_ = Dcdo::RemovalPolicy::Error();
+
+  std::uint64_t updates_pushed_ = 0;
+  std::uint64_t lazy_checks_ = 0;
+  std::uint64_t lazy_updates_ = 0;
+  std::vector<EvolutionEvent> history_;
+};
+
+}  // namespace dcdo

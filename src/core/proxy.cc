@@ -1,0 +1,84 @@
+#include "core/proxy.h"
+
+#include "common/serialize.h"
+
+namespace dcdo {
+
+Status DcdoProxy::RefreshInterface() {
+  ++refreshes_;
+  DCDO_ASSIGN_OR_RETURN(ByteBuffer wire,
+                        client_.InvokeBlocking(target_, "dcdo.getInterface"));
+  Reader reader(wire);
+  DCDO_ASSIGN_OR_RETURN(std::uint64_t count, reader.ReadU64());
+  std::vector<InterfaceEntry> entries;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    InterfaceEntry entry;
+    DCDO_ASSIGN_OR_RETURN(entry.function.name, reader.ReadString());
+    DCDO_ASSIGN_OR_RETURN(entry.function.signature, reader.ReadString());
+    DCDO_ASSIGN_OR_RETURN(entry.mandatory, reader.ReadBool());
+    DCDO_ASSIGN_OR_RETURN(entry.permanent, reader.ReadBool());
+    entries.push_back(std::move(entry));
+  }
+  interface_ = std::move(entries);
+  interface_fetched_ = true;
+  return Status::Ok();
+}
+
+const InterfaceEntry* DcdoProxy::Find(const std::string& function) const {
+  for (const InterfaceEntry& entry : interface_) {
+    if (entry.function.name == function) return &entry;
+  }
+  return nullptr;
+}
+
+bool DcdoProxy::Offers(const std::string& function) const {
+  return Find(function) != nullptr;
+}
+
+bool DcdoProxy::IsAssured(const std::string& function) const {
+  const InterfaceEntry* entry = Find(function);
+  return entry != nullptr && entry->mandatory;
+}
+
+Result<VersionId> DcdoProxy::FetchVersion() {
+  DCDO_ASSIGN_OR_RETURN(ByteBuffer wire,
+                        client_.InvokeBlocking(target_, "dcdo.getVersion"));
+  Reader reader(wire);
+  return reader.ReadVersionId();
+}
+
+Result<ByteBuffer> DcdoProxy::Call(const std::string& function,
+                                   const ByteBuffer& args) {
+  if (!interface_fetched_) {
+    DCDO_RETURN_IF_ERROR(RefreshInterface());
+  }
+  if (!Offers(function)) {
+    // Not in the cached interface. The object may have evolved to *add* it
+    // since we looked: refresh once before refusing.
+    DCDO_RETURN_IF_ERROR(RefreshInterface());
+    if (!Offers(function)) {
+      return FunctionMissingError("'" + function +
+                                  "' is not in the exported interface of " +
+                                  target_.ToString());
+    }
+  }
+  Result<ByteBuffer> result = client_.InvokeBlocking(target_, function, args);
+  if (result.ok()) return result;
+  ErrorCode code = result.status().code();
+  if (code != ErrorCode::kFunctionMissing &&
+      code != ErrorCode::kFunctionDisabled) {
+    return result;  // not an evolution artifact; surface as-is
+  }
+  // The disappearing-exported-function problem, live: our interface was
+  // stale. Refresh; if the function is still exported (a replacement was
+  // enabled), retry once.
+  DCDO_RETURN_IF_ERROR(RefreshInterface());
+  if (!Offers(function)) {
+    return result;  // genuinely gone; the caller handles the typed error
+  }
+  ++retries_;
+  return client_.InvokeBlocking(target_, function, args);
+}
+
+}  // namespace dcdo

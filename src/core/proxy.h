@@ -1,0 +1,87 @@
+// DcdoProxy: the defensive client handle the paper prescribes.
+//
+// "Invocations on a dynamic function should be written to expect the absence
+// of the function. Clients calling a DCDO should time out or catch an
+// exception ... that indicates that the function they tried to invoke was
+// not present" (Section 3.2). DcdoProxy packages that discipline:
+//
+//   * it fetches and caches the object's *annotated* interface (name,
+//     signature, mandatory?, permanent?);
+//   * Call() refuses locally when the cached interface lacks the function —
+//     unless the interface is stale, in which case it refreshes once and
+//     retries (the object may have just evolved to *add* the function);
+//   * when the object answers kFunctionMissing / kFunctionDisabled — the
+//     disappearing-exported-function problem in flight — the proxy refreshes
+//     its interface and, if a replacement implementation was enabled,
+//     retries once; otherwise it surfaces the typed error;
+//   * IsAssured() tells callers which functions are mandatory, i.e. safe to
+//     call without the defensive dance as long as the object evolves along
+//     derived versions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/version_id.h"
+#include "component/dynamic_function.h"
+#include "rpc/client.h"
+
+namespace dcdo {
+
+// One row of the annotated interface.
+struct InterfaceEntry {
+  FunctionSignature function;
+  bool mandatory = false;
+  bool permanent = false;
+};
+
+class DcdoProxy {
+ public:
+  DcdoProxy(rpc::RpcClient* client, ObjectId target)
+      : client_(*client), target_(target) {}
+
+  const ObjectId& target() const { return target_; }
+
+  // Fetches the annotated interface from the object (dcdo.getInterface) and
+  // caches it. Called lazily by the other methods; call it eagerly to
+  // pre-warm.
+  Status RefreshInterface();
+
+  // The cached interface (empty until the first refresh).
+  const std::vector<InterfaceEntry>& interface() const { return interface_; }
+  bool interface_known() const { return interface_fetched_; }
+
+  // True if the cached interface exports `function`.
+  bool Offers(const std::string& function) const;
+
+  // True if `function` is exported AND marked mandatory: the object
+  // guarantees some implementation for its lifetime (along derived
+  // versions).
+  bool IsAssured(const std::string& function) const;
+
+  // The object's current version (dcdo.getVersion).
+  Result<VersionId> FetchVersion();
+
+  // Defensive invocation as described above. At most one interface refresh
+  // and one retry per call.
+  Result<ByteBuffer> Call(const std::string& function, const ByteBuffer& args);
+
+  std::uint64_t refreshes() const { return refreshes_; }
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  const InterfaceEntry* Find(const std::string& function) const;
+
+  rpc::RpcClient& client_;
+  ObjectId target_;
+  std::vector<InterfaceEntry> interface_;
+  bool interface_fetched_ = false;
+  std::uint64_t refreshes_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace dcdo

@@ -1,0 +1,63 @@
+// Interface-compatibility analysis between two configurations.
+//
+// Section 3.1 observes that evolution steps differ sharply in what they can
+// break: "adding functions to a public interface, or changing the
+// implementation of a function while keeping its signature the same do not
+// cause problems ... clients' calls will not fail in the same way that they
+// will if a dynamic function is removed from the interface." This module
+// classifies a version transition along exactly those lines so managers and
+// operators can tell a safe upgrade from one that will strand clients:
+//
+//   kIdentical      — exported interfaces match and every exported function
+//                     keeps the same implementation;
+//   kBehavioral     — same exported interface, but at least one exported
+//                     function's implementation changed (sort/compare-style
+//                     behaviour drift is possible, calls won't fail);
+//   kExtension      — everything exported before is still exported with the
+//                     same signature; new exported functions appeared;
+//   kBreaking       — an exported function was removed, or its signature
+//                     changed (clients holding the old interface can fail).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dfm/state.h"
+
+namespace dcdo {
+
+enum class Compatibility : std::uint8_t {
+  kIdentical,
+  kBehavioral,
+  kExtension,
+  kBreaking,
+};
+
+std::string_view CompatibilityName(Compatibility compatibility);
+std::ostream& operator<<(std::ostream& os, Compatibility compatibility);
+
+struct CompatibilityReport {
+  Compatibility level = Compatibility::kIdentical;
+  // Exported functions present in `from` but absent (or re-signed) in `to`.
+  std::vector<FunctionSignature> removed;
+  std::vector<FunctionSignature> signature_changed;  // `from`-side signature
+  // Newly exported functions.
+  std::vector<FunctionSignature> added;
+  // Exported functions whose enabled implementation moved to a different
+  // component (same signature).
+  std::vector<std::string> reimplemented;
+
+  bool SafeForExistingClients() const {
+    return level == Compatibility::kIdentical ||
+           level == Compatibility::kBehavioral ||
+           level == Compatibility::kExtension;
+  }
+  std::string Summary() const;
+};
+
+// Classifies the exported-interface transition `from` -> `to`.
+CompatibilityReport ClassifyTransition(const DfmState& from,
+                                       const DfmState& to);
+
+}  // namespace dcdo

@@ -1,0 +1,117 @@
+#include "dfm/descriptor.h"
+
+namespace dcdo {
+
+Status DfmDescriptor::CheckConfigurable() const {
+  if (instantiable_) {
+    return VersionFrozenError("version " + version_.ToString() +
+                              " is instantiable and cannot be configured");
+  }
+  return Status::Ok();
+}
+
+Status DfmDescriptor::IncorporateComponent(const ImplementationComponent& meta,
+                                           bool auto_structural_deps) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.IncorporateComponent(meta, auto_structural_deps);
+}
+
+Status DfmDescriptor::RemoveComponent(const ObjectId& component) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.RemoveComponent(component);
+}
+
+Status DfmDescriptor::EnableFunction(const std::string& function,
+                                     const ObjectId& component) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.EnableFunction(function, component);
+}
+
+Status DfmDescriptor::DisableFunction(const std::string& function,
+                                      const ObjectId& component) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.DisableFunction(function, component);
+}
+
+Status DfmDescriptor::SwitchImplementation(const std::string& function,
+                                           const ObjectId& to_component) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.SwitchImplementation(function, to_component);
+}
+
+Status DfmDescriptor::SetVisibility(const std::string& function,
+                                    const ObjectId& component,
+                                    Visibility visibility) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.SetVisibility(function, component, visibility);
+}
+
+Status DfmDescriptor::MarkMandatory(const std::string& function) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.MarkMandatory(function);
+}
+
+Status DfmDescriptor::MarkPermanent(const std::string& function,
+                                    const ObjectId& component) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.MarkPermanent(function, component);
+}
+
+Status DfmDescriptor::AddDependency(Dependency dep) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.AddDependency(std::move(dep));
+}
+
+Status DfmDescriptor::RemoveDependency(const Dependency& dep) {
+  DCDO_RETURN_IF_ERROR(CheckConfigurable());
+  return state_.RemoveDependency(dep);
+}
+
+Status DfmDescriptor::MarkInstantiable() {
+  if (instantiable_) return Status::Ok();  // idempotent
+  DCDO_RETURN_IF_ERROR(state_.ValidateComplete());
+  instantiable_ = true;
+  return Status::Ok();
+}
+
+DfmDescriptor DfmDescriptor::DeriveChild(const VersionId& child_version) const {
+  DfmDescriptor child(child_version);
+  child.state_ = state_;       // logical copy
+  child.instantiable_ = false; // the copy is configurable
+  return child;
+}
+
+EvolutionPlan ComputePlan(const DfmState& from, const DfmState& to) {
+  EvolutionPlan plan;
+  for (const ObjectId& id : to.ComponentIds()) {
+    if (!from.HasComponent(id)) {
+      plan.incorporate.push_back(*to.FindComponent(id));
+    }
+  }
+  for (const ObjectId& id : from.ComponentIds()) {
+    if (!to.HasComponent(id)) plan.remove.push_back(id);
+  }
+  // Enable/disable flips. For newly incorporated components, enables are
+  // included too (incorporation leaves functions disabled); removals carry
+  // their disables implicitly.
+  for (const DfmEntry* entry : to.AllEntries()) {
+    if (!entry->enabled) continue;
+    const DfmEntry* before =
+        from.FindEntry(entry->function.name, entry->component);
+    if (before == nullptr || !before->enabled) {
+      plan.enable.push_back({entry->function.name, entry->component});
+    }
+  }
+  for (const DfmEntry* entry : from.AllEntries()) {
+    if (!entry->enabled) continue;
+    if (!to.HasComponent(entry->component)) continue;  // removal handles it
+    const DfmEntry* after =
+        to.FindEntry(entry->function.name, entry->component);
+    if (after == nullptr || !after->enabled) {
+      plan.disable.push_back({entry->function.name, entry->component});
+    }
+  }
+  return plan;
+}
+
+}  // namespace dcdo

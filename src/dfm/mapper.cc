@@ -1,0 +1,278 @@
+#include "dfm/mapper.h"
+
+namespace dcdo {
+
+DynamicFunctionMapper::CallGuard& DynamicFunctionMapper::CallGuard::operator=(
+    CallGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mapper_ = other.mapper_;
+    function_ = std::move(other.function_);
+    component_ = other.component_;
+    body_ = std::move(other.body_);
+    other.mapper_ = nullptr;
+  }
+  return *this;
+}
+
+void DynamicFunctionMapper::CallGuard::Release() {
+  if (mapper_ != nullptr) {
+    mapper_->ReleaseCall(function_, component_);
+    mapper_ = nullptr;
+    body_ = nullptr;
+  }
+}
+
+Result<DynamicFunctionMapper::CallGuard> DynamicFunctionMapper::Acquire(
+    const std::string& function, CallOrigin origin) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const DfmEntry* entry = state_.EnabledImpl(function);
+  if (entry == nullptr) {
+    ++calls_rejected_;
+    if (state_.AnyImplPresent(function)) {
+      return FunctionDisabledError("'" + function + "' is disabled");
+    }
+    return FunctionMissingError("no implementation of '" + function + "'");
+  }
+  if (origin == CallOrigin::kExternal &&
+      entry->visibility != Visibility::kExported) {
+    ++calls_rejected_;
+    // External callers cannot tell internal-only from absent.
+    return FunctionMissingError("no exported function '" + function + "'");
+  }
+  auto body_it = bodies_.find({function, entry->component});
+  if (body_it == bodies_.end()) {
+    ++calls_rejected_;
+    return InternalError("enabled '" + function + "' has no resolved body");
+  }
+  ++calls_resolved_;
+  ++active_[{function, entry->component}];
+
+  CallGuard guard;
+  guard.mapper_ = this;
+  guard.function_ = function;
+  guard.component_ = entry->component;
+  guard.body_ = body_it->second;
+  return guard;
+}
+
+void DynamicFunctionMapper::ReleaseCall(const std::string& function,
+                                        const ObjectId& component) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find({function, component});
+  if (it != active_.end() && it->second > 0) {
+    --it->second;
+  }
+}
+
+Status DynamicFunctionMapper::IncorporateComponent(
+    const ImplementationComponent& meta, const NativeCodeRegistry& registry,
+    sim::Architecture arch, bool auto_structural_deps) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!meta.type.CompatibleWith(arch)) {
+    return ArchMismatchError(
+        "component " + meta.name + " (" + meta.type.ToString() +
+        ") is incompatible with host architecture " +
+        std::string(sim::ArchitectureName(arch)));
+  }
+  // Resolve every symbol before mutating anything (all-or-nothing).
+  std::map<DfmState::EntryKey, DynamicFn> resolved;
+  for (const FunctionImplDescriptor& fn : meta.functions) {
+    DCDO_ASSIGN_OR_RETURN(DynamicFn body, registry.Resolve(fn.symbol, arch));
+    resolved[{fn.function.name, meta.id}] = std::move(body);
+  }
+  DCDO_RETURN_IF_ERROR(
+      state_.IncorporateComponent(meta, auto_structural_deps));
+  bodies_.merge(resolved);
+  return Status::Ok();
+}
+
+Status DynamicFunctionMapper::RemoveComponent(const ObjectId& component,
+                                              ActiveThreadPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (policy == ActiveThreadPolicy::kError) {
+    for (const auto& [key, count] : active_) {
+      if (key.second == component && count > 0) {
+        return ActiveThreadsError("function '" + key.first + "' in component " +
+                                  component.ToString() + " has " +
+                                  std::to_string(count) +
+                                  " active thread(s)");
+      }
+    }
+  }
+  DCDO_RETURN_IF_ERROR(state_.RemoveComponent(component));
+  std::erase_if(bodies_, [&component](const auto& kv) {
+    return kv.first.second == component;
+  });
+  std::erase_if(active_, [&component](const auto& kv) {
+    return kv.first.second == component;
+  });
+  return Status::Ok();
+}
+
+Status DynamicFunctionMapper::EnableFunction(const std::string& function,
+                                             const ObjectId& component) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.EnableFunction(function, component);
+}
+
+Status DynamicFunctionMapper::DisableFunction(const std::string& function,
+                                              const ObjectId& component,
+                                              bool respect_active_dependents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (respect_active_dependents) {
+    EnabledSnapshot snapshot = state_.Snapshot();
+    for (const Dependency* dep : state_.dependencies().BindingDependenciesOn(
+             function, component, snapshot)) {
+      // The dependent function is enabled; is a thread inside it right now?
+      const std::string& dependent = dep->dependent;
+      for (const auto& [key, count] : active_) {
+        if (key.first != dependent || count <= 0) continue;
+        if (dep->dependent_component.has_value() &&
+            *dep->dependent_component != key.second) {
+          continue;
+        }
+        return ActiveThreadsError(
+            "cannot disable '" + function + "': dependent '" + dependent +
+            "' has " + std::to_string(count) + " active thread(s) (" +
+            dep->ToString() + ")");
+      }
+    }
+  }
+  return state_.DisableFunction(function, component);
+}
+
+Status DynamicFunctionMapper::SwitchImplementation(
+    const std::string& function, const ObjectId& to_component) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.SwitchImplementation(function, to_component);
+}
+
+Status DynamicFunctionMapper::SetVisibility(const std::string& function,
+                                            const ObjectId& component,
+                                            Visibility visibility) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.SetVisibility(function, component, visibility);
+}
+
+Status DynamicFunctionMapper::MarkMandatory(const std::string& function) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.MarkMandatory(function);
+}
+
+Status DynamicFunctionMapper::MarkPermanent(const std::string& function,
+                                            const ObjectId& component) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.MarkPermanent(function, component);
+}
+
+Status DynamicFunctionMapper::AddDependency(Dependency dep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.AddDependency(std::move(dep));
+}
+
+Status DynamicFunctionMapper::RemoveDependency(const Dependency& dep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.RemoveDependency(dep);
+}
+
+Status DynamicFunctionMapper::AdoptConfiguration(const DfmState& target,
+                                                 bool enforce_marks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_.AdoptConfiguration(target, enforce_marks);
+}
+
+Status DynamicFunctionMapper::SyncMetadata(const DfmState& target) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Precondition: component and entry sets match the target.
+  if (state_.component_count() != target.component_count() ||
+      state_.entry_count() != target.entry_count()) {
+    return FailedPreconditionError(
+        "SyncMetadata: entry/component sets do not match the target");
+  }
+  for (const DfmEntry* entry : target.AllEntries()) {
+    const DfmEntry* mine =
+        state_.FindEntry(entry->function.name, entry->component);
+    if (mine == nullptr) {
+      return FailedPreconditionError("SyncMetadata: missing entry for '" +
+                                     entry->function.name + "'");
+    }
+    if (mine->enabled != entry->enabled) {
+      return FailedPreconditionError(
+          "SyncMetadata: enablement of '" + entry->function.name +
+          "' does not match the target (apply the plan first)");
+    }
+  }
+  // Rebuild metadata to match the target exactly. Visibility first, then
+  // constraints, then dependencies (validated against the final snapshot).
+  for (const DfmEntry* entry : target.AllEntries()) {
+    DCDO_RETURN_IF_ERROR(state_.SetVisibility(
+        entry->function.name, entry->component, entry->visibility));
+  }
+  for (const std::string& function : target.mandatory_functions()) {
+    DCDO_RETURN_IF_ERROR(state_.MarkMandatory(function));
+  }
+  for (const DfmEntry* entry : target.AllEntries()) {
+    if (entry->permanent) {
+      DCDO_RETURN_IF_ERROR(
+          state_.MarkPermanent(entry->function.name, entry->component));
+    }
+  }
+  // Remove dependencies the target no longer has (collect first — removal
+  // mutates the set being iterated).
+  std::vector<Dependency> stale;
+  for (const Dependency& dep : state_.dependencies().all()) {
+    bool in_target = false;
+    for (const Dependency& tdep : target.dependencies().all()) {
+      if (tdep == dep) {
+        in_target = true;
+        break;
+      }
+    }
+    if (!in_target) stale.push_back(dep);
+  }
+  for (const Dependency& dep : stale) {
+    DCDO_RETURN_IF_ERROR(state_.RemoveDependency(dep));
+  }
+  for (const Dependency& dep : target.dependencies().all()) {
+    DCDO_RETURN_IF_ERROR(state_.AddDependency(dep));
+  }
+  return Status::Ok();
+}
+
+Status DynamicFunctionMapper::RemapBodies(const NativeCodeRegistry& registry,
+                                          sim::Architecture arch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<DfmState::EntryKey, DynamicFn> remapped;
+  for (const ObjectId& component_id : state_.ComponentIds()) {
+    const ImplementationComponent* meta = state_.FindComponent(component_id);
+    if (!meta->type.CompatibleWith(arch)) {
+      return ArchMismatchError("component " + meta->name + " (" +
+                               meta->type.ToString() +
+                               ") cannot be mapped on " +
+                               std::string(sim::ArchitectureName(arch)));
+    }
+    for (const FunctionImplDescriptor& fn : meta->functions) {
+      DCDO_ASSIGN_OR_RETURN(DynamicFn body, registry.Resolve(fn.symbol, arch));
+      remapped[{fn.function.name, component_id}] = std::move(body);
+    }
+  }
+  bodies_ = std::move(remapped);
+  return Status::Ok();
+}
+
+int DynamicFunctionMapper::ActiveCount(const std::string& function,
+                                       const ObjectId& component) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find({function, component});
+  return it == active_.end() ? 0 : it->second;
+}
+
+int DynamicFunctionMapper::TotalActive() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int total = 0;
+  for (const auto& [key, count] : active_) total += count;
+  return total;
+}
+
+}  // namespace dcdo

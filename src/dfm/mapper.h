@@ -1,0 +1,152 @@
+// DynamicFunctionMapper: the runtime DFM inside every DCDO (paper Section 2).
+//
+// "A DFM serves as a centralized table through which all calls to dynamic
+// functions must go." Callers never hold a raw function pointer across
+// configuration changes; they Acquire() the ability to call a function, run
+// the body, and release. Acquire is the single level of indirection the
+// paper identifies as "the basis and the key enabler of dynamic
+// configurability" — and also the hook for thread-activity monitoring: the
+// returned RAII guard keeps the per-implementation active-thread count
+// nonzero for exactly the duration of the call.
+//
+// The mapper owns a DfmState (the same table type managers use in
+// descriptors) plus what only the runtime needs: resolved bodies from the
+// NativeCodeRegistry, active-thread counts, and call statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "component/native_code_registry.h"
+#include "dfm/descriptor.h"
+#include "dfm/state.h"
+
+namespace dcdo {
+
+// Who is asking: external callers may only reach exported functions.
+enum class CallOrigin : std::uint8_t { kExternal, kInternal };
+
+// What to do when a configuration change collides with active threads
+// (paper Section 3.2, thread activity monitoring): reject, or proceed
+// anyway (the caller implements delay/timeout on top of kError).
+enum class ActiveThreadPolicy : std::uint8_t { kError, kForce };
+
+class DynamicFunctionMapper {
+ public:
+  DynamicFunctionMapper() = default;
+  DynamicFunctionMapper(const DynamicFunctionMapper&) = delete;
+  DynamicFunctionMapper& operator=(const DynamicFunctionMapper&) = delete;
+
+  // RAII "ability to call": holds the body and pins the active-thread count.
+  // The body remains valid for the guard's lifetime even if the function is
+  // disabled mid-call — the paper notes "there is no reason why a thread
+  // cannot proceed inside a deactivated function; the code still exists."
+  class CallGuard {
+   public:
+    CallGuard() = default;
+    CallGuard(CallGuard&& other) noexcept { *this = std::move(other); }
+    CallGuard& operator=(CallGuard&& other) noexcept;
+    CallGuard(const CallGuard&) = delete;
+    CallGuard& operator=(const CallGuard&) = delete;
+    ~CallGuard() { Release(); }
+
+    const DynamicFn& body() const { return body_; }
+    const ObjectId& component() const { return component_; }
+    const std::string& function() const { return function_; }
+    bool valid() const { return mapper_ != nullptr; }
+
+    void Release();
+
+   private:
+    friend class DynamicFunctionMapper;
+    DynamicFunctionMapper* mapper_ = nullptr;
+    std::string function_;
+    ObjectId component_;
+    DynamicFn body_;
+  };
+
+  // --- The call path ---
+
+  // Resolves `function` to its enabled implementation. Error taxonomy matches
+  // the paper's problem classes: kFunctionMissing when no implementation is
+  // present, kFunctionDisabled when implementations exist but none is
+  // enabled, and kFunctionMissing for external calls to internal-only
+  // functions (an outsider cannot distinguish "internal" from "absent").
+  Result<CallGuard> Acquire(const std::string& function, CallOrigin origin);
+
+  // --- Configuration (a DCDO's configuration functions land here) ---
+
+  // Incorporates `meta`, resolving every symbol against `registry` for
+  // `arch`. All-or-nothing: a single unresolved or arch-incompatible symbol
+  // fails the whole incorporate.
+  Status IncorporateComponent(const ImplementationComponent& meta,
+                              const NativeCodeRegistry& registry,
+                              sim::Architecture arch,
+                              bool auto_structural_deps = true);
+
+  // Removes a component. With kError, fails with kActiveThreads if any of
+  // the component's implementations has a thread inside it (the
+  // disappearing-component guard); kForce removes regardless.
+  Status RemoveComponent(const ObjectId& component,
+                         ActiveThreadPolicy policy = ActiveThreadPolicy::kError);
+
+  Status EnableFunction(const std::string& function, const ObjectId& component);
+
+  // Disables an implementation. When `respect_active_dependents`, the
+  // disable is additionally rejected with kActiveThreads while any function
+  // holding a binding dependency on this implementation is executing —
+  // the paper's defence against the disappearing internal function problem.
+  Status DisableFunction(const std::string& function, const ObjectId& component,
+                         bool respect_active_dependents = true);
+
+  Status SwitchImplementation(const std::string& function,
+                              const ObjectId& to_component);
+  Status SetVisibility(const std::string& function, const ObjectId& component,
+                       Visibility visibility);
+  Status MarkMandatory(const std::string& function);
+  Status MarkPermanent(const std::string& function, const ObjectId& component);
+  Status AddDependency(Dependency dep);
+  Status RemoveDependency(const Dependency& dep);
+
+  // Atomic wholesale move to `target`'s configuration (enabled flags,
+  // visibility, marks, dependencies) after new components have been
+  // incorporated; see DfmState::AdoptConfiguration for semantics.
+  Status AdoptConfiguration(const DfmState& target, bool enforce_marks);
+
+  // After an evolution plan has been applied, adopts the target
+  // configuration's metadata wholesale: mandatory markings, permanent flags,
+  // visibilities, and the dependency set. The entry/component sets must
+  // already match the target; kFailedPrecondition otherwise.
+  Status SyncMetadata(const DfmState& target);
+
+  // Re-resolves every incorporated implementation against `registry` for a
+  // (possibly different) architecture — the re-mapping step of migration.
+  // Fails with kArchMismatch if any incorporated component has no build
+  // usable on `arch`; the mapper is unchanged on failure.
+  Status RemapBodies(const NativeCodeRegistry& registry,
+                     sim::Architecture arch);
+
+  // --- Status reporting ---
+
+  const DfmState& state() const { return state_; }
+  int ActiveCount(const std::string& function, const ObjectId& component) const;
+  int TotalActive() const;
+  std::uint64_t calls_resolved() const { return calls_resolved_; }
+  std::uint64_t calls_rejected() const { return calls_rejected_; }
+
+ private:
+  void ReleaseCall(const std::string& function, const ObjectId& component);
+
+  mutable std::mutex mutex_;
+  DfmState state_;
+  std::map<DfmState::EntryKey, DynamicFn> bodies_;
+  std::map<DfmState::EntryKey, int> active_;
+  std::uint64_t calls_resolved_ = 0;
+  std::uint64_t calls_rejected_ = 0;
+};
+
+}  // namespace dcdo

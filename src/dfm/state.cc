@@ -1,0 +1,407 @@
+#include "dfm/state.h"
+
+namespace dcdo {
+
+Status DfmState::IncorporateComponent(const ImplementationComponent& meta,
+                                      bool auto_structural_deps) {
+  DCDO_RETURN_IF_ERROR(meta.Validate());
+  if (components_.contains(meta.id)) {
+    return AlreadyExistsError("component " + meta.name + " (" +
+                              meta.id.ToString() + ") already incorporated");
+  }
+  // The paper's incorporate-conflict rule: a component carrying a permanent
+  // implementation of F cannot join a configuration that already has a
+  // permanent implementation of F in another component.
+  for (const FunctionImplDescriptor& fn : meta.functions) {
+    if (fn.constraint != Constraint::kPermanent) continue;
+    for (const auto& [key, entry] : entries_) {
+      if (entry.function.name == fn.function.name && entry.permanent) {
+        return PermanentViolationError(
+            "component " + meta.name + " carries permanent '" +
+            fn.function.name + "' but component " +
+            entry.component.ToString() +
+            " already holds a permanent implementation");
+      }
+    }
+  }
+
+  components_[meta.id] = meta;
+  for (const FunctionImplDescriptor& fn : meta.functions) {
+    DfmEntry entry;
+    entry.function = fn.function;
+    entry.component = meta.id;
+    entry.visibility = fn.visibility;
+    entry.symbol = fn.symbol;
+    entry.enabled = false;
+    entry.permanent = false;
+    entries_[{fn.function.name, meta.id}] = std::move(entry);
+
+    if (fn.constraint == Constraint::kMandatory) {
+      mandatory_.insert(fn.function.name);
+    }
+  }
+  // Permanent markings enable the impl (a permanent impl may never be
+  // disabled, so it must be enabled) — done after all rows exist so the
+  // dependency check sees the whole component.
+  for (const FunctionImplDescriptor& fn : meta.functions) {
+    if (fn.constraint != Constraint::kPermanent) continue;
+    // Enabling can fail if another impl of the function is already enabled;
+    // in that case incorporation must be rolled back.
+    Status enabled = EnableFunction(fn.function.name, meta.id);
+    if (!enabled.ok()) {
+      // Roll back every row we added.
+      for (const FunctionImplDescriptor& added : meta.functions) {
+        entries_.erase({added.function.name, meta.id});
+      }
+      components_.erase(meta.id);
+      return PermanentViolationError(
+          "cannot incorporate " + meta.name + ": permanent '" +
+          fn.function.name + "' could not be enabled: " + enabled.message());
+    }
+    entries_[{fn.function.name, meta.id}].permanent = true;
+  }
+  if (auto_structural_deps) {
+    for (const FunctionImplDescriptor& fn : meta.functions) {
+      for (const std::string& callee : fn.calls) {
+        DCDO_RETURN_IF_ERROR(
+            deps_.Add(Dependency::TypeA(fn.function.name, meta.id, callee)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DfmState::RemoveComponent(const ObjectId& component) {
+  auto comp_it = components_.find(component);
+  if (comp_it == components_.end()) {
+    return ComponentMissingError("component " + component.ToString() +
+                                 " not incorporated");
+  }
+  // Permanent implementations pin their component.
+  for (const auto& [key, entry] : entries_) {
+    if (entry.component != component) continue;
+    if (entry.permanent) {
+      return PermanentViolationError(
+          "component " + comp_it->second.name + " holds permanent '" +
+          entry.function.name + "' and cannot be removed");
+    }
+  }
+  // A mandatory function must keep at least one implementation *present*.
+  for (const auto& [key, entry] : entries_) {
+    if (entry.component != component) continue;
+    if (!mandatory_.contains(entry.function.name)) continue;
+    bool other_impl = false;
+    for (const auto& [key2, entry2] : entries_) {
+      if (entry2.function.name == entry.function.name &&
+          entry2.component != component) {
+        other_impl = true;
+        break;
+      }
+    }
+    if (!other_impl) {
+      return MandatoryViolationError(
+          "removing component " + comp_it->second.name +
+          " would leave mandatory '" + entry.function.name +
+          "' with no implementation");
+    }
+  }
+  // Dependencies: hypothetically disable everything in the component.
+  EnabledSnapshot proposed = Snapshot();
+  for (const auto& [key, entry] : entries_) {
+    if (entry.component == component && entry.enabled) {
+      proposed.Disable(entry.function.name, entry.component);
+    }
+  }
+  DCDO_RETURN_IF_ERROR(ValidateMutation(proposed));
+
+  std::erase_if(entries_, [&component](const auto& kv) {
+    return kv.second.component == component;
+  });
+  components_.erase(comp_it);
+  return Status::Ok();
+}
+
+Status DfmState::EnableFunction(const std::string& function,
+                                const ObjectId& component) {
+  auto it = entries_.find({function, component});
+  if (it == entries_.end()) {
+    return FunctionMissingError("no implementation of '" + function +
+                                "' in component " + component.ToString());
+  }
+  if (it->second.enabled) return Status::Ok();  // idempotent
+  if (const DfmEntry* current = EnabledImpl(function); current != nullptr) {
+    return FailedPreconditionError(
+        "'" + function + "' already enabled from component " +
+        current->component.ToString() + "; disable it or use Switch");
+  }
+  EnabledSnapshot proposed = Snapshot();
+  proposed.Enable(function, component);
+  DCDO_RETURN_IF_ERROR(ValidateMutation(proposed));
+  it->second.enabled = true;
+  return Status::Ok();
+}
+
+Status DfmState::DisableFunction(const std::string& function,
+                                 const ObjectId& component) {
+  auto it = entries_.find({function, component});
+  if (it == entries_.end()) {
+    return FunctionMissingError("no implementation of '" + function +
+                                "' in component " + component.ToString());
+  }
+  if (!it->second.enabled) return Status::Ok();  // idempotent
+  if (it->second.permanent) {
+    return PermanentViolationError("'" + function + "' in component " +
+                                   component.ToString() + " is permanent");
+  }
+  if (mandatory_.contains(function)) {
+    // Disabling is allowed only if this is not the last enabled impl —
+    // which, given the one-enabled-impl invariant, it always is. A mandatory
+    // function's impl can therefore only be *switched*, never plainly
+    // disabled.
+    return MandatoryViolationError("'" + function +
+                                   "' is mandatory; switch implementations "
+                                   "instead of disabling");
+  }
+  EnabledSnapshot proposed = Snapshot();
+  proposed.Disable(function, component);
+  DCDO_RETURN_IF_ERROR(ValidateMutation(proposed));
+  it->second.enabled = false;
+  return Status::Ok();
+}
+
+Status DfmState::SwitchImplementation(const std::string& function,
+                                      const ObjectId& to_component) {
+  auto to_it = entries_.find({function, to_component});
+  if (to_it == entries_.end()) {
+    return FunctionMissingError("no implementation of '" + function +
+                                "' in component " + to_component.ToString());
+  }
+  const DfmEntry* current = EnabledImpl(function);
+  if (current != nullptr && current->component == to_component) {
+    return Status::Ok();  // already there
+  }
+  if (current != nullptr && current->permanent) {
+    return PermanentViolationError("'" + function + "' in component " +
+                                   current->component.ToString() +
+                                   " is permanent and cannot be replaced");
+  }
+  EnabledSnapshot proposed = Snapshot();
+  if (current != nullptr) proposed.Disable(function, current->component);
+  proposed.Enable(function, to_component);
+  DCDO_RETURN_IF_ERROR(ValidateMutation(proposed));
+  if (current != nullptr) {
+    entries_[{function, current->component}].enabled = false;
+  }
+  to_it->second.enabled = true;
+  return Status::Ok();
+}
+
+Status DfmState::SetVisibility(const std::string& function,
+                               const ObjectId& component,
+                               Visibility visibility) {
+  auto it = entries_.find({function, component});
+  if (it == entries_.end()) {
+    return FunctionMissingError("no implementation of '" + function +
+                                "' in component " + component.ToString());
+  }
+  if (it->second.permanent && it->second.visibility != visibility) {
+    return PermanentViolationError("'" + function +
+                                   "' is permanent; its interface is frozen");
+  }
+  it->second.visibility = visibility;
+  return Status::Ok();
+}
+
+Status DfmState::MarkMandatory(const std::string& function) {
+  if (!AnyImplPresent(function)) {
+    return FunctionMissingError("cannot mark unknown function '" + function +
+                                "' mandatory");
+  }
+  mandatory_.insert(function);
+  return Status::Ok();
+}
+
+Status DfmState::MarkPermanent(const std::string& function,
+                               const ObjectId& component) {
+  auto it = entries_.find({function, component});
+  if (it == entries_.end()) {
+    return FunctionMissingError("no implementation of '" + function +
+                                "' in component " + component.ToString());
+  }
+  // Only one permanent implementation of a function may exist.
+  for (const auto& [key, entry] : entries_) {
+    if (entry.function.name == function && entry.permanent &&
+        entry.component != component) {
+      return PermanentViolationError(
+          "'" + function + "' already permanent in component " +
+          entry.component.ToString());
+    }
+  }
+  // A permanent impl is frozen *enabled*; enable it now if necessary.
+  if (!it->second.enabled) {
+    DCDO_RETURN_IF_ERROR(SwitchImplementation(function, component));
+  }
+  it->second.permanent = true;
+  return Status::Ok();
+}
+
+Status DfmState::AddDependency(Dependency dep) {
+  DCDO_RETURN_IF_ERROR(dep.Validate());
+  // Adding a dependency must not be retroactively violated by the current
+  // configuration; check before committing.
+  DependencySet trial = deps_;
+  DCDO_RETURN_IF_ERROR(trial.Add(dep));
+  DCDO_RETURN_IF_ERROR(trial.Validate(Snapshot()));
+  deps_ = std::move(trial);
+  return Status::Ok();
+}
+
+Status DfmState::RemoveDependency(const Dependency& dep) {
+  return deps_.Remove(dep);
+}
+
+const ImplementationComponent* DfmState::FindComponent(
+    const ObjectId& component) const {
+  auto it = components_.find(component);
+  return it == components_.end() ? nullptr : &it->second;
+}
+
+std::vector<ObjectId> DfmState::ComponentIds() const {
+  std::vector<ObjectId> out;
+  out.reserve(components_.size());
+  for (const auto& [id, meta] : components_) out.push_back(id);
+  return out;
+}
+
+const DfmEntry* DfmState::FindEntry(const std::string& function,
+                                    const ObjectId& component) const {
+  auto it = entries_.find({function, component});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const DfmEntry* DfmState::EnabledImpl(const std::string& function) const {
+  // Rows for one function are contiguous in the (function, component) map.
+  for (auto it = entries_.lower_bound({function, ObjectId()});
+       it != entries_.end() && it->first.first == function; ++it) {
+    if (it->second.enabled) return &it->second;
+  }
+  return nullptr;
+}
+
+bool DfmState::AnyImplPresent(const std::string& function) const {
+  auto it = entries_.lower_bound({function, ObjectId()});
+  return it != entries_.end() && it->first.first == function;
+}
+
+std::vector<FunctionSignature> DfmState::ExportedInterface() const {
+  std::vector<FunctionSignature> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.enabled && entry.visibility == Visibility::kExported) {
+      out.push_back(entry.function);
+    }
+  }
+  return out;
+}
+
+std::vector<const DfmEntry*> DfmState::AllEntries() const {
+  std::vector<const DfmEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(&entry);
+  return out;
+}
+
+EnabledSnapshot DfmState::Snapshot() const {
+  EnabledSnapshot snapshot;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.enabled) snapshot.Enable(entry.function.name, entry.component);
+  }
+  return snapshot;
+}
+
+Status DfmState::AdoptConfiguration(const DfmState& target,
+                                    bool enforce_marks) {
+  // Every target entry must already exist here with the same symbol.
+  for (const DfmEntry* entry : target.AllEntries()) {
+    const DfmEntry* mine = FindEntry(entry->function.name, entry->component);
+    if (mine == nullptr) {
+      return ComponentMissingError(
+          "AdoptConfiguration: entry '" + entry->function.name +
+          "' of component " + entry->component.ToString() +
+          " not incorporated; incorporate new components first");
+    }
+    if (mine->symbol != entry->symbol) {
+      return FailedPreconditionError(
+          "AdoptConfiguration: symbol mismatch for '" + entry->function.name +
+          "'");
+    }
+  }
+  if (enforce_marks) {
+    // A currently-permanent implementation must stay enabled in the target.
+    for (const auto& [key, entry] : entries_) {
+      if (!entry.permanent) continue;
+      const DfmEntry* after =
+          target.FindEntry(entry.function.name, entry.component);
+      if (after == nullptr || !after->enabled) {
+        return PermanentViolationError(
+            "evolution would disable or drop permanent '" +
+            entry.function.name + "' in component " +
+            entry.component.ToString());
+      }
+    }
+    // A currently-mandatory function must keep an enabled implementation.
+    for (const std::string& function : mandatory_) {
+      if (target.EnabledImpl(function) == nullptr) {
+        return MandatoryViolationError(
+            "evolution would leave mandatory '" + function +
+            "' with no enabled implementation");
+      }
+    }
+  }
+  // Build the final enabled snapshot and validate the target's dependencies
+  // against it before mutating anything.
+  EnabledSnapshot final_snapshot = target.Snapshot();
+  DCDO_RETURN_IF_ERROR(target.dependencies().Validate(final_snapshot));
+
+  // Commit: enabled flags + visibility from the target; absent => disabled.
+  for (auto& [key, entry] : entries_) {
+    const DfmEntry* after = target.FindEntry(entry.function.name,
+                                             entry.component);
+    if (after == nullptr) {
+      entry.enabled = false;
+      entry.permanent = false;  // row is leaving with its component
+      continue;
+    }
+    entry.enabled = after->enabled;
+    entry.visibility = after->visibility;
+    entry.permanent = after->permanent || (enforce_marks && entry.permanent);
+  }
+  std::set<std::string> mandatory = target.mandatory_functions();
+  if (enforce_marks) {
+    mandatory.insert(mandatory_.begin(), mandatory_.end());
+  }
+  mandatory_ = std::move(mandatory);
+  deps_ = target.dependencies();
+  return Status::Ok();
+}
+
+Status DfmState::ValidateMutation(const EnabledSnapshot& proposed) const {
+  return deps_.Validate(proposed);
+}
+
+Status DfmState::ValidateComplete() const {
+  for (const std::string& function : mandatory_) {
+    if (EnabledImpl(function) == nullptr) {
+      return MandatoryViolationError("mandatory '" + function +
+                                     "' has no enabled implementation");
+    }
+  }
+  for (const auto& [key, entry] : entries_) {
+    if (entry.permanent && !entry.enabled) {
+      return PermanentViolationError("permanent '" + entry.function.name +
+                                     "' is not enabled");
+    }
+  }
+  return deps_.Validate(Snapshot());
+}
+
+}  // namespace dcdo

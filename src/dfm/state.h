@@ -1,0 +1,159 @@
+// DfmState: the configuration table shared by runtime DFMs and manager-side
+// DFM descriptors.
+//
+// The paper notes that "a DFM descriptor's structure mirrors that of a DFM";
+// we exploit that by implementing the table once. DfmState records which
+// components are incorporated, which (function, component) implementations
+// exist and are enabled/exported, the function-level mandatory markings,
+// the implementation-level permanent markings, and the dependency set — and
+// enforces every restriction of Section 3.2 on each mutation:
+//
+//   * at most one enabled implementation per function (the DFM maps a call
+//     to THE implementation that services it),
+//   * permanent implementations cannot be disabled, replaced, or removed,
+//   * the last enabled implementation of a mandatory function cannot be
+//     disabled, and its last present implementation cannot be removed,
+//   * no mutation may leave a binding dependency (Types A-D) violated,
+//   * two components cannot both carry a permanent implementation of the
+//     same function (the paper's incorporate-conflict rule).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "component/component.h"
+#include "dfm/dependency.h"
+
+namespace dcdo {
+
+// One (function, component) implementation row.
+struct DfmEntry {
+  FunctionSignature function;
+  ObjectId component;
+  Visibility visibility = Visibility::kExported;
+  bool enabled = false;
+  bool permanent = false;
+  std::string symbol;
+};
+
+class DfmState {
+ public:
+  using EntryKey = std::pair<std::string, ObjectId>;  // (function, component)
+
+  // --- Configuration functions (mirror a DCDO's external interface) ---
+
+  // Adds all of `meta`'s function implementations, disabled. Honours the
+  // component author's constraint markings: kMandatory marks the function
+  // mandatory; kPermanent marks the impl permanent (and enables it, since a
+  // permanent impl may never be disabled). If `auto_structural_deps`, the
+  // component's `calls` hints become Type A dependencies.
+  Status IncorporateComponent(const ImplementationComponent& meta,
+                              bool auto_structural_deps = true);
+
+  // Removes the component and all its rows. Fails on permanent impls,
+  // on mandatory functions whose only implementation lives here, and on
+  // dependency violations.
+  Status RemoveComponent(const ObjectId& component);
+
+  // Enables the (function, component) implementation. Fails if another
+  // implementation of the function is already enabled (disable or Switch
+  // first), or if enabling would leave the new configuration violating a
+  // dependency (e.g. a Type A dep of this impl with no enabled target).
+  Status EnableFunction(const std::string& function,
+                        const ObjectId& component);
+
+  // Disables the implementation. Fails on permanent impls, on the last
+  // enabled impl of a mandatory function, and on dependency violations.
+  Status DisableFunction(const std::string& function,
+                         const ObjectId& component);
+
+  // Atomically disables whichever impl of `function` is enabled (if any) and
+  // enables the one in `to_component` — the paper's "change the
+  // implementation of a function while keeping its signature the same".
+  Status SwitchImplementation(const std::string& function,
+                              const ObjectId& to_component);
+
+  // Changes an implementation's visibility (add to / remove from the public
+  // interface without touching enablement).
+  Status SetVisibility(const std::string& function, const ObjectId& component,
+                       Visibility visibility);
+
+  // Constraint markings. Marks may only be strengthened: a mandatory function
+  // stays mandatory in every configuration derived from this one.
+  Status MarkMandatory(const std::string& function);
+  Status MarkPermanent(const std::string& function, const ObjectId& component);
+
+  Status AddDependency(Dependency dep);
+  Status RemoveDependency(const Dependency& dep);
+
+  // --- Status-reporting queries ---
+
+  bool HasComponent(const ObjectId& component) const {
+    return components_.contains(component);
+  }
+  const ImplementationComponent* FindComponent(const ObjectId& component) const;
+  std::vector<ObjectId> ComponentIds() const;
+  std::size_t component_count() const { return components_.size(); }
+
+  const DfmEntry* FindEntry(const std::string& function,
+                            const ObjectId& component) const;
+  // The enabled implementation of `function`, if any.
+  const DfmEntry* EnabledImpl(const std::string& function) const;
+  bool AnyImplPresent(const std::string& function) const;
+  bool IsMandatory(const std::string& function) const {
+    return mandatory_.contains(function);
+  }
+
+  // Enabled + exported functions: what a client sees when it asks for the
+  // object's interface.
+  std::vector<FunctionSignature> ExportedInterface() const;
+  // Every row (used to build diffs and by tests).
+  std::vector<const DfmEntry*> AllEntries() const;
+  std::size_t entry_count() const { return entries_.size(); }
+
+  const DependencySet& dependencies() const { return deps_; }
+  const std::set<std::string>& mandatory_functions() const {
+    return mandatory_;
+  }
+
+  EnabledSnapshot Snapshot() const;
+
+  // Wholesale adoption of `target`'s configuration during evolution, applied
+  // atomically so legal version-to-version moves never trip over transient
+  // orderings of individual enable/disable calls. Preconditions: every
+  // target entry already exists here (incorporate new components first).
+  // Entries absent from the target are disabled (they belong to components
+  // about to be removed). Metadata (visibility, mandatory, permanent,
+  // dependencies) is replaced by the target's.
+  //
+  // With `enforce_marks` (the increasing-version and hybrid policies), the
+  // move is rejected if it would disable a currently-permanent
+  // implementation or leave a currently-mandatory function without an
+  // enabled implementation; marks are then carried forward (union). Without
+  // it (the general-evolution policy), the target's marks replace the
+  // current ones outright — the paper notes general evolution "undermines
+  // the use of mandatory and permanent functions".
+  Status AdoptConfiguration(const DfmState& target, bool enforce_marks);
+
+  // Full-configuration validation, required before a version may be marked
+  // instantiable: every mandatory function has an enabled implementation,
+  // every permanent implementation is enabled, and no binding dependency is
+  // violated.
+  Status ValidateComplete() const;
+
+ private:
+  Status ValidateMutation(const EnabledSnapshot& proposed) const;
+
+  std::map<ObjectId, ImplementationComponent> components_;
+  std::map<EntryKey, DfmEntry> entries_;
+  std::set<std::string> mandatory_;
+  DependencySet deps_;
+};
+
+}  // namespace dcdo

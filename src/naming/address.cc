@@ -1,0 +1,18 @@
+#include "naming/address.h"
+
+#include "common/strings.h"
+
+namespace dcdo {
+
+std::string ObjectAddress::ToString() const {
+  if (!valid()) return "<unbound>";
+  return StrFormat("node%u/pid%llu@e%llu", node,
+                   static_cast<unsigned long long>(pid),
+                   static_cast<unsigned long long>(epoch));
+}
+
+std::ostream& operator<<(std::ostream& os, const ObjectAddress& address) {
+  return os << address.ToString();
+}
+
+}  // namespace dcdo

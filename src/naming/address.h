@@ -1,0 +1,35 @@
+// Object addresses: the *location-dependent* half of Legion naming.
+//
+// An ObjectId names an object forever; an ObjectAddress says where its
+// current activation lives (host, process, and an activation epoch). When an
+// object migrates or is re-activated after evolution, it gets a fresh epoch —
+// invocations carrying an old epoch at the right process are rejected, which
+// is how the runtime distinguishes "stale binding" from "object busy". The
+// 25-35 s stale-binding discovery cost the paper reports (Section 4) is the
+// client-side protocol for recovering from exactly this situation.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/host.h"
+
+namespace dcdo {
+
+struct ObjectAddress {
+  sim::NodeId node = 0;
+  sim::ProcessId pid = 0;
+  std::uint64_t epoch = 0;  // bumped on every (re)activation
+
+  bool valid() const { return pid != 0; }
+  static ObjectAddress Invalid() { return ObjectAddress{}; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ObjectAddress&, const ObjectAddress&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const ObjectAddress& address);
+
+}  // namespace dcdo

@@ -1,0 +1,20 @@
+#include "naming/binding_agent.h"
+
+namespace dcdo {
+
+void BindingAgent::Bind(const ObjectId& id, const ObjectAddress& address) {
+  bindings_[id] = address;
+}
+
+void BindingAgent::Unbind(const ObjectId& id) { bindings_.erase(id); }
+
+Result<ObjectAddress> BindingAgent::Lookup(const ObjectId& id) const {
+  ++lookups_served_;
+  auto it = bindings_.find(id);
+  if (it == bindings_.end()) {
+    return NotFoundError("no binding for object " + id.ToString());
+  }
+  return it->second;
+}
+
+}  // namespace dcdo

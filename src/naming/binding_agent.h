@@ -1,0 +1,42 @@
+// BindingAgent: the authoritative ObjectId -> ObjectAddress registry.
+//
+// Legion resolves LOIDs to object addresses through binding agents; clients
+// cache bindings locally (see BindingCache) and fall back to the agent when a
+// cached binding proves stale. The agent here is the authoritative store; the
+// *cost* of consulting it remotely (CostModel::rebind_query) is charged by
+// the caller's cache-refresh protocol, keeping this class a pure data
+// structure that is trivial to test.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "naming/address.h"
+
+namespace dcdo {
+
+class BindingAgent {
+ public:
+  // Registers or replaces the authoritative binding for `id`.
+  void Bind(const ObjectId& id, const ObjectAddress& address);
+
+  // Removes the binding (object deactivated with no forwarding address).
+  void Unbind(const ObjectId& id);
+
+  // Authoritative lookup; kNotFound if the object has no current activation.
+  Result<ObjectAddress> Lookup(const ObjectId& id) const;
+
+  bool Bound(const ObjectId& id) const { return bindings_.contains(id); }
+  std::size_t size() const { return bindings_.size(); }
+
+  // Number of Lookup calls served; benches report agent load per policy.
+  std::uint64_t lookups_served() const { return lookups_served_; }
+
+ private:
+  std::unordered_map<ObjectId, ObjectAddress, ObjectIdHash> bindings_;
+  mutable std::uint64_t lookups_served_ = 0;
+};
+
+}  // namespace dcdo

@@ -1,0 +1,25 @@
+#include "naming/binding_cache.h"
+
+namespace dcdo {
+
+Result<ObjectAddress> BindingCache::Resolve(const ObjectId& id) {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  DCDO_ASSIGN_OR_RETURN(ObjectAddress address, agent_.Lookup(id));
+  cache_[id] = address;
+  return address;
+}
+
+Result<ObjectAddress> BindingCache::RefreshFromAgent(const ObjectId& id) {
+  ++refreshes_;
+  cache_.erase(id);
+  DCDO_ASSIGN_OR_RETURN(ObjectAddress address, agent_.Lookup(id));
+  cache_[id] = address;
+  return address;
+}
+
+}  // namespace dcdo

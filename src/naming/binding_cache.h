@@ -1,0 +1,55 @@
+// BindingCache: a client's local cache of object bindings.
+//
+// The paper observes that after a monolithic Legion object evolves (new
+// process, new address), "it takes objects approximately 25 to 35 seconds to
+// realize that a local binding contains a physical address that the object is
+// no longer using". That delay is a client-side protocol: invocations to the
+// dead address time out (CostModel::invocation_timeout), are retried
+// (stale_retry_count), and only then does the client consult the binding
+// agent (rebind_query). This class holds the cache and implements the refresh
+// decision; the invoker (rpc layer) drives the retry loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "naming/address.h"
+#include "naming/binding_agent.h"
+#include "sim/simulation.h"
+
+namespace dcdo {
+
+class BindingCache {
+ public:
+  explicit BindingCache(const BindingAgent* agent) : agent_(*agent) {}
+
+  // Cached binding if present, else authoritative lookup (which populates the
+  // cache). A cached entry may of course be stale — that is the point.
+  Result<ObjectAddress> Resolve(const ObjectId& id);
+
+  // Drops the cached entry and re-fetches from the agent. Returns the fresh
+  // binding. The caller charges CostModel::rebind_query in sim time.
+  Result<ObjectAddress> RefreshFromAgent(const ObjectId& id);
+
+  void Invalidate(const ObjectId& id) { cache_.erase(id); }
+  void InvalidateAll() { cache_.clear(); }
+
+  bool Cached(const ObjectId& id) const { return cache_.contains(id); }
+  std::size_t size() const { return cache_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t refreshes() const { return refreshes_; }
+
+ private:
+  const BindingAgent& agent_;
+  std::unordered_map<ObjectId, ObjectAddress, ObjectIdHash> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace dcdo

@@ -1,0 +1,106 @@
+#include "naming/name_service.h"
+
+#include <algorithm>
+
+namespace dcdo {
+
+Result<std::string> NameService::Normalize(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return InvalidArgumentError("path '" + path + "' is not absolute");
+  }
+  if (path == "/") return std::string("/");
+  if (path.back() == '/') {
+    return InvalidArgumentError("path '" + path + "' has a trailing slash");
+  }
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (path[i] == '/' && path[i - 1] == '/') {
+      return InvalidArgumentError("path '" + path + "' has an empty segment");
+    }
+  }
+  return path;
+}
+
+Status NameService::Bind(const std::string& raw_path, const ObjectId& id) {
+  DCDO_ASSIGN_OR_RETURN(std::string path, Normalize(raw_path));
+  if (path == "/") {
+    return InvalidArgumentError("the root directory cannot be bound");
+  }
+  if (id.nil()) {
+    return InvalidArgumentError("cannot bind '" + path + "' to the nil id");
+  }
+  if (names_.contains(path)) {
+    return AlreadyExistsError("'" + path + "' is already bound");
+  }
+  if (IsDirectory(path)) {
+    return AlreadyExistsError("'" + path + "' is a directory");
+  }
+  // No ancestor of the new name may itself be a bound name.
+  for (std::size_t slash = path.rfind('/'); slash > 0;
+       slash = path.rfind('/', slash - 1)) {
+    if (names_.contains(path.substr(0, slash))) {
+      return AlreadyExistsError("'" + path.substr(0, slash) +
+                                "' is a name, not a directory");
+    }
+  }
+  names_[path] = id;
+  return Status::Ok();
+}
+
+Status NameService::Unbind(const std::string& raw_path) {
+  DCDO_ASSIGN_OR_RETURN(std::string path, Normalize(raw_path));
+  if (names_.erase(path) == 0) {
+    return NotFoundError("'" + path + "' is not bound");
+  }
+  return Status::Ok();
+}
+
+Result<ObjectId> NameService::Lookup(const std::string& raw_path) const {
+  DCDO_ASSIGN_OR_RETURN(std::string path, Normalize(raw_path));
+  auto it = names_.find(path);
+  if (it == names_.end()) {
+    return NotFoundError("'" + path + "' is not bound");
+  }
+  return it->second;
+}
+
+bool NameService::IsName(const std::string& raw_path) const {
+  auto normalized = Normalize(raw_path);
+  return normalized.ok() && names_.contains(*normalized);
+}
+
+bool NameService::IsDirectory(const std::string& raw_path) const {
+  auto normalized = Normalize(raw_path);
+  if (!normalized.ok()) return false;
+  if (*normalized == "/") return true;
+  std::string prefix = *normalized + "/";
+  auto it = names_.lower_bound(prefix);
+  return it != names_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+}
+
+Result<std::vector<std::string>> NameService::List(
+    const std::string& raw_directory) const {
+  DCDO_ASSIGN_OR_RETURN(std::string directory, Normalize(raw_directory));
+  if (directory != "/" && !IsDirectory(directory)) {
+    if (IsName(directory)) {
+      return FailedPreconditionError("'" + directory + "' is a name");
+    }
+    return NotFoundError("'" + directory + "' does not exist");
+  }
+  std::string prefix = directory == "/" ? "/" : directory + "/";
+  std::vector<std::string> out;
+  for (auto it = names_.lower_bound(prefix);
+       it != names_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    std::string_view rest(it->first);
+    rest.remove_prefix(prefix.size());
+    std::size_t slash = rest.find('/');
+    std::string child = slash == std::string_view::npos
+                            ? std::string(rest)
+                            : std::string(rest.substr(0, slash)) + "/";
+    if (out.empty() || out.back() != child) out.push_back(std::move(child));
+  }
+  return out;
+}
+
+}  // namespace dcdo

@@ -1,0 +1,127 @@
+#include "rpc/client.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dcdo::rpc {
+
+struct RpcClient::CallState {
+  ObjectId target;
+  std::string method;
+  ByteBuffer args;
+  Callback done;
+  ObjectAddress address;
+  int attempts_this_binding = 0;
+  bool refreshed = false;
+  bool finished = false;
+  std::uint64_t call_id = 0;
+  std::uint64_t timer_id = 0;
+};
+
+void RpcClient::Invoke(const ObjectId& target, std::string method,
+                       ByteBuffer args, Callback done) {
+  ++calls_started_;
+  auto call = std::make_shared<CallState>();
+  call->target = target;
+  call->method = std::move(method);
+  call->args = std::move(args);
+  call->done = std::move(done);
+  call->call_id = next_call_id_++;
+
+  Result<ObjectAddress> address = cache_.Resolve(target);
+  if (!address.ok()) {
+    call->done(address.status());
+    return;
+  }
+  call->address = *address;
+  Attempt(call);
+}
+
+void RpcClient::Attempt(const std::shared_ptr<CallState>& call) {
+  sim::Simulation& simulation = transport_.simulation();
+  ++call->attempts_this_binding;
+
+  MethodInvocation invocation;
+  invocation.target = call->target;
+  invocation.method = call->method;
+  invocation.args = call->args;
+  invocation.expected_epoch = call->address.epoch;
+  invocation.call_id = call->call_id;
+
+  // Arm the timeout before sending; the reply cancels it.
+  call->timer_id = simulation.Schedule(
+      transport_.cost_model().invocation_timeout,
+      [this, call]() { OnTimeout(call); });
+
+  transport_.Invoke(
+      node_, call->address.node, call->address.pid, std::move(invocation),
+      [this, call](MethodResult result) {
+        if (call->finished) return;  // a late reply after we gave up
+        call->finished = true;
+        transport_.simulation().Cancel(call->timer_id);
+        if (result.status.ok()) {
+          call->done(std::move(result.payload));
+        } else {
+          call->done(std::move(result.status));
+        }
+      });
+}
+
+void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
+  if (call->finished) return;
+  ++timeouts_;
+  const sim::CostModel& cost = transport_.cost_model();
+
+  if (call->attempts_this_binding <= cost.stale_retry_count) {
+    DCDO_LOG(kDebug) << "rpc: timeout on " << call->method << ", retry "
+                     << call->attempts_this_binding;
+    Attempt(call);
+    return;
+  }
+
+  if (!call->refreshed) {
+    // All retries on the cached binding went unanswered: declare it stale
+    // and consult the binding agent (paying the rebind query cost).
+    call->refreshed = true;
+    call->attempts_this_binding = 0;
+    ++rebinds_;
+    sim::Simulation& simulation = transport_.simulation();
+    simulation.Schedule(cost.rebind_query, [this, call]() {
+      if (call->finished) return;
+      Result<ObjectAddress> fresh = cache_.RefreshFromAgent(call->target);
+      if (!fresh.ok()) {
+        call->finished = true;
+        call->done(UnavailableError("object " + call->target.ToString() +
+                                    " has no current binding"));
+        return;
+      }
+      DCDO_LOG(kDebug) << "rpc: rebound " << call->target << " to "
+                       << fresh->ToString();
+      call->address = *fresh;
+      Attempt(call);
+    });
+    return;
+  }
+
+  call->finished = true;
+  call->done(TimeoutError("invocation of " + call->method + " on " +
+                          call->target.ToString() +
+                          " timed out after rebind"));
+}
+
+Result<ByteBuffer> RpcClient::InvokeBlocking(const ObjectId& target,
+                                             std::string method,
+                                             ByteBuffer args) {
+  std::optional<Result<ByteBuffer>> out;
+  Invoke(target, std::move(method), std::move(args),
+         [&out](Result<ByteBuffer> result) { out.emplace(std::move(result)); });
+  transport_.simulation().RunWhile([&out]() { return !out.has_value(); });
+  if (!out.has_value()) {
+    return InternalError("simulation drained before the reply arrived");
+  }
+  return std::move(*out);
+}
+
+}  // namespace dcdo::rpc

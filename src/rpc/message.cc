@@ -1,0 +1,5 @@
+#include "rpc/message.h"
+
+// MethodInvocation/MethodResult are header-only aggregates; this TU anchors
+// the library target.
+namespace dcdo::rpc {}

@@ -1,0 +1,48 @@
+// Wire-level types for Legion-style method invocation.
+//
+// A MethodInvocation names a target object (location-independent ObjectId),
+// a method, and carries marshaled arguments. The expected activation epoch
+// travels with the call so a process can reject invocations addressed to a
+// previous activation of itself (the stale-binding signal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/object_id.h"
+#include "common/status.h"
+
+namespace dcdo::rpc {
+
+// Fixed per-message header overhead added to every wire message, covering
+// addressing, security context, and Legion's message envelope.
+inline constexpr std::size_t kHeaderBytes = 96;
+
+struct MethodInvocation {
+  ObjectId target;
+  std::string method;
+  ByteBuffer args;
+  std::uint64_t expected_epoch = 0;
+  std::uint64_t call_id = 0;  // assigned by the client; echoed in the reply
+
+  std::size_t WireSize() const {
+    return kHeaderBytes + method.size() + args.size();
+  }
+};
+
+struct MethodResult {
+  Status status;
+  ByteBuffer payload;
+
+  std::size_t WireSize() const { return kHeaderBytes + payload.size(); }
+
+  static MethodResult Ok(ByteBuffer payload = {}) {
+    return MethodResult{Status::Ok(), std::move(payload)};
+  }
+  static MethodResult Error(Status status) {
+    return MethodResult{std::move(status), {}};
+  }
+};
+
+}  // namespace dcdo::rpc

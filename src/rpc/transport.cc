@@ -1,0 +1,68 @@
+#include "rpc/transport.h"
+
+#include "common/logging.h"
+
+namespace dcdo::rpc {
+
+void RpcTransport::RegisterEndpoint(sim::NodeId node, sim::ProcessId pid,
+                                    std::uint64_t epoch, Handler handler) {
+  endpoints_[{node, pid}] = Endpoint{epoch, std::move(handler)};
+}
+
+void RpcTransport::UnregisterEndpoint(sim::NodeId node, sim::ProcessId pid) {
+  endpoints_.erase({node, pid});
+}
+
+void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
+                          sim::ProcessId to_pid, MethodInvocation invocation,
+                          ReplyFn on_reply) {
+  const sim::CostModel& cost = cost_model();
+  sim::Simulation& simulation = network_.simulation();
+
+  // Sender-side marshaling happens before the message hits the wire.
+  simulation.AdvanceInline(
+      cost.rpc_marshal_per_call +
+      sim::SimDuration::Seconds(static_cast<double>(invocation.args.size()) /
+                                cost.marshal_bytes_per_sec));
+
+  std::size_t wire_bytes = invocation.WireSize();
+  network_.Send(
+      from_node, to_node, wire_bytes,
+      [this, from_node, to_node, to_pid, invocation = std::move(invocation),
+       on_reply = std::move(on_reply)]() mutable {
+        auto it = endpoints_.find({to_node, to_pid});
+        if (it == endpoints_.end()) {
+          // Dead process: the invocation vanishes; caller's timeout fires.
+          DCDO_LOG(kDebug) << "rpc: no endpoint at node " << to_node << "/pid "
+                           << to_pid << " for " << invocation.method;
+          return;
+        }
+        if (invocation.expected_epoch != 0 &&
+            it->second.epoch != invocation.expected_epoch) {
+          // Same (node, pid) reused by a newer activation: the old-epoch
+          // invocation is silently discarded, exactly like a message to a
+          // dead address.
+          ++epoch_rejections_;
+          DCDO_LOG(kDebug) << "rpc: epoch mismatch at node " << to_node
+                           << " for " << invocation.method;
+          return;
+        }
+        ++invocations_delivered_;
+        sim::Simulation& simulation = network_.simulation();
+        simulation.AdvanceInline(cost_model().rpc_dispatch);
+        // Wrap the reply so it travels back over the network to the caller.
+        ReplyFn wire_reply = [this, from_node, to_node,
+                              on_reply = std::move(on_reply)](
+                                 MethodResult result) mutable {
+          std::size_t reply_bytes = result.WireSize();
+          network_.Send(to_node, from_node, reply_bytes,
+                        [on_reply = std::move(on_reply),
+                         result = std::move(result)]() mutable {
+                          on_reply(std::move(result));
+                        });
+        };
+        it->second.handler(invocation, std::move(wire_reply));
+      });
+}
+
+}  // namespace dcdo::rpc

@@ -1,0 +1,72 @@
+// RpcTransport: delivers invocations to object activations.
+//
+// Each active object registers an endpoint keyed by (node, pid) with its
+// current activation epoch. Delivery semantics mirror a real deployment:
+//   * destination process gone, or epoch mismatch  ->  the message vanishes
+//     (no ICMP-style bounce); the *caller's timeout* detects the failure.
+//   * otherwise the handler runs after the dispatch cost and replies
+//     asynchronously (an object may park a call while it makes an outcall —
+//     the situation behind the paper's disappearing-function problems).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/status.h"
+#include "rpc/message.h"
+#include "sim/host.h"
+#include "sim/network.h"
+
+namespace dcdo::rpc {
+
+// Called by a handler to send its reply (may be deferred).
+using ReplyFn = std::function<void(MethodResult)>;
+// Installed per activation; services one invocation.
+using Handler = std::function<void(const MethodInvocation&, ReplyFn)>;
+
+class RpcTransport {
+ public:
+  explicit RpcTransport(sim::SimNetwork* network) : network_(*network) {}
+
+  // Registers the activation of an object at (node, pid) with `epoch`.
+  // Replaces any previous endpoint at that key.
+  void RegisterEndpoint(sim::NodeId node, sim::ProcessId pid,
+                        std::uint64_t epoch, Handler handler);
+
+  // Removes the endpoint; subsequent deliveries to (node, pid) vanish.
+  void UnregisterEndpoint(sim::NodeId node, sim::ProcessId pid);
+
+  bool EndpointAlive(sim::NodeId node, sim::ProcessId pid) const {
+    return endpoints_.contains({node, pid});
+  }
+
+  // Sends `invocation` from `from_node` to the endpoint at (to_node, to_pid).
+  // `on_reply` runs back at the caller's node when the reply lands; it never
+  // runs if the call is lost — callers arm their own timeout.
+  void Invoke(sim::NodeId from_node, sim::NodeId to_node, sim::ProcessId to_pid,
+              MethodInvocation invocation, ReplyFn on_reply);
+
+  sim::SimNetwork& network() { return network_; }
+  sim::Simulation& simulation() { return network_.simulation(); }
+  const sim::CostModel& cost_model() const { return network_.cost_model(); }
+
+  std::uint64_t invocations_delivered() const {
+    return invocations_delivered_;
+  }
+  std::uint64_t epoch_rejections() const { return epoch_rejections_; }
+
+ private:
+  struct Endpoint {
+    std::uint64_t epoch;
+    Handler handler;
+  };
+
+  sim::SimNetwork& network_;
+  std::map<std::pair<sim::NodeId, sim::ProcessId>, Endpoint> endpoints_;
+  std::uint64_t invocations_delivered_ = 0;
+  std::uint64_t epoch_rejections_ = 0;
+};
+
+}  // namespace dcdo::rpc

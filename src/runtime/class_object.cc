@@ -1,0 +1,320 @@
+#include "runtime/class_object.h"
+
+#include "common/logging.h"
+
+namespace dcdo {
+
+ClassObject::ClassObject(std::string class_name, sim::SimHost* home,
+                         rpc::RpcTransport* transport, BindingAgent* agent)
+    : class_name_(std::move(class_name)),
+      id_(ObjectId::Next(domains::kClassObject)),
+      home_(*home),
+      transport_(*transport),
+      agent_(*agent) {
+  pid_ = home_.AdoptProcess(id_);
+  agent_.Bind(id_, ObjectAddress{home_.node(), pid_, /*epoch=*/1});
+}
+
+ClassObject::~ClassObject() {
+  for (auto& [instance_id, instance] : instances_) {
+    if (instance.active) {
+      transport_.UnregisterEndpoint(instance.host->node(), instance.pid);
+      (void)instance.host->KillProcess(instance.pid);
+      agent_.Unbind(instance_id);
+    }
+  }
+  agent_.Unbind(id_);
+  (void)home_.KillProcess(pid_);
+}
+
+std::size_t ClassObject::AddExecutable(Executable executable) {
+  executables_.push_back(std::move(executable));
+  std::size_t index = executables_.size() - 1;
+  // The class object's home host holds the master copy of every executable.
+  home_.StoreFile(ExecutableFileName(index), executables_[index].bytes);
+  return index;
+}
+
+Status ClassObject::SetCurrentExecutable(std::size_t index) {
+  if (index >= executables_.size()) {
+    return OutOfRangeError("no executable " + std::to_string(index) +
+                           " in class " + class_name_);
+  }
+  current_executable_ = index;
+  return Status::Ok();
+}
+
+std::string ClassObject::ExecutableFileName(std::size_t index) const {
+  return "exec/" + class_name_ + "/" + executables_[index].name;
+}
+
+void ClassObject::EnsureExecutableOnHost(sim::SimHost* host,
+                                         std::size_t executable_index,
+                                         DoneCallback done) {
+  const std::string file = ExecutableFileName(executable_index);
+  if (host->HasFile(file)) {
+    done(Status::Ok());
+    return;
+  }
+  std::size_t bytes = executables_[executable_index].bytes;
+  DCDO_LOG(kDebug) << class_name_ << ": downloading " << file << " ("
+                   << bytes << "B) to node " << host->node();
+  home_.network().BulkTransfer(
+      home_.node(), host->node(), bytes,
+      [host, file, bytes, done = std::move(done)]() {
+        host->StoreFile(file, bytes);
+        done(Status::Ok());
+      });
+}
+
+void ClassObject::RegisterEndpoint(const ObjectId& instance_id) {
+  Instance& instance = instances_.at(instance_id);
+  std::size_t executable_index = instance.executable_index;
+  transport_.RegisterEndpoint(
+      instance.host->node(), instance.pid, instance.epoch,
+      [this, instance_id, executable_index](
+          const rpc::MethodInvocation& invocation, rpc::ReplyFn reply) {
+        auto it = instances_.find(instance_id);
+        if (it == instances_.end()) {
+          reply(rpc::MethodResult::Error(
+              UnavailableError("instance destroyed")));
+          return;
+        }
+        const MethodTable& methods = executables_[executable_index].methods;
+        Result<const MethodFn*> method = methods.Find(invocation.method);
+        if (!method.ok()) {
+          reply(rpc::MethodResult::Error(method.status()));
+          return;
+        }
+        Result<ByteBuffer> result =
+            (**method)(it->second.state, invocation.args);
+        if (result.ok()) {
+          reply(rpc::MethodResult::Ok(std::move(result).value()));
+        } else {
+          reply(rpc::MethodResult::Error(result.status()));
+        }
+      });
+}
+
+void ClassObject::ActivateInstance(const ObjectId& instance_id,
+                                   sim::SimHost* host,
+                                   std::size_t executable_index,
+                                   DoneCallback done) {
+  std::size_t exec_bytes = executables_[executable_index].bytes;
+  host->SpawnProcess(
+      instance_id, exec_bytes,
+      [this, instance_id, host, executable_index,
+       done = std::move(done)](sim::ProcessId pid) {
+        Instance& instance = instances_[instance_id];
+        instance.host = host;
+        instance.pid = pid;
+        instance.epoch = next_epoch_++;
+        instance.executable_index = executable_index;
+        instance.active = true;
+        RegisterEndpoint(instance_id);
+        agent_.Bind(instance_id,
+                    ObjectAddress{host->node(), pid, instance.epoch});
+        // Activation handshake with the class object completes creation.
+        sim::Simulation& simulation = home_.simulation();
+        simulation.Schedule(home_.cost_model().activation_handshake,
+                            [done = std::move(done)]() { done(Status::Ok()); });
+      });
+}
+
+void ClassObject::CreateInstance(sim::SimHost* host,
+                                 std::size_t initial_state_bytes,
+                                 CreateCallback done) {
+  ObjectId instance_id = ObjectId::Next(domains::kInstance);
+  Instance& instance = instances_[instance_id];
+  instance.state.logical_size = initial_state_bytes;
+  std::size_t executable_index = current_executable_;
+  EnsureExecutableOnHost(
+      host, executable_index,
+      [this, instance_id, host, executable_index,
+       done = std::move(done)](Status status) {
+        if (!status.ok()) {
+          instances_.erase(instance_id);
+          done(status);
+          return;
+        }
+        ActivateInstance(instance_id, host, executable_index,
+                         [instance_id, done = std::move(done)](Status status) {
+                           if (!status.ok()) {
+                             done(status);
+                           } else {
+                             done(instance_id);
+                           }
+                         });
+      });
+}
+
+void ClassObject::EvolveInstance(const ObjectId& instance_id,
+                                 std::size_t executable_index,
+                                 DoneCallback done) {
+  auto it = instances_.find(instance_id);
+  if (it == instances_.end()) {
+    done(NotFoundError("no instance " + instance_id.ToString()));
+    return;
+  }
+  if (executable_index >= executables_.size()) {
+    done(OutOfRangeError("no executable " + std::to_string(executable_index)));
+    return;
+  }
+  Instance& instance = it->second;
+  sim::SimHost* host = instance.host;
+  sim::Simulation& simulation = home_.simulation();
+  const sim::CostModel& cost = home_.cost_model();
+
+  // 1. Capture the object's state.
+  std::size_t state_bytes = instance.state.CaptureSize();
+  simulation.Schedule(cost.StateCapture(state_bytes), [this, instance_id,
+                                                       host, executable_index,
+                                                       state_bytes,
+                                                       done = std::move(
+                                                           done)]() mutable {
+    auto it = instances_.find(instance_id);
+    if (it == instances_.end()) {
+      done(NotFoundError("instance destroyed during evolution"));
+      return;
+    }
+    // 2. Deactivate the old process. The binding agent keeps no entry for
+    //    the object until reactivation; clients' cached bindings are stale.
+    Instance& instance = it->second;
+    transport_.UnregisterEndpoint(instance.host->node(), instance.pid);
+    (void)instance.host->KillProcess(instance.pid);
+    instance.active = false;
+    agent_.Unbind(instance_id);
+    DCDO_LOG(kDebug) << class_name_ << ": instance " << instance_id
+                     << " deactivated for evolution";
+
+    // 3. Download the new executable to the host (if absent).
+    EnsureExecutableOnHost(
+        host, executable_index,
+        [this, instance_id, host, executable_index, state_bytes,
+         done = std::move(done)](Status status) mutable {
+          if (!status.ok()) {
+            done(status);
+            return;
+          }
+          // 4. Spawn the new process (reloads the executable)...
+          ActivateInstance(
+              instance_id, host, executable_index,
+              [this, instance_id, state_bytes,
+               done = std::move(done)](Status status) {
+                if (!status.ok()) {
+                  done(status);
+                  return;
+                }
+                // 5. ...and read the captured state back in.
+                sim::Simulation& simulation = home_.simulation();
+                simulation.Schedule(
+                    home_.cost_model().StateRestore(state_bytes),
+                    [done = std::move(done)]() { done(Status::Ok()); });
+              });
+        });
+  });
+}
+
+void ClassObject::MigrateInstance(const ObjectId& instance_id,
+                                  sim::SimHost* dest, DoneCallback done) {
+  auto it = instances_.find(instance_id);
+  if (it == instances_.end()) {
+    done(NotFoundError("no instance " + instance_id.ToString()));
+    return;
+  }
+  Instance& instance = it->second;
+  std::size_t executable_index = instance.executable_index;
+  std::size_t state_bytes = instance.state.CaptureSize();
+  sim::SimHost* source = instance.host;
+  sim::Simulation& simulation = home_.simulation();
+  const sim::CostModel& cost = home_.cost_model();
+
+  simulation.Schedule(
+      cost.StateCapture(state_bytes),
+      [this, instance_id, source, dest, executable_index, state_bytes,
+       done = std::move(done)]() mutable {
+        auto it = instances_.find(instance_id);
+        if (it == instances_.end()) {
+          done(NotFoundError("instance destroyed during migration"));
+          return;
+        }
+        Instance& instance = it->second;
+        transport_.UnregisterEndpoint(instance.host->node(), instance.pid);
+        (void)instance.host->KillProcess(instance.pid);
+        instance.active = false;
+        agent_.Unbind(instance_id);
+
+        // State travels to the destination while the executable is fetched.
+        source->network().BulkTransfer(
+            source->node(), dest->node(), state_bytes,
+            [this, instance_id, dest, executable_index, state_bytes,
+             done = std::move(done)]() mutable {
+              EnsureExecutableOnHost(
+                  dest, executable_index,
+                  [this, instance_id, dest, executable_index, state_bytes,
+                   done = std::move(done)](Status status) mutable {
+                    if (!status.ok()) {
+                      done(status);
+                      return;
+                    }
+                    ActivateInstance(
+                        instance_id, dest, executable_index,
+                        [this, instance_id, state_bytes,
+                         done = std::move(done)](Status status) {
+                          if (!status.ok()) {
+                            done(status);
+                            return;
+                          }
+                          home_.simulation().Schedule(
+                              home_.cost_model().StateRestore(state_bytes),
+                              [done = std::move(done)]() {
+                                done(Status::Ok());
+                              });
+                        });
+                  });
+            });
+      });
+}
+
+Status ClassObject::DestroyInstance(const ObjectId& instance_id) {
+  auto it = instances_.find(instance_id);
+  if (it == instances_.end()) {
+    return NotFoundError("no instance " + instance_id.ToString());
+  }
+  Instance& instance = it->second;
+  if (instance.active) {
+    transport_.UnregisterEndpoint(instance.host->node(), instance.pid);
+    (void)instance.host->KillProcess(instance.pid);
+    agent_.Unbind(instance_id);
+  }
+  instances_.erase(it);
+  return Status::Ok();
+}
+
+Result<std::size_t> ClassObject::InstanceExecutable(
+    const ObjectId& instance) const {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    return NotFoundError("no instance " + instance.ToString());
+  }
+  return it->second.executable_index;
+}
+
+Result<sim::NodeId> ClassObject::InstanceNode(const ObjectId& instance) const {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    return NotFoundError("no instance " + instance.ToString());
+  }
+  return it->second.host->node();
+}
+
+Result<InstanceState*> ClassObject::MutableInstanceState(
+    const ObjectId& instance) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    return NotFoundError("no instance " + instance.ToString());
+  }
+  return &it->second.state;
+}
+
+}  // namespace dcdo

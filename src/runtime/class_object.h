@@ -1,0 +1,132 @@
+// ClassObject: Legion's per-type manager for normal (monolithic) objects.
+//
+// In Legion every object belongs to a class object that creates, locates,
+// migrates, and (expensively) evolves its instances. This is the baseline
+// the paper measures DCDOs against. Evolving a monolithic instance runs the
+// full traditional pipeline the paper enumerates in Section 4:
+//
+//   capture the object's state
+//   -> deactivate the old process (its address silently dies; clients hold
+//      stale bindings until their timeout/rebind protocol fires)
+//   -> download the new executable to the host, unless already present
+//   -> spawn a new process and load the executable
+//   -> restore the captured state into the new process
+//   -> re-register the (new) address with the binding agent.
+//
+// With the calibrated cost model, evolving a 5.1 MB object this way costs
+// tens of seconds — the number the DCDO mechanism's sub-second evolution is
+// compared against.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "naming/binding_agent.h"
+#include "rpc/transport.h"
+#include "runtime/method_table.h"
+#include "sim/host.h"
+
+namespace dcdo {
+
+// A versioned monolithic executable: the unit a normal object's behaviour
+// is frozen into.
+struct Executable {
+  std::string name;        // e.g. "server-v2"
+  std::size_t bytes = 0;   // image size (drives download cost)
+  MethodTable methods;     // behaviour compiled into this executable
+};
+
+class ClassObject {
+ public:
+  // `home` is where the class object runs and where executables are stored;
+  // instances download executables from here.
+  ClassObject(std::string class_name, sim::SimHost* home,
+              rpc::RpcTransport* transport, BindingAgent* agent);
+  ~ClassObject();
+
+  ClassObject(const ClassObject&) = delete;
+  ClassObject& operator=(const ClassObject&) = delete;
+
+  const std::string& class_name() const { return class_name_; }
+  const ObjectId& id() const { return id_; }
+
+  // Registers an executable version; the first registered one becomes
+  // current. Returns its index.
+  std::size_t AddExecutable(Executable executable);
+  Status SetCurrentExecutable(std::size_t index);
+  const Executable& current_executable() const {
+    return executables_[current_executable_];
+  }
+
+  // --- Instance lifecycle (all asynchronous, completing in sim time) ---
+
+  using CreateCallback = std::function<void(Result<ObjectId>)>;
+  using DoneCallback = std::function<void(Status)>;
+
+  // Creates an instance on `host` running the current executable, with
+  // `initial_state_bytes` of application state. Pays executable download
+  // (if absent on the host), process spawn + load, and the activation
+  // handshake with the class object.
+  void CreateInstance(sim::SimHost* host, std::size_t initial_state_bytes,
+                      CreateCallback done);
+
+  // Evolves `instance` to the executable at `executable_index` via the full
+  // monolithic pipeline described above. The instance's address changes;
+  // client binding caches are NOT updated (that is the point).
+  void EvolveInstance(const ObjectId& instance, std::size_t executable_index,
+                      DoneCallback done);
+
+  // Moves `instance` to `dest`: capture state -> transfer state + download
+  // executable at dest (if absent) -> spawn -> restore -> rebind.
+  void MigrateInstance(const ObjectId& instance, sim::SimHost* dest,
+                       DoneCallback done);
+
+  // Deactivates and forgets the instance.
+  Status DestroyInstance(const ObjectId& instance);
+
+  // --- Introspection ---
+  std::size_t instance_count() const { return instances_.size(); }
+  bool HasInstance(const ObjectId& instance) const {
+    return instances_.contains(instance);
+  }
+  Result<std::size_t> InstanceExecutable(const ObjectId& instance) const;
+  Result<sim::NodeId> InstanceNode(const ObjectId& instance) const;
+
+  // Direct (test-only) access to an instance's state.
+  Result<InstanceState*> MutableInstanceState(const ObjectId& instance);
+
+ private:
+  struct Instance {
+    sim::SimHost* host = nullptr;
+    sim::ProcessId pid = 0;
+    std::uint64_t epoch = 0;
+    std::size_t executable_index = 0;
+    InstanceState state;
+    bool active = false;
+  };
+
+  // Ensures `executable` is in `host`'s file store; `done` runs when it is.
+  void EnsureExecutableOnHost(sim::SimHost* host, std::size_t executable_index,
+                              DoneCallback done);
+  void ActivateInstance(const ObjectId& instance_id, sim::SimHost* host,
+                        std::size_t executable_index, DoneCallback done);
+  std::string ExecutableFileName(std::size_t index) const;
+  void RegisterEndpoint(const ObjectId& instance_id);
+
+  std::string class_name_;
+  ObjectId id_;
+  sim::SimHost& home_;
+  rpc::RpcTransport& transport_;
+  BindingAgent& agent_;
+  sim::ProcessId pid_ = 0;
+  std::vector<Executable> executables_;
+  std::size_t current_executable_ = 0;
+  std::map<ObjectId, Instance> instances_;
+  std::uint64_t next_epoch_ = 1;
+};
+
+}  // namespace dcdo

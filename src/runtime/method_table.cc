@@ -1,0 +1,24 @@
+#include "runtime/method_table.h"
+
+namespace dcdo {
+
+void MethodTable::Add(const std::string& name, MethodFn fn) {
+  methods_[name] = std::move(fn);
+}
+
+Result<const MethodFn*> MethodTable::Find(const std::string& name) const {
+  auto it = methods_.find(name);
+  if (it == methods_.end()) {
+    return NotFoundError("no method '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> MethodTable::MethodNames() const {
+  std::vector<std::string> out;
+  out.reserve(methods_.size());
+  for (const auto& [name, fn] : methods_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dcdo

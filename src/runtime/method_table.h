@@ -1,0 +1,47 @@
+// Method tables for normal (monolithic) Legion objects.
+//
+// A traditional object's behaviour "is generally fixed at compile and link
+// time": its methods are a static table baked into the executable. This is
+// the baseline the DCDO mechanism is compared against — changing any method
+// of such an object means replacing the whole executable (see
+// ClassObject::EvolveInstance).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcdo {
+
+// Mutable per-instance application state a method operates on.
+struct InstanceState {
+  ByteBuffer data;          // captured/restored on evolution and migration
+  std::size_t logical_size = 0;  // app-declared state size for cost accounting
+
+  std::size_t CaptureSize() const {
+    return logical_size > 0 ? logical_size : data.size();
+  }
+};
+
+using MethodFn =
+    std::function<Result<ByteBuffer>(InstanceState&, const ByteBuffer&)>;
+
+class MethodTable {
+ public:
+  // Replaces any existing binding for `name`.
+  void Add(const std::string& name, MethodFn fn);
+
+  Result<const MethodFn*> Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return methods_.contains(name); }
+  std::size_t size() const { return methods_.size(); }
+
+  std::vector<std::string> MethodNames() const;
+
+ private:
+  std::map<std::string, MethodFn> methods_;
+};
+
+}  // namespace dcdo

@@ -1,0 +1,25 @@
+#include "runtime/testbed.h"
+
+namespace dcdo {
+
+Testbed::Testbed(const Options& options) {
+  network_ = std::make_unique<sim::SimNetwork>(&simulation_,
+                                               options.cost_model);
+  transport_ = std::make_unique<rpc::RpcTransport>(network_.get());
+  static constexpr sim::Architecture kRotation[] = {
+      sim::Architecture::kX86Linux, sim::Architecture::kSparcSolaris,
+      sim::Architecture::kAlphaOsf, sim::Architecture::kX86Nt};
+  for (int i = 0; i < options.host_count; ++i) {
+    sim::Architecture arch =
+        options.heterogeneous ? kRotation[i % 4] : sim::Architecture::kX86Linux;
+    hosts_.push_back(std::make_unique<sim::SimHost>(
+        &simulation_, network_.get(), static_cast<sim::NodeId>(i + 1), arch));
+  }
+}
+
+std::unique_ptr<rpc::RpcClient> Testbed::MakeClient(std::size_t host_index) {
+  return std::make_unique<rpc::RpcClient>(transport_.get(), &agent_,
+                                          hosts_.at(host_index)->node());
+}
+
+}  // namespace dcdo

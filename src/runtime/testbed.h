@@ -1,0 +1,64 @@
+// Testbed: one-call assembly of the simulated Centurion cluster.
+//
+// The paper's experiments ran on a 16-node subset of the Legion "Centurion"
+// machine (dual 400 MHz Pentium IIs, 100 Mbps switched Ethernet). Testbed
+// wires up the full substrate — simulation, cost model, network, hosts,
+// binding agent, RPC transport, and the native-code registry — so tests,
+// benches, and examples start from the same environment the paper did.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "component/native_code_registry.h"
+#include "naming/binding_agent.h"
+#include "naming/name_service.h"
+#include "rpc/client.h"
+#include "rpc/transport.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace dcdo {
+
+class Testbed {
+ public:
+  struct Options {
+    int host_count = 16;
+    // All hosts x86/Linux by default (the Centurion subset was homogeneous);
+    // set true to alternate architectures for heterogeneity experiments.
+    bool heterogeneous = false;
+    sim::CostModel cost_model = {};
+  };
+
+  explicit Testbed(const Options& options);
+  Testbed() : Testbed(Options{}) {}
+
+  sim::Simulation& simulation() { return simulation_; }
+  const sim::CostModel& cost_model() const { return network_->cost_model(); }
+  sim::SimNetwork& network() { return *network_; }
+  BindingAgent& agent() { return agent_; }
+  NameService& names() { return names_; }
+  rpc::RpcTransport& transport() { return *transport_; }
+  NativeCodeRegistry& registry() { return registry_; }
+
+  sim::SimHost* host(std::size_t index) { return hosts_.at(index).get(); }
+  std::size_t host_count() const { return hosts_.size(); }
+
+  // A client running on host `index` with its own binding cache.
+  std::unique_ptr<rpc::RpcClient> MakeClient(std::size_t host_index);
+
+  // Drives the simulation until idle.
+  void RunAll() { simulation_.Run(); }
+
+ private:
+  sim::Simulation simulation_;
+  std::unique_ptr<sim::SimNetwork> network_;
+  std::vector<std::unique_ptr<sim::SimHost>> hosts_;
+  BindingAgent agent_;
+  NameService names_;
+  std::unique_ptr<rpc::RpcTransport> transport_;
+  NativeCodeRegistry registry_;
+};
+
+}  // namespace dcdo

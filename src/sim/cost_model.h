@@ -1,0 +1,145 @@
+// CostModel: the single calibration point for every simulated cost.
+//
+// Values are calibrated to the paper's testbed (Section 4): the Legion
+// "Centurion" machine — 16 dual 400 MHz Pentium II nodes, 256 MB RAM,
+// 100 Mbps switched Ethernet — so that the bench harness reproduces the
+// paper's reported magnitudes:
+//   * 5.1 MB implementation download: 15-25 s   (effective ~2-3 Mbit/s applied
+//     goodput through Legion's file-object protocol, not raw wire speed)
+//   * 550 KB implementation download: ~4 s
+//   * monolithic object creation:     ~2.2 s
+//   * DCDO creation, 500 fns/50 comps: ~10 s
+//   * component incorporate (cached):  ~200 us/component
+//   * dynamic function call overhead:  10-15 us
+//   * stale binding discovery:         25-35 s
+//
+// Anyone re-calibrating the reproduction edits exactly this struct.
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "sim/sim_time.h"
+
+namespace dcdo::sim {
+
+struct CostModel {
+  // --- Network (100 Mbps switched Ethernet; Legion file transfer achieves a
+  // fraction of wire speed due to per-block RPC round trips) ---
+  double wire_bandwidth_bytes_per_sec = 100.0e6 / 8.0;  // 12.5 MB/s raw
+  // Applied efficiency of bulk object/file transfer through the Legion
+  // protocol stack. 0.021 yields ~262 KB/s goodput: 5.1 MB -> ~20 s and
+  // 550 KB -> ~2.1 s + fixed per-transfer setup (below) ≈ the paper's 4 s.
+  double bulk_transfer_efficiency = 0.021;
+  SimDuration network_latency = SimDuration::Micros(300);
+  // Fixed cost to open a transfer session with a file/component object
+  // (lookup, authentication, buffer negotiation).
+  SimDuration transfer_setup = SimDuration::Seconds(1.8);
+
+  // --- RPC / method invocation ---
+  SimDuration rpc_marshal_per_call = SimDuration::Micros(450);
+  SimDuration rpc_dispatch = SimDuration::Micros(350);
+  double marshal_bytes_per_sec = 40.0e6;  // memcpy-bound marshaling
+
+  // --- Dynamic configurability mechanism (paper: 10-15 us per call) ---
+  SimDuration dfm_lookup = SimDuration::Micros(12);
+  // Registering one dynamic function into a DFM during incorporate.
+  SimDuration dfm_register_per_function = SimDuration::Micros(15);
+
+  // --- Object creation / processes ---
+  // Spawning an object process and loading a monolithic static executable
+  // that is already present on the host (2.2 s total create time includes
+  // class-object RPCs; this is the spawn+load share).
+  SimDuration process_spawn = SimDuration::Seconds(1.6);
+  SimDuration activation_handshake = SimDuration::Millis(250);
+  // Mapping one *cached* component's code image into the address space
+  // (paper: ~200 us per cached component)...
+  SimDuration component_map_cached = SimDuration::Micros(200);
+  // ...plus a per-component session with its ICO when the image is not in
+  // the host cache. Unlike whole-executable downloads (which go through
+  // Legion's slow file-object protocol), component images stream directly
+  // between objects at a healthy fraction of wire speed; the session
+  // overhead dominates for small components. This is what makes the paper's
+  // 500-fn/50-component DCDO cost ~10 s to create: 50 × (this + stream).
+  SimDuration component_fetch_overhead = SimDuration::Millis(160);
+  double component_transfer_efficiency = 0.6;  // of wire bandwidth
+
+  // --- Disk ---
+  double disk_read_bytes_per_sec = 25.0e6;
+  double disk_write_bytes_per_sec = 18.0e6;
+  SimDuration disk_seek = SimDuration::Millis(8);
+
+  // --- Binding / stale-address discovery (paper: 25-35 s) ---
+  // A call on a dead address times out after this long...
+  SimDuration invocation_timeout = SimDuration::Seconds(10);
+  // ...and Legion retries this many times before declaring the binding stale
+  // and consulting the binding agent.
+  int stale_retry_count = 2;
+  SimDuration rebind_query = SimDuration::Millis(900);
+
+  // --- State capture / restore for monolithic evolution ---
+  double state_capture_bytes_per_sec = 6.0e6;
+  double state_restore_bytes_per_sec = 8.0e6;
+
+  // Derived helpers -----------------------------------------------------
+
+  // Time to push `bytes` through the bulk-transfer path (excluding setup).
+  SimDuration BulkTransferTime(std::size_t bytes) const {
+    double goodput = wire_bandwidth_bytes_per_sec * bulk_transfer_efficiency;
+    return SimDuration::Seconds(static_cast<double>(bytes) / goodput) +
+           network_latency;
+  }
+
+  // Full download: session setup + streaming.
+  SimDuration DownloadTime(std::size_t bytes) const {
+    return transfer_setup + BulkTransferTime(bytes);
+  }
+
+  // Component image fetch from an ICO: per-component session overhead +
+  // object-to-object streaming (much faster than the file-object path).
+  SimDuration ComponentDownloadTime(std::size_t bytes) const {
+    double goodput =
+        wire_bandwidth_bytes_per_sec * component_transfer_efficiency;
+    return component_fetch_overhead +
+           SimDuration::Seconds(static_cast<double>(bytes) / goodput) +
+           network_latency;
+  }
+
+  // Small-message (invocation) path: latency + marshaling of `bytes`.
+  SimDuration MessageTime(std::size_t bytes) const {
+    return network_latency +
+           SimDuration::Seconds(static_cast<double>(bytes) /
+                                wire_bandwidth_bytes_per_sec) +
+           SimDuration::Seconds(static_cast<double>(bytes) /
+                                marshal_bytes_per_sec);
+  }
+
+  SimDuration DiskRead(std::size_t bytes) const {
+    return disk_seek + SimDuration::Seconds(static_cast<double>(bytes) /
+                                            disk_read_bytes_per_sec);
+  }
+  SimDuration DiskWrite(std::size_t bytes) const {
+    return disk_seek + SimDuration::Seconds(static_cast<double>(bytes) /
+                                            disk_write_bytes_per_sec);
+  }
+
+  SimDuration StateCapture(std::size_t bytes) const {
+    return SimDuration::Seconds(static_cast<double>(bytes) /
+                                state_capture_bytes_per_sec);
+  }
+  SimDuration StateRestore(std::size_t bytes) const {
+    return SimDuration::Seconds(static_cast<double>(bytes) /
+                                state_restore_bytes_per_sec);
+  }
+
+  // Time for a client to conclude its cached binding is stale: each attempt
+  // waits out the invocation timeout, plus the final binding-agent query.
+  SimDuration StaleBindingDiscovery() const {
+    return invocation_timeout * (1 + stale_retry_count) + rebind_query;
+  }
+};
+
+// Sanity checks for a (possibly re-calibrated) cost model; the defaults pass.
+Status ValidateCostModel(const CostModel& model);
+
+}  // namespace dcdo::sim

@@ -1,0 +1,101 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dcdo::sim {
+namespace {
+std::pair<NodeId, NodeId> Normalize(NodeId a, NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+}  // namespace
+
+void SimNetwork::AddNode(NodeId node) { nodes_.insert(node); }
+
+void SimNetwork::SetNodeUp(NodeId node, bool up) {
+  if (up) {
+    down_.erase(node);
+  } else {
+    down_.insert(node);
+  }
+}
+
+bool SimNetwork::NodeUp(NodeId node) const {
+  return nodes_.contains(node) && !down_.contains(node);
+}
+
+void SimNetwork::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  if (partitioned) {
+    partitions_.insert(Normalize(a, b));
+  } else {
+    partitions_.erase(Normalize(a, b));
+  }
+}
+
+bool SimNetwork::Reachable(NodeId from, NodeId to) const {
+  if (!NodeUp(from) || !NodeUp(to)) return false;
+  if (from != to && partitions_.contains(Normalize(from, to))) return false;
+  return true;
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
+                      Delivery on_delivery) {
+  if (!Reachable(from, to)) {
+    ++messages_dropped_;
+    DCDO_LOG(kDebug) << "net: dropped " << bytes << "B " << from << "->" << to;
+    return;
+  }
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  if (from == to) {
+    // Loopback: no NIC serialization, negligible latency.
+    simulation_.Schedule(SimDuration::Micros(5), std::move(on_delivery));
+    return;
+  }
+  // NIC serialization: back-to-back sends from one node queue behind each
+  // other at wire speed.
+  SimTime now = simulation_.Now();
+  SimTime& busy_until = nic_busy_until_[from];
+  SimTime start = std::max(now, busy_until);
+  SimDuration wire = SimDuration::Seconds(
+      static_cast<double>(bytes) / cost_.wire_bandwidth_bytes_per_sec);
+  busy_until = start + wire;
+  SimTime delivered = busy_until + cost_.network_latency;
+  // Re-check reachability at delivery time: a partition that forms while the
+  // message is in flight loses the message.
+  simulation_.ScheduleAt(
+      delivered, [this, from, to, fn = std::move(on_delivery)]() {
+        if (!Reachable(from, to)) {
+          ++messages_dropped_;
+          return;
+        }
+        fn();
+      });
+}
+
+void SimNetwork::BulkTransfer(NodeId from, NodeId to, std::size_t bytes,
+                              Delivery on_done) {
+  SimDuration total = (from == to) ? cost_.DiskRead(bytes)  // local copy
+                                   : cost_.DownloadTime(bytes);
+  TimedTransfer(from, to, bytes, total, std::move(on_done));
+}
+
+void SimNetwork::TimedTransfer(NodeId from, NodeId to, std::size_t bytes,
+                               SimDuration duration, Delivery on_done) {
+  if (!Reachable(from, to)) {
+    ++messages_dropped_;
+    return;
+  }
+  bytes_sent_ += bytes;
+  simulation_.Schedule(duration,
+                       [this, from, to, fn = std::move(on_done)]() {
+                         if (!Reachable(from, to)) {
+                           ++messages_dropped_;
+                           return;
+                         }
+                         fn();
+                       });
+}
+
+}  // namespace dcdo::sim

@@ -1,0 +1,82 @@
+// SimNetwork: a switched-Ethernet model connecting simulated hosts.
+//
+// Two traffic classes, matching how Legion moves data:
+//   * Send():         small control messages (method invocations, replies) —
+//                     latency + serialization, with per-NIC queueing.
+//   * BulkTransfer(): implementation/component/state downloads — session
+//                     setup + goodput-limited streaming (CostModel).
+//
+// Failure injection: nodes can be marked down and node pairs partitioned;
+// traffic to an unreachable destination is silently dropped (the sender's
+// RPC timeout, not the network, reports the failure — as on a real LAN).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+#include "sim/cost_model.h"
+#include "sim/simulation.h"
+
+namespace dcdo::sim {
+
+using NodeId = std::uint32_t;
+
+class SimNetwork {
+ public:
+  using Delivery = std::function<void()>;
+
+  SimNetwork(Simulation* simulation, CostModel cost_model)
+      : simulation_(*simulation), cost_(cost_model) {}
+
+  const CostModel& cost_model() const { return cost_; }
+  Simulation& simulation() { return simulation_; }
+
+  // Registers a node; nodes start up.
+  void AddNode(NodeId node);
+  bool HasNode(NodeId node) const { return nodes_.contains(node); }
+
+  void SetNodeUp(NodeId node, bool up);
+  bool NodeUp(NodeId node) const;
+
+  // Cuts (or heals) the link between two nodes; direction-symmetric.
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  bool Reachable(NodeId from, NodeId to) const;
+
+  // Delivers a control message of `bytes` from -> to, then runs `on_delivery`
+  // at the destination's sim time. Dropped (never delivered) if unreachable.
+  // Messages on the same sender NIC serialize behind each other.
+  void Send(NodeId from, NodeId to, std::size_t bytes, Delivery on_delivery);
+
+  // Streams `bytes` from -> to through the bulk (file-object) path; `on_done`
+  // runs when the last byte lands. Dropped if unreachable at start.
+  void BulkTransfer(NodeId from, NodeId to, std::size_t bytes,
+                    Delivery on_done);
+
+  // Transfer with a caller-computed duration (used by the component-fetch
+  // path, whose cost model differs from the file-object path). Same
+  // reachability semantics as BulkTransfer.
+  void TimedTransfer(NodeId from, NodeId to, std::size_t bytes,
+                     SimDuration duration, Delivery on_done);
+
+  // Counters (per run; used by benches to report message counts).
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Simulation& simulation_;
+  CostModel cost_;
+  std::set<NodeId> nodes_;
+  std::set<NodeId> down_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  std::unordered_map<NodeId, SimTime> nic_busy_until_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace dcdo::sim

@@ -1,0 +1,19 @@
+#include "sim/sim_time.h"
+
+#include "common/strings.h"
+
+namespace dcdo::sim {
+
+std::string SimDuration::ToString() const {
+  return HumanSeconds(ToSeconds());
+}
+
+std::ostream& operator<<(std::ostream& os, SimDuration d) {
+  return os << d.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << HumanSeconds(t.ToSeconds());
+}
+
+}  // namespace dcdo::sim

@@ -1,0 +1,83 @@
+// Simulated time.
+//
+// All costs in the evaluation — downloads, process spawns, stale-binding
+// timeouts — are charged in simulated time so results are deterministic and
+// independent of the machine running the reproduction. SimTime is a strong
+// integer nanosecond count; SimDuration is the corresponding difference type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace dcdo::sim {
+
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  static constexpr SimDuration Nanos(std::int64_t ns) { return SimDuration(ns); }
+  static constexpr SimDuration Micros(std::int64_t us) {
+    return SimDuration(us * 1000);
+  }
+  static constexpr SimDuration Millis(std::int64_t ms) {
+    return SimDuration(ms * 1000 * 1000);
+  }
+  static constexpr SimDuration Seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimDuration Zero() { return SimDuration(0); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) / 1e6; }
+
+  std::string ToString() const;  // human units, e.g. "4.03 s", "200 us"
+
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration(a.ns_ + b.ns_);
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration(a.ns_ - b.ns_);
+  }
+  friend constexpr SimDuration operator*(SimDuration a, std::int64_t k) {
+    return SimDuration(a.ns_ * k);
+  }
+  SimDuration& operator+=(SimDuration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+ private:
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime FromNanos(std::int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime(t.ns_ + d.nanos());
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration::Nanos(a.ns_ - b.ns_);
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimDuration d);
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+}  // namespace dcdo::sim

@@ -1,0 +1,61 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+namespace dcdo::sim {
+
+std::uint64_t Simulation::Schedule(SimDuration delay, Callback fn) {
+  if (delay < SimDuration::Zero()) delay = SimDuration::Zero();
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulation::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Simulation::Cancel(std::uint64_t event_id) {
+  cancelled_.push_back(event_id);
+}
+
+bool Simulation::PopAndFire() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = event.when;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::Run() {
+  std::size_t fired = 0;
+  while (PopAndFire()) ++fired;
+  return fired;
+}
+
+std::size_t Simulation::RunUntil(SimTime deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (PopAndFire()) ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+bool Simulation::RunWhile(const std::function<bool()>& pending) {
+  while (pending()) {
+    if (!PopAndFire()) return false;
+  }
+  return true;
+}
+
+}  // namespace dcdo::sim

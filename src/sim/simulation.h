@@ -1,0 +1,79 @@
+// Deterministic discrete-event simulation engine.
+//
+// The Legion substrate (hosts, network, RPC, binding agents) runs as event
+// handlers over this engine. Events fire in (time, insertion-sequence) order,
+// so two runs of the same scenario produce identical traces. The engine is
+// single-threaded by design: "threads" executing inside DCDOs are modelled as
+// activity intervals (paper Section 3.2, thread activity monitoring), not OS
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace dcdo::sim {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now. Returns an event id usable with
+  // Cancel(). Negative delays are clamped to zero.
+  std::uint64_t Schedule(SimDuration delay, Callback fn);
+  std::uint64_t ScheduleAt(SimTime when, Callback fn);
+
+  // Cancels a pending event; no-op if it already fired or was cancelled.
+  void Cancel(std::uint64_t event_id);
+
+  // Runs until the queue is empty. Returns the number of events fired.
+  std::size_t Run();
+
+  // Runs events with time <= `deadline`; the clock ends at `deadline` if the
+  // queue empties early. Returns events fired.
+  std::size_t RunUntil(SimTime deadline);
+
+  // Runs until `predicate()` is true or the queue empties; returns true if
+  // the predicate was satisfied.
+  bool RunWhile(const std::function<bool()>& pending);
+
+  bool Idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  // Advances the clock with no event (used by host-local cost charging when
+  // the caller is executing "inline" rather than via an event).
+  void AdvanceInline(SimDuration delta) { now_ = now_ + delta; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndFire();
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted insert not needed; small
+};
+
+}  // namespace dcdo::sim

@@ -1,0 +1,62 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+TEST(ByteBufferTest, DefaultIsEmpty) {
+  ByteBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(ByteBufferTest, OpaqueHasRequestedSize) {
+  ByteBuffer buffer = ByteBuffer::Opaque(5'100'000);  // the paper's 5.1 MB
+  EXPECT_EQ(buffer.size(), 5'100'000u);
+}
+
+TEST(ByteBufferTest, OpaqueFingerprintDependsOnSeed) {
+  ByteBuffer a = ByteBuffer::Opaque(8192, 0x11);
+  ByteBuffer b = ByteBuffer::Opaque(8192, 0x22);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, ByteBuffer::Opaque(8192, 0x11));
+}
+
+TEST(ByteBufferTest, StringRoundTrip) {
+  ByteBuffer buffer = ByteBuffer::FromString("hello dcdo");
+  EXPECT_EQ(buffer.size(), 10u);
+  EXPECT_EQ(buffer.ToString(), "hello dcdo");
+}
+
+TEST(ByteBufferTest, AppendGrows) {
+  ByteBuffer buffer;
+  std::uint32_t value = 0xDEADBEEF;
+  buffer.Append(&value, sizeof(value));
+  EXPECT_EQ(buffer.size(), 4u);
+  buffer.AppendBuffer(ByteBuffer::FromString("xy"));
+  EXPECT_EQ(buffer.size(), 6u);
+}
+
+TEST(ByteBufferTest, ReadAtInBounds) {
+  ByteBuffer buffer = ByteBuffer::FromString("abcdef");
+  char out[3] = {};
+  ASSERT_TRUE(buffer.ReadAt(2, out, 3));
+  EXPECT_EQ(std::string(out, 3), "cde");
+}
+
+TEST(ByteBufferTest, ReadAtOutOfBoundsFails) {
+  ByteBuffer buffer = ByteBuffer::FromString("abc");
+  char out[4] = {};
+  EXPECT_FALSE(buffer.ReadAt(1, out, 3));
+  EXPECT_FALSE(buffer.ReadAt(4, out, 1));
+  EXPECT_TRUE(buffer.ReadAt(0, out, 3));
+}
+
+TEST(ByteBufferTest, EqualityIsByteWise) {
+  EXPECT_EQ(ByteBuffer::FromString("same"), ByteBuffer::FromString("same"));
+  EXPECT_NE(ByteBuffer::FromString("same"), ByteBuffer::FromString("diff"));
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,51 @@
+#include "common/object_id.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+TEST(ObjectIdTest, NilProperties) {
+  ObjectId nil;
+  EXPECT_TRUE(nil.nil());
+  EXPECT_EQ(nil, ObjectId::Nil());
+  EXPECT_EQ(nil.ToString(), "<nil>");
+}
+
+TEST(ObjectIdTest, NextIsUniqueWithinAndAcrossDomains) {
+  std::set<ObjectId> seen;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(seen.insert(ObjectId::Next(domains::kInstance)).second);
+    EXPECT_TRUE(seen.insert(ObjectId::Next(domains::kComponent)).second);
+  }
+}
+
+TEST(ObjectIdTest, DomainIsPreserved) {
+  ObjectId id = ObjectId::Next(domains::kDcdoManager);
+  EXPECT_EQ(id.domain(), domains::kDcdoManager);
+  EXPECT_FALSE(id.nil());
+}
+
+TEST(ObjectIdTest, ToStringEncodesDomainAndInstance) {
+  ObjectId id(3, 17);
+  EXPECT_EQ(id.ToString(), "3:17");
+}
+
+TEST(ObjectIdTest, OrderingAndEquality) {
+  ObjectId a(1, 5), b(1, 6), c(2, 1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, ObjectId(1, 5));
+  EXPECT_NE(a, b);
+}
+
+TEST(ObjectIdTest, HashConsistentWithEquality) {
+  ObjectIdHash hash;
+  EXPECT_EQ(hash(ObjectId(1, 5)), hash(ObjectId(1, 5)));
+  EXPECT_NE(hash(ObjectId(1, 5)), hash(ObjectId(1, 6)));
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,92 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  Writer writer;
+  writer.WriteU32(7);
+  writer.WriteU64(1ull << 40);
+  writer.WriteI64(-12345);
+  writer.WriteDouble(2.5);
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+
+  ByteBuffer buffer = std::move(writer).Take();
+  Reader reader(buffer);
+  EXPECT_EQ(reader.ReadU32().value_or(0), 7u);
+  EXPECT_EQ(reader.ReadU64().value_or(0), 1ull << 40);
+  EXPECT_EQ(reader.ReadI64().value_or(0), -12345);
+  EXPECT_EQ(reader.ReadDouble().value_or(0), 2.5);
+  EXPECT_TRUE(reader.ReadBool().value_or(false));
+  EXPECT_FALSE(reader.ReadBool().value_or(true));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, StringAndBytesRoundTrip) {
+  Writer writer;
+  writer.WriteString("dynamic function mapper");
+  writer.WriteBytes(ByteBuffer::FromString(std::string_view("\x00\x01\x02", 3)));
+  writer.WriteString("");  // empty string is legal
+
+  ByteBuffer buffer = std::move(writer).Take();
+  Reader reader(buffer);
+  EXPECT_EQ(reader.ReadString().value_or(""), "dynamic function mapper");
+  auto bytes = reader.ReadBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->size(), 3u);
+  EXPECT_EQ(reader.ReadString().value_or("x"), "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, IdRoundTrip) {
+  Writer writer;
+  writer.WriteObjectId(ObjectId(5, 99));
+  writer.WriteVersionId(VersionId{3, 2, 0, 4});
+
+  ByteBuffer buffer = std::move(writer).Take();
+  Reader reader(buffer);
+  EXPECT_EQ(reader.ReadObjectId().value_or(ObjectId()), ObjectId(5, 99));
+  EXPECT_EQ(reader.ReadVersionId().value_or(VersionId()),
+            (VersionId{3, 2, 0, 4}));
+}
+
+TEST(SerializeTest, UnderflowIsTypedError) {
+  ByteBuffer buffer = ByteBuffer::FromString("ab");
+  Reader reader(buffer);
+  auto result = reader.ReadU64();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(SerializeTest, TruncatedStringIsError) {
+  Writer writer;
+  writer.WriteU64(100);  // declares a 100-byte string that is not there
+  ByteBuffer buffer = std::move(writer).Take();
+  Reader reader(buffer);
+  EXPECT_FALSE(reader.ReadString().ok());
+}
+
+TEST(SerializeTest, CorruptVersionCountIsError) {
+  Writer writer;
+  writer.WriteU64(1'000'000);  // absurd part count
+  ByteBuffer buffer = std::move(writer).Take();
+  Reader reader(buffer);
+  EXPECT_FALSE(reader.ReadVersionId().ok());
+}
+
+TEST(SerializeTest, RemainingTracksConsumption) {
+  Writer writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  ByteBuffer buffer = std::move(writer).Take();
+  Reader reader(buffer);
+  EXPECT_EQ(reader.remaining(), 8u);
+  ASSERT_TRUE(reader.ReadU32().ok());
+  EXPECT_EQ(reader.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,127 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("missing widget");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing widget");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing widget");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(TimeoutError("x").code(), ErrorCode::kTimeout);
+  EXPECT_EQ(UnavailableError("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(StaleBindingError("x").code(), ErrorCode::kStaleBinding);
+  EXPECT_EQ(FunctionDisabledError("x").code(), ErrorCode::kFunctionDisabled);
+  EXPECT_EQ(FunctionMissingError("x").code(), ErrorCode::kFunctionMissing);
+  EXPECT_EQ(ComponentMissingError("x").code(), ErrorCode::kComponentMissing);
+  EXPECT_EQ(DependencyViolationError("x").code(),
+            ErrorCode::kDependencyViolation);
+  EXPECT_EQ(PermanentViolationError("x").code(),
+            ErrorCode::kPermanentViolation);
+  EXPECT_EQ(MandatoryViolationError("x").code(),
+            ErrorCode::kMandatoryViolation);
+  EXPECT_EQ(VersionNotInstantiableError("x").code(),
+            ErrorCode::kVersionNotInstantiable);
+  EXPECT_EQ(VersionFrozenError("x").code(), ErrorCode::kVersionFrozen);
+  EXPECT_EQ(NotDerivedVersionError("x").code(), ErrorCode::kNotDerivedVersion);
+  EXPECT_EQ(ActiveThreadsError("x").code(), ErrorCode::kActiveThreads);
+  EXPECT_EQ(ArchMismatchError("x").code(), ErrorCode::kArchMismatch);
+}
+
+TEST(StatusTest, ErrorCodeNamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (int code = 0; code <= static_cast<int>(ErrorCode::kArchMismatch);
+       ++code) {
+    std::string_view name = ErrorCodeName(static_cast<ErrorCode>(code));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIntoResultBecomesInternalError) {
+  Result<int> result = Status::Ok();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+Result<int> Half(int value) {
+  if (value % 2 != 0) return InvalidArgumentError("odd");
+  return value / 2;
+}
+
+Result<int> Quarter(int value) {
+  DCDO_ASSIGN_OR_RETURN(int half, Half(value));
+  DCDO_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> inner_fail = Quarter(6);  // 6/2=3, 3 is odd
+  ASSERT_FALSE(inner_fail.ok());
+  EXPECT_EQ(inner_fail.status().code(), ErrorCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int value) {
+  if (value < 0) return OutOfRangeError("negative");
+  return Status::Ok();
+}
+
+Status CheckBoth(int a, int b) {
+  DCDO_RETURN_IF_ERROR(FailIfNegative(a));
+  DCDO_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_EQ(CheckBoth(1, -2).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(CheckBoth(-1, 2).code(), ErrorCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dcdo

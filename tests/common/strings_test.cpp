@@ -1,0 +1,45 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  EXPECT_EQ(Split("a.b.c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, SplitPreservesEmptyTokens) {
+  EXPECT_EQ(Split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(".", '.'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "."), "x.y.z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringsTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+}
+
+TEST(StringsTest, HumanBytesUnits) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(5'347'738), "5.1 MB");  // the paper's image size
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.0 GB");
+}
+
+TEST(StringsTest, HumanSecondsUnits) {
+  EXPECT_EQ(HumanSeconds(2.2), "2.20 s");
+  EXPECT_EQ(HumanSeconds(0.015), "15.00 ms");
+  EXPECT_EQ(HumanSeconds(12e-6), "12.00 us");
+  EXPECT_EQ(HumanSeconds(5e-9), "5 ns");
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,135 @@
+#include "common/version_id.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+TEST(VersionIdTest, DefaultIsInvalid) {
+  VersionId version;
+  EXPECT_FALSE(version.valid());
+  EXPECT_EQ(version.depth(), 0u);
+}
+
+TEST(VersionIdTest, RootIsOne) {
+  VersionId root = VersionId::Root();
+  EXPECT_TRUE(root.valid());
+  EXPECT_EQ(root.ToString(), "1");
+  EXPECT_EQ(root.depth(), 1u);
+}
+
+TEST(VersionIdTest, ParseRoundTrip) {
+  auto version = VersionId::Parse("3.2.0.4");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version->ToString(), "3.2.0.4");
+  EXPECT_EQ(version->depth(), 4u);
+  EXPECT_EQ(version->parts(), (std::vector<std::uint32_t>{3, 2, 0, 4}));
+}
+
+TEST(VersionIdTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(VersionId::Parse("").ok());
+  EXPECT_FALSE(VersionId::Parse("1..2").ok());
+  EXPECT_FALSE(VersionId::Parse("1.x").ok());
+  EXPECT_FALSE(VersionId::Parse(".1").ok());
+  EXPECT_FALSE(VersionId::Parse("1.").ok());
+  EXPECT_FALSE(VersionId::Parse("-1").ok());
+}
+
+TEST(VersionIdTest, ChildExtends) {
+  VersionId v32{3, 2};
+  EXPECT_EQ(v32.Child(1).ToString(), "3.2.1");
+  EXPECT_EQ(v32.Child(0).Child(4).ToString(), "3.2.0.4");
+}
+
+TEST(VersionIdTest, ParentInvertsChild) {
+  VersionId v{3, 2, 1};
+  auto parent = v.Parent();
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent->ToString(), "3.2");
+  EXPECT_FALSE(VersionId{1}.Parent().ok());
+}
+
+// The paper's own example: "a version 3.2 DCDO can evolve to version 3.2.1
+// or to version 3.2.0.4, but not to version 3.3."
+TEST(VersionIdTest, PaperDerivationExample) {
+  VersionId v32{3, 2};
+  EXPECT_TRUE((VersionId{3, 2, 1}).IsDerivedFrom(v32));
+  EXPECT_TRUE((VersionId{3, 2, 0, 4}).IsDerivedFrom(v32));
+  EXPECT_FALSE((VersionId{3, 3}).IsDerivedFrom(v32));
+}
+
+TEST(VersionIdTest, EveryVersionDerivesFromItself) {
+  VersionId v{1, 2, 3};
+  EXPECT_TRUE(v.IsDerivedFrom(v));
+  EXPECT_FALSE(v.IsStrictlyDerivedFrom(v));
+}
+
+TEST(VersionIdTest, StrictDerivationExcludesSelf) {
+  VersionId parent{1, 2};
+  VersionId child{1, 2, 7};
+  EXPECT_TRUE(child.IsStrictlyDerivedFrom(parent));
+  EXPECT_FALSE(parent.IsStrictlyDerivedFrom(child));
+}
+
+TEST(VersionIdTest, DerivationIsNotSymmetric) {
+  VersionId shallow{1};
+  VersionId deep{1, 5, 9};
+  EXPECT_TRUE(deep.IsDerivedFrom(shallow));
+  EXPECT_FALSE(shallow.IsDerivedFrom(deep));
+}
+
+TEST(VersionIdTest, SiblingsDoNotDerive) {
+  EXPECT_FALSE((VersionId{1, 2}).IsDerivedFrom(VersionId{1, 3}));
+  EXPECT_FALSE((VersionId{1, 3}).IsDerivedFrom(VersionId{1, 2}));
+}
+
+TEST(VersionIdTest, InvalidNeverDerives) {
+  VersionId invalid;
+  EXPECT_FALSE(invalid.IsDerivedFrom(VersionId::Root()));
+  EXPECT_FALSE(VersionId::Root().IsDerivedFrom(invalid));
+}
+
+TEST(VersionIdTest, OrderingIsLexicographic) {
+  EXPECT_LT((VersionId{1, 2}), (VersionId{1, 3}));
+  EXPECT_LT((VersionId{1}), (VersionId{1, 0}));  // prefix sorts first
+  EXPECT_LT((VersionId{1, 9}), (VersionId{2}));
+}
+
+TEST(VersionIdTest, HashConsistentWithEquality) {
+  VersionIdHash hash;
+  EXPECT_EQ(hash(VersionId{1, 2, 3}), hash(VersionId{1, 2, 3}));
+  EXPECT_NE(hash(VersionId{1, 2, 3}), hash(VersionId{1, 2, 4}));
+}
+
+// Property sweep: Child/Parent and derivation invariants across a grid.
+class VersionTreeProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(VersionTreeProperty, ChildDerivesFromAncestorChain) {
+  std::uint32_t seed = GetParam();
+  VersionId v = VersionId::Root();
+  std::vector<VersionId> chain{v};
+  for (int depth = 0; depth < 6; ++depth) {
+    v = v.Child((seed + depth) % 5);
+    chain.push_back(v);
+  }
+  for (const VersionId& ancestor : chain) {
+    EXPECT_TRUE(v.IsDerivedFrom(ancestor))
+        << v.ToString() << " should derive from " << ancestor.ToString();
+  }
+  // Parent chain walks back exactly.
+  for (std::size_t i = chain.size() - 1; i > 0; --i) {
+    auto parent = chain[i].Parent();
+    ASSERT_TRUE(parent.ok());
+    EXPECT_EQ(*parent, chain[i - 1]);
+  }
+  // Round-trip through text.
+  auto reparsed = VersionId::Parse(v.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VersionTreeProperty,
+                         ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,45 @@
+#include "component/implementation_type.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+TEST(ImplementationTypeTest, NativeMatchesOwnArchOnly) {
+  ImplementationType native =
+      ImplementationType::Native(sim::Architecture::kSparcSolaris);
+  EXPECT_TRUE(native.CompatibleWith(sim::Architecture::kSparcSolaris));
+  EXPECT_FALSE(native.CompatibleWith(sim::Architecture::kX86Linux));
+  EXPECT_FALSE(native.CompatibleWith(sim::Architecture::kAlphaOsf));
+}
+
+TEST(ImplementationTypeTest, PortableRunsEverywhere) {
+  ImplementationType portable = ImplementationType::Portable();
+  EXPECT_TRUE(portable.CompatibleWith(sim::Architecture::kX86Linux));
+  EXPECT_TRUE(portable.CompatibleWith(sim::Architecture::kSparcSolaris));
+  EXPECT_TRUE(portable.CompatibleWith(sim::Architecture::kAlphaOsf));
+  EXPECT_TRUE(portable.CompatibleWith(sim::Architecture::kX86Nt));
+}
+
+TEST(ImplementationTypeTest, ToStringDescribesAllFields) {
+  ImplementationType type{sim::Architecture::kAlphaOsf,
+                          CodeFormat::kElfSharedObject, Language::kFortran};
+  EXPECT_EQ(type.ToString(), "alpha-osf/elf-so/fortran");
+  EXPECT_EQ(ImplementationType::Portable().ToString(),
+            "x86-linux/bytecode/any");
+}
+
+TEST(ImplementationTypeTest, EqualityIsFieldWise) {
+  EXPECT_EQ(ImplementationType::Portable(), ImplementationType::Portable());
+  EXPECT_NE(ImplementationType::Native(sim::Architecture::kX86Linux),
+            ImplementationType::Native(sim::Architecture::kX86Nt));
+}
+
+TEST(ImplementationTypeTest, EnumNamesCovered) {
+  EXPECT_EQ(CodeFormatName(CodeFormat::kCoffDll), "coff-dll");
+  EXPECT_EQ(LanguageName(Language::kJava), "java");
+  EXPECT_EQ(LanguageName(Language::kC), "c");
+}
+
+}  // namespace
+}  // namespace dcdo

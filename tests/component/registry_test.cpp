@@ -1,0 +1,88 @@
+#include "component/native_code_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+class FakeContext : public CallContext {
+ public:
+  Result<ByteBuffer> CallInternal(const std::string&,
+                                  const ByteBuffer&) override {
+    return FunctionMissingError("fake context has no functions");
+  }
+  ObjectId self_id() const override { return ObjectId(); }
+  void BlockOnOutcall(double) override {}
+};
+
+DynamicFn TagBody(const std::string& tag) {
+  return [tag](CallContext&, const ByteBuffer&) {
+    return Result<ByteBuffer>(ByteBuffer::FromString(tag));
+  };
+}
+
+std::string RunBody(const DynamicFn& fn) {
+  FakeContext ctx;
+  auto result = fn(ctx, ByteBuffer{});
+  return result.ok() ? result->ToString() : result.status().ToString();
+}
+
+TEST(NativeCodeRegistryTest, ResolveRegisteredSymbol) {
+  NativeCodeRegistry registry;
+  registry.Register("lib/sort", ImplementationType::Portable(),
+                    TagBody("sorted"));
+  auto body = registry.Resolve("lib/sort", sim::Architecture::kX86Linux);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(RunBody(*body), "sorted");
+}
+
+TEST(NativeCodeRegistryTest, UnknownSymbolFails) {
+  NativeCodeRegistry registry;
+  auto body = registry.Resolve("missing", sim::Architecture::kX86Linux);
+  ASSERT_FALSE(body.ok());
+  EXPECT_EQ(body.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(NativeCodeRegistryTest, ReRegisterSameTypeReplacesBody) {
+  NativeCodeRegistry registry;
+  registry.Register("f", ImplementationType::Portable(), TagBody("v1"));
+  registry.Register("f", ImplementationType::Portable(), TagBody("v2"));
+  EXPECT_EQ(RunBody(*registry.Resolve("f", sim::Architecture::kX86Linux)), "v2");
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(NativeCodeRegistryTest, PerArchitectureBuildsCoexist) {
+  NativeCodeRegistry registry;
+  registry.Register("f", ImplementationType::Native(sim::Architecture::kX86Linux),
+                    TagBody("x86"));
+  registry.Register("f",
+                    ImplementationType::Native(sim::Architecture::kSparcSolaris),
+                    TagBody("sparc"));
+  EXPECT_EQ(RunBody(*registry.Resolve("f", sim::Architecture::kX86Linux)), "x86");
+  EXPECT_EQ(RunBody(*registry.Resolve("f", sim::Architecture::kSparcSolaris)),
+            "sparc");
+}
+
+TEST(NativeCodeRegistryTest, WrongArchWithoutPortableFails) {
+  NativeCodeRegistry registry;
+  registry.Register("f", ImplementationType::Native(sim::Architecture::kX86Linux),
+                    TagBody("x86"));
+  auto body = registry.Resolve("f", sim::Architecture::kAlphaOsf);
+  ASSERT_FALSE(body.ok());
+  EXPECT_EQ(body.status().code(), ErrorCode::kArchMismatch);
+}
+
+TEST(NativeCodeRegistryTest, NativePreferredOverPortable) {
+  NativeCodeRegistry registry;
+  registry.Register("f", ImplementationType::Portable(), TagBody("portable"));
+  registry.Register("f", ImplementationType::Native(sim::Architecture::kX86Nt),
+                    TagBody("nt-native"));
+  EXPECT_EQ(RunBody(*registry.Resolve("f", sim::Architecture::kX86Nt)),
+            "nt-native");
+  // Other architectures fall back to the portable build.
+  EXPECT_EQ(RunBody(*registry.Resolve("f", sim::Architecture::kAlphaOsf)),
+            "portable");
+}
+
+}  // namespace
+}  // namespace dcdo

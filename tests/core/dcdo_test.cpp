@@ -1,0 +1,390 @@
+#include "core/dcdo.h"
+
+#include <gtest/gtest.h>
+
+#include "component/ico.h"
+#include "rpc/client.h"
+#include "runtime/testbed.h"
+#include "testing/fixtures.h"
+
+namespace dcdo {
+namespace {
+
+class DcdoTest : public ::testing::Test {
+ protected:
+  DcdoTest() {
+    comp_a_ = testing::MakeEchoComponent(testbed_.registry(), "libA",
+                                         {"f", "g"});
+    comp_b_ = testing::MakeEchoComponent(testbed_.registry(), "libB", {"f"},
+                                         /*code_bytes=*/550'000);
+    ico_a_ = std::make_unique<ImplementationComponentObject>(
+        testbed_.host(0), &testbed_.transport(), &testbed_.agent(), comp_a_);
+    ico_b_ = std::make_unique<ImplementationComponentObject>(
+        testbed_.host(0), &testbed_.transport(), &testbed_.agent(), comp_b_);
+    icos_.Register(ico_a_.get());
+    icos_.Register(ico_b_.get());
+    object_ = std::make_unique<Dcdo>("obj", testbed_.host(1),
+                                     &testbed_.transport(), &testbed_.agent(),
+                                     &testbed_.registry(), &icos_,
+                                     VersionId::Root());
+  }
+
+  Status IncorporateBlocking(const ObjectId& component) {
+    std::optional<Status> out;
+    object_->IncorporateComponent(component,
+                                  [&](Status status) { out = status; });
+    testbed_.simulation().RunWhile([&] { return !out.has_value(); });
+    return out.value_or(InternalError("incorporate never completed"));
+  }
+
+  Testbed testbed_;
+  IcoDirectory icos_;
+  ImplementationComponent comp_a_;
+  ImplementationComponent comp_b_;
+  std::unique_ptr<ImplementationComponentObject> ico_a_;
+  std::unique_ptr<ImplementationComponentObject> ico_b_;
+  std::unique_ptr<Dcdo> object_;
+};
+
+TEST_F(DcdoTest, ActivationBindsInNamespace) {
+  EXPECT_TRUE(testbed_.agent().Bound(object_->id()));
+  EXPECT_EQ(object_->version(), VersionId::Root());
+  EXPECT_TRUE(object_->GetComponents().empty());
+}
+
+TEST_F(DcdoTest, IncorporateFetchesWhenNotCached) {
+  sim::SimTime start = testbed_.simulation().Now();
+  ASSERT_TRUE(IncorporateBlocking(comp_b_.id).ok());
+  // Component fetch = session overhead + streaming: ~0.2 s for 550 KB.
+  double seconds = (testbed_.simulation().Now() - start).ToSeconds();
+  EXPECT_GT(seconds, 0.15);
+  EXPECT_LT(seconds, 1.0);
+  EXPECT_TRUE(testbed_.host(1)->ComponentCached(comp_b_.id));
+}
+
+TEST_F(DcdoTest, IncorporateCachedIsCheap) {
+  ASSERT_TRUE(IncorporateBlocking(comp_b_.id).ok());  // warms the cache
+  sim::SimTime start = testbed_.simulation().Now();
+  Dcdo second("obj2", testbed_.host(1), &testbed_.transport(),
+              &testbed_.agent(), &testbed_.registry(), &icos_,
+              VersionId::Root());
+  ASSERT_TRUE(second.IncorporateCached(comp_b_).ok());
+  double micros = (testbed_.simulation().Now() - start).ToSeconds() * 1e6;
+  EXPECT_LT(micros, 1000.0) << "cached incorporate is ~200 us + registration";
+  EXPECT_GE(micros, 200.0);
+}
+
+TEST_F(DcdoTest, IncorporateUnknownComponentFails) {
+  Status status = IncorporateBlocking(ObjectId::Next(domains::kComponent));
+  EXPECT_EQ(status.code(), ErrorCode::kComponentMissing);
+}
+
+TEST_F(DcdoTest, CallGoesThroughDfm) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  ASSERT_TRUE(object_->EnableFunction("f", comp_a_.id).ok());
+
+  auto result = object_->Call("f", ByteBuffer::FromString("hi"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "libA.f:hi");
+  EXPECT_EQ(object_->user_calls(), 1u);
+}
+
+TEST_F(DcdoTest, CallChargesDfmLookupInSimTime) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  ASSERT_TRUE(object_->EnableFunction("f", comp_a_.id).ok());
+  sim::SimTime start = testbed_.simulation().Now();
+  ASSERT_TRUE(object_->Call("f", ByteBuffer{}).ok());
+  double micros = (testbed_.simulation().Now() - start).ToSeconds() * 1e6;
+  EXPECT_GE(micros, 10.0);
+  EXPECT_LE(micros, 15.0);
+}
+
+TEST_F(DcdoTest, IntraObjectCallsAlsoGoThroughDfm) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  // A forwarder in a separate component calls f through the DFM.
+  testing::RegisterForwarder(testbed_.registry(), "fw/call_f", "f");
+  auto forwarder = ComponentBuilder("fw")
+                       .AddFunction("callF", "b(b)", "fw/call_f",
+                                    Visibility::kExported,
+                                    Constraint::kFullyDynamic, {"f"})
+                       .Build();
+  ASSERT_TRUE(forwarder.ok());
+  testbed_.host(1)->CacheComponent(forwarder->id, forwarder->code_bytes);
+  ASSERT_TRUE(object_->IncorporateCached(*forwarder).ok());
+  ASSERT_TRUE(object_->EnableFunction("f", comp_a_.id).ok());
+  ASSERT_TRUE(object_->EnableFunction("callF", forwarder->id).ok());
+
+  auto result = object_->Call("callF", ByteBuffer::FromString("z"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "libA.f:z");
+  // Both the outer and the inner call resolved through the DFM.
+  EXPECT_EQ(object_->mapper().calls_resolved(), 2u);
+}
+
+TEST_F(DcdoTest, RemoteInvocationOfDynamicFunction) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  ASSERT_TRUE(object_->EnableFunction("f", comp_a_.id).ok());
+  auto client = testbed_.MakeClient(2);
+  auto reply = client->InvokeBlocking(object_->id(), "f",
+                                      ByteBuffer::FromString("remote"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ToString(), "libA.f:remote");
+}
+
+TEST_F(DcdoTest, RemoteCallOfDisabledFunctionIsTypedError) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  auto client = testbed_.MakeClient(2);
+  auto reply = client->InvokeBlocking(object_->id(), "f");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kFunctionDisabled);
+}
+
+TEST_F(DcdoTest, StatusReportingOverRpc) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  ASSERT_TRUE(object_->EnableFunction("f", comp_a_.id).ok());
+  auto client = testbed_.MakeClient(2);
+
+  auto interface = client->InvokeBlocking(object_->id(), "dcdo.getInterface");
+  ASSERT_TRUE(interface.ok());
+  Reader reader(*interface);
+  EXPECT_EQ(reader.ReadU64().value_or(0), 1u);
+  EXPECT_EQ(reader.ReadString().value_or(""), "f");
+
+  auto version = client->InvokeBlocking(object_->id(), "dcdo.getVersion");
+  ASSERT_TRUE(version.ok());
+  Reader vreader(*version);
+  EXPECT_EQ(vreader.ReadVersionId().value_or(VersionId()), VersionId::Root());
+
+  auto components = client->InvokeBlocking(object_->id(),
+                                           "dcdo.getComponents");
+  ASSERT_TRUE(components.ok());
+  Reader creader(*components);
+  EXPECT_EQ(creader.ReadU64().value_or(0), 1u);
+}
+
+TEST_F(DcdoTest, ConfigurationOverRpc) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  auto client = testbed_.MakeClient(2);
+
+  Writer writer;
+  writer.WriteString("f");
+  writer.WriteObjectId(comp_a_.id);
+  auto enabled = client->InvokeBlocking(object_->id(), "dcdo.enableFunction",
+                                        std::move(writer).Take());
+  ASSERT_TRUE(enabled.ok());
+  EXPECT_NE(object_->mapper().state().EnabledImpl("f"), nullptr);
+
+  Writer disable_writer;
+  disable_writer.WriteString("f");
+  disable_writer.WriteObjectId(comp_a_.id);
+  auto disabled = client->InvokeBlocking(
+      object_->id(), "dcdo.disableFunction", std::move(disable_writer).Take());
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_EQ(object_->mapper().state().EnabledImpl("f"), nullptr);
+}
+
+TEST_F(DcdoTest, IncorporateOverRpc) {
+  auto client = testbed_.MakeClient(2);
+  Writer writer;
+  writer.WriteObjectId(comp_a_.id);
+  auto reply = client->InvokeBlocking(
+      object_->id(), "dcdo.incorporateComponent", std::move(writer).Take());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(object_->mapper().state().HasComponent(comp_a_.id));
+}
+
+TEST_F(DcdoTest, UnknownConfigMethodRejected) {
+  auto client = testbed_.MakeClient(2);
+  auto reply = client->InvokeBlocking(object_->id(), "dcdo.selfDestruct");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kNotFound);
+}
+
+// The decisive advantage over monolithic evolution: the process (and its
+// heap) survives, so per-object state persists across implementation
+// switches with no capture/restore step.
+TEST_F(DcdoTest, ObjectStateSurvivesEvolutionInCore) {
+  // A counter service: "bump" increments a counter kept in object_data().
+  testbed_.registry().Register(
+      "ctr-v1/bump", ImplementationType::Portable(),
+      [](CallContext& ctx, const ByteBuffer&) {
+        std::uint64_t value = 0;
+        ctx.object_data().ReadAt(0, &value, sizeof(value));
+        ++value;
+        ctx.object_data() = ByteBuffer{};
+        ctx.object_data().Append(&value, sizeof(value));
+        Writer writer;
+        writer.WriteU64(value);
+        return Result<ByteBuffer>(std::move(writer).Take());
+      });
+  // v2 counts by ten — different behaviour, same state.
+  testbed_.registry().Register(
+      "ctr-v2/bump", ImplementationType::Portable(),
+      [](CallContext& ctx, const ByteBuffer&) {
+        std::uint64_t value = 0;
+        ctx.object_data().ReadAt(0, &value, sizeof(value));
+        value += 10;
+        ctx.object_data() = ByteBuffer{};
+        ctx.object_data().Append(&value, sizeof(value));
+        Writer writer;
+        writer.WriteU64(value);
+        return Result<ByteBuffer>(std::move(writer).Take());
+      });
+  auto v1 = ComponentBuilder("ctr-v1")
+                .AddFunction("bump", "u()", "ctr-v1/bump")
+                .Build();
+  auto v2 = ComponentBuilder("ctr-v2")
+                .AddFunction("bump", "u()", "ctr-v2/bump")
+                .Build();
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  testbed_.host(1)->CacheComponent(v1->id, v1->code_bytes);
+  testbed_.host(1)->CacheComponent(v2->id, v2->code_bytes);
+  ASSERT_TRUE(object_->IncorporateCached(*v1).ok());
+  ASSERT_TRUE(object_->IncorporateCached(*v2).ok());
+  ASSERT_TRUE(object_->EnableFunction("bump", v1->id).ok());
+
+  auto read = [](const Result<ByteBuffer>& reply) {
+    Reader reader(*reply);
+    return reader.ReadU64().value_or(0);
+  };
+  EXPECT_EQ(read(object_->Call("bump", ByteBuffer{})), 1u);
+  EXPECT_EQ(read(object_->Call("bump", ByteBuffer{})), 2u);
+
+  // Hot-swap the implementation; the counter carries straight on.
+  ASSERT_TRUE(object_->SwitchImplementation("bump", v2->id).ok());
+  EXPECT_EQ(read(object_->Call("bump", ByteBuffer{})), 12u)
+      << "state survived the implementation switch in core";
+}
+
+TEST_F(DcdoTest, ActiveCountsReportedOverRpc) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  ASSERT_TRUE(object_->EnableFunction("f", comp_a_.id).ok());
+  // A long-running call holds the count at 1 while we query it remotely.
+  testbed_.registry().Register(
+      "libA/f", ImplementationType::Portable(),
+      [](CallContext& ctx, const ByteBuffer&) {
+        ctx.BlockOnOutcall(2.0);
+        return Result<ByteBuffer>(ByteBuffer{});
+      });
+  ASSERT_TRUE(object_->RemapForHost().ok());
+
+  std::optional<std::uint64_t> observed_rows;
+  testbed_.simulation().Schedule(sim::SimDuration::Seconds(1.0), [&] {
+    auto client = testbed_.MakeClient(2);
+    auto reply = client->InvokeBlocking(object_->id(),
+                                        "dcdo.getActiveCounts");
+    ASSERT_TRUE(reply.ok());
+    Reader reader(*reply);
+    observed_rows = reader.ReadU64().value_or(99);
+    if (*observed_rows == 1) {
+      EXPECT_EQ(reader.ReadString().value_or(""), "f");
+      EXPECT_EQ(reader.ReadObjectId().value_or(ObjectId()), comp_a_.id);
+      EXPECT_EQ(reader.ReadU32().value_or(0), 1u);
+    }
+  });
+  ASSERT_TRUE(object_->Call("f", ByteBuffer{}).ok());
+  testbed_.simulation().Run();
+  ASSERT_TRUE(observed_rows.has_value());
+  EXPECT_EQ(*observed_rows, 1u);
+
+  // Quiescent object: the report is empty.
+  auto client = testbed_.MakeClient(2);
+  auto reply = client->InvokeBlocking(object_->id(), "dcdo.getActiveCounts");
+  ASSERT_TRUE(reply.ok());
+  Reader reader(*reply);
+  EXPECT_EQ(reader.ReadU64().value_or(99), 0u);
+}
+
+// --- Removal policies (Section 3.2 thread-activity options) ---
+
+TEST_F(DcdoTest, RemovalPolicyErrorRejectsOnActiveThreads) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  ASSERT_TRUE(object_->EnableFunction("f", comp_a_.id).ok());
+  // Body parks inside the function for 2 sim-seconds.
+  testbed_.registry().Register(
+      "libA/f", ImplementationType::Portable(),
+      [](CallContext& ctx, const ByteBuffer&) {
+        ctx.BlockOnOutcall(2.0);
+        return Result<ByteBuffer>(ByteBuffer::FromString("slow-done"));
+      });
+  ASSERT_TRUE(object_->RemapForHost().ok());
+
+  std::optional<Status> removal;
+  testbed_.simulation().Schedule(sim::SimDuration::Seconds(1.0), [&] {
+    object_->RemoveComponentWithPolicy(
+        comp_a_.id, Dcdo::RemovalPolicy::Error(),
+        [&](Status status) { removal = status; });
+  });
+  auto result = object_->Call("f", ByteBuffer{});  // runs 0..2 s
+  ASSERT_TRUE(result.ok());
+  testbed_.simulation().Run();
+  ASSERT_TRUE(removal.has_value());
+  EXPECT_EQ(removal->code(), ErrorCode::kActiveThreads);
+  EXPECT_TRUE(object_->mapper().state().HasComponent(comp_a_.id));
+}
+
+TEST_F(DcdoTest, RemovalPolicyDelayWaitsForDrain) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  ASSERT_TRUE(object_->EnableFunction("f", comp_a_.id).ok());
+  testbed_.registry().Register(
+      "libA/f", ImplementationType::Portable(),
+      [](CallContext& ctx, const ByteBuffer&) {
+        ctx.BlockOnOutcall(2.0);
+        return Result<ByteBuffer>(ByteBuffer{});
+      });
+  ASSERT_TRUE(object_->RemapForHost().ok());
+
+  std::optional<Status> removal;
+  sim::SimTime removal_done;
+  testbed_.simulation().Schedule(sim::SimDuration::Seconds(0.5), [&] {
+    object_->RemoveComponentWithPolicy(comp_a_.id,
+                                       Dcdo::RemovalPolicy::Delay(),
+                                       [&](Status status) {
+                                         removal = status;
+                                         removal_done =
+                                             testbed_.simulation().Now();
+                                       });
+  });
+  ASSERT_TRUE(object_->Call("f", ByteBuffer{}).ok());
+  testbed_.simulation().Run();
+  ASSERT_TRUE(removal.has_value());
+  EXPECT_TRUE(removal->ok());
+  EXPECT_GE(removal_done.ToSeconds(), 2.0) << "waited for the thread";
+  EXPECT_FALSE(object_->mapper().state().HasComponent(comp_a_.id));
+}
+
+TEST_F(DcdoTest, RemovalPolicyTimeoutForcesAtDeadline) {
+  ASSERT_TRUE(IncorporateBlocking(comp_a_.id).ok());
+  ASSERT_TRUE(object_->EnableFunction("f", comp_a_.id).ok());
+  testbed_.registry().Register(
+      "libA/f", ImplementationType::Portable(),
+      [](CallContext& ctx, const ByteBuffer&) {
+        ctx.BlockOnOutcall(60.0);  // far longer than the removal deadline
+        return Result<ByteBuffer>(ByteBuffer{});
+      });
+  ASSERT_TRUE(object_->RemapForHost().ok());
+
+  std::optional<Status> removal;
+  sim::SimTime removal_done;
+  testbed_.simulation().Schedule(sim::SimDuration::Seconds(0.5), [&] {
+    object_->RemoveComponentWithPolicy(
+        comp_a_.id,
+        Dcdo::RemovalPolicy::Timeout(sim::SimDuration::Seconds(3.0)),
+        [&](Status status) {
+          removal = status;
+          removal_done = testbed_.simulation().Now();
+        });
+  });
+  ASSERT_TRUE(object_->Call("f", ByteBuffer{}).ok());
+  testbed_.simulation().Run();
+  ASSERT_TRUE(removal.has_value());
+  EXPECT_TRUE(removal->ok());
+  // Removal was requested ~3 s into the run with a 3 s deadline: it must be
+  // forced around the 6 s mark, far before the 60 s the thread would take.
+  EXPECT_LT(removal_done.ToSeconds(), 8.0) << "forced well before 60 s";
+  EXPECT_FALSE(object_->mapper().state().HasComponent(comp_a_.id));
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,130 @@
+#include "core/evolution_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+const VersionId kV1{1};
+const VersionId kV11{1, 1};
+const VersionId kV12{1, 2};
+const VersionId kV111{1, 1, 1};
+
+TEST(SingleVersionPolicies, OnlyCurrentVersionIsLegal) {
+  for (auto factory : {MakeSingleVersionProactive, MakeSingleVersionExplicit,
+                       MakeSingleVersionLazyEveryCall}) {
+    auto policy = factory();
+    EXPECT_TRUE(policy->single_version());
+    EXPECT_TRUE(policy->CheckEvolution(kV1, kV11, kV11).ok());
+    EXPECT_EQ(policy->CheckEvolution(kV1, kV12, kV11).code(),
+              ErrorCode::kNotDerivedVersion)
+        << policy->name() << " must reject non-current targets";
+  }
+}
+
+TEST(SingleVersionPolicies, OnlyProactivePushes) {
+  EXPECT_TRUE(MakeSingleVersionProactive()->push_on_new_version());
+  EXPECT_FALSE(MakeSingleVersionExplicit()->push_on_new_version());
+  EXPECT_FALSE(MakeSingleVersionLazyEveryCall()->push_on_new_version());
+}
+
+TEST(LazyPolicies, EveryCallAlwaysChecks) {
+  auto policy = MakeSingleVersionLazyEveryCall();
+  LazyCheckContext ctx;
+  EXPECT_TRUE(policy->ShouldLazyCheck(ctx));
+}
+
+TEST(LazyPolicies, EveryKChecksOnKthCall) {
+  auto policy = MakeSingleVersionLazyEveryK(5);
+  LazyCheckContext ctx;
+  ctx.calls_since_check = 3;  // 4th call since check
+  EXPECT_FALSE(policy->ShouldLazyCheck(ctx));
+  ctx.calls_since_check = 4;  // 5th call
+  EXPECT_TRUE(policy->ShouldLazyCheck(ctx));
+}
+
+TEST(LazyPolicies, KZeroDegeneratesToEveryCall) {
+  auto policy = MakeSingleVersionLazyEveryK(0);
+  LazyCheckContext ctx;
+  EXPECT_TRUE(policy->ShouldLazyCheck(ctx));
+}
+
+TEST(LazyPolicies, PeriodicChecksAfterInterval) {
+  auto policy = MakeSingleVersionLazyPeriodic(sim::SimDuration::Seconds(60));
+  LazyCheckContext ctx;
+  ctx.since_check = sim::SimDuration::Seconds(59);
+  EXPECT_FALSE(policy->ShouldLazyCheck(ctx));
+  ctx.since_check = sim::SimDuration::Seconds(61);
+  EXPECT_TRUE(policy->ShouldLazyCheck(ctx));
+}
+
+TEST(LazyPolicies, OnMigrateOnlyChecksWhenMigrating) {
+  auto policy = MakeSingleVersionLazyOnMigrate();
+  LazyCheckContext ctx;
+  ctx.calls_since_check = 1000;
+  ctx.since_check = sim::SimDuration::Seconds(3600);
+  EXPECT_FALSE(policy->ShouldLazyCheck(ctx));
+  ctx.migrating = true;
+  EXPECT_TRUE(policy->ShouldLazyCheck(ctx));
+}
+
+TEST(MultiVersionNoUpdate, DeployedInstancesNeverEvolve) {
+  auto policy = MakeMultiVersionNoUpdate();
+  EXPECT_FALSE(policy->single_version());
+  EXPECT_TRUE(policy->CheckEvolution(kV11, kV11, kV1).ok())
+      << "staying put is fine";
+  EXPECT_EQ(policy->CheckEvolution(kV1, kV11, kV11).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+// The paper's example: 3.2 -> {3.2.1, 3.2.0.4} allowed, 3.2 -> 3.3 not.
+TEST(MultiVersionIncreasing, OnlyDescendantsAllowed) {
+  auto policy = MakeMultiVersionIncreasing();
+  VersionId v32{3, 2};
+  EXPECT_TRUE(policy->CheckEvolution(v32, VersionId{3, 2, 1}, kV1).ok());
+  EXPECT_TRUE(policy->CheckEvolution(v32, VersionId{3, 2, 0, 4}, kV1).ok());
+  EXPECT_EQ(policy->CheckEvolution(v32, VersionId{3, 3}, kV1).code(),
+            ErrorCode::kNotDerivedVersion);
+}
+
+TEST(MultiVersionIncreasing, AutoUpdateOnlyOntoDerivedCurrent) {
+  auto policy = MakeMultiVersionIncreasing();
+  EXPECT_TRUE(policy->AutoUpdateAllowed(kV11, kV111));
+  EXPECT_FALSE(policy->AutoUpdateAllowed(kV11, kV12))
+      << "current not derived from the instance's version: stay put";
+}
+
+TEST(MultiVersionGeneral, AnythingGoesAndMarksRelaxed) {
+  auto policy = MakeMultiVersionGeneral();
+  EXPECT_TRUE(policy->CheckEvolution(kV12, kV11, kV1).ok());
+  EXPECT_FALSE(policy->enforce_marks_on_evolve());
+}
+
+TEST(MultiVersionHybrid, AnyTargetButMarksEnforced) {
+  auto policy = MakeMultiVersionHybrid();
+  EXPECT_TRUE(policy->CheckEvolution(kV12, kV11, kV1).ok());
+  EXPECT_TRUE(policy->enforce_marks_on_evolve());
+}
+
+TEST(AllPolicies, NamesAreUnique) {
+  std::vector<std::unique_ptr<EvolutionPolicy>> policies;
+  policies.push_back(MakeSingleVersionProactive());
+  policies.push_back(MakeSingleVersionExplicit());
+  policies.push_back(MakeSingleVersionLazyEveryCall());
+  policies.push_back(MakeSingleVersionLazyEveryK(10));
+  policies.push_back(MakeSingleVersionLazyPeriodic(
+      sim::SimDuration::Seconds(1)));
+  policies.push_back(MakeSingleVersionLazyOnMigrate());
+  policies.push_back(MakeMultiVersionNoUpdate());
+  policies.push_back(MakeMultiVersionIncreasing());
+  policies.push_back(MakeMultiVersionGeneral());
+  policies.push_back(MakeMultiVersionHybrid());
+  std::set<std::string_view> names;
+  for (const auto& policy : policies) {
+    EXPECT_TRUE(names.insert(policy->name()).second)
+        << "duplicate policy name " << policy->name();
+  }
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,120 @@
+#include "dfm/compatibility.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace dcdo {
+namespace {
+
+class CompatibilityTest : public ::testing::Test {
+ protected:
+  CompatibilityTest() {
+    comp_a_ = testing::MakeEchoComponent(registry_, "libA", {"f", "g"});
+    comp_b_ = testing::MakeEchoComponent(registry_, "libB", {"f"});
+  }
+
+  DfmState WithEnabled(
+      const std::vector<std::pair<std::string, const ImplementationComponent*>>&
+          enables) {
+    DfmState state;
+    EXPECT_TRUE(state.IncorporateComponent(comp_a_).ok());
+    EXPECT_TRUE(state.IncorporateComponent(comp_b_).ok());
+    for (const auto& [fn, comp] : enables) {
+      EXPECT_TRUE(state.EnableFunction(fn, comp->id).ok());
+    }
+    return state;
+  }
+
+  NativeCodeRegistry registry_;
+  ImplementationComponent comp_a_;
+  ImplementationComponent comp_b_;
+};
+
+TEST_F(CompatibilityTest, IdenticalConfigurations) {
+  DfmState from = WithEnabled({{"f", &comp_a_}});
+  DfmState to = WithEnabled({{"f", &comp_a_}});
+  CompatibilityReport report = ClassifyTransition(from, to);
+  EXPECT_EQ(report.level, Compatibility::kIdentical);
+  EXPECT_TRUE(report.SafeForExistingClients());
+  EXPECT_EQ(report.Summary(), "identical");
+}
+
+TEST_F(CompatibilityTest, ReimplementationIsBehavioral) {
+  DfmState from = WithEnabled({{"f", &comp_a_}});
+  DfmState to = WithEnabled({{"f", &comp_b_}});  // same name+signature
+  CompatibilityReport report = ClassifyTransition(from, to);
+  EXPECT_EQ(report.level, Compatibility::kBehavioral);
+  EXPECT_TRUE(report.SafeForExistingClients());
+  ASSERT_EQ(report.reimplemented.size(), 1u);
+  EXPECT_EQ(report.reimplemented[0], "f");
+}
+
+TEST_F(CompatibilityTest, AddingExportsIsExtension) {
+  DfmState from = WithEnabled({{"f", &comp_a_}});
+  DfmState to = WithEnabled({{"f", &comp_a_}, {"g", &comp_a_}});
+  CompatibilityReport report = ClassifyTransition(from, to);
+  EXPECT_EQ(report.level, Compatibility::kExtension);
+  EXPECT_TRUE(report.SafeForExistingClients());
+  ASSERT_EQ(report.added.size(), 1u);
+  EXPECT_EQ(report.added[0].name, "g");
+}
+
+TEST_F(CompatibilityTest, RemovingExportIsBreaking) {
+  DfmState from = WithEnabled({{"f", &comp_a_}, {"g", &comp_a_}});
+  DfmState to = WithEnabled({{"f", &comp_a_}});
+  CompatibilityReport report = ClassifyTransition(from, to);
+  EXPECT_EQ(report.level, Compatibility::kBreaking);
+  EXPECT_FALSE(report.SafeForExistingClients());
+  ASSERT_EQ(report.removed.size(), 1u);
+  EXPECT_EQ(report.removed[0].name, "g");
+}
+
+TEST_F(CompatibilityTest, SignatureChangeIsBreaking) {
+  DfmState from = WithEnabled({{"f", &comp_a_}});
+  // A different component whose f has a different signature.
+  auto resigned = ComponentBuilder("libC")
+                      .AddFunction("f", "i(s)", "libC/f")  // new signature
+                      .Build();
+  ASSERT_TRUE(resigned.ok());
+  testing::RegisterEcho(registry_, "libC/f", "libC.f");
+  DfmState to;
+  ASSERT_TRUE(to.IncorporateComponent(*resigned).ok());
+  ASSERT_TRUE(to.EnableFunction("f", resigned->id).ok());
+
+  CompatibilityReport report = ClassifyTransition(from, to);
+  EXPECT_EQ(report.level, Compatibility::kBreaking);
+  ASSERT_EQ(report.signature_changed.size(), 1u);
+  EXPECT_EQ(report.signature_changed[0].signature, "b(b)");
+}
+
+TEST_F(CompatibilityTest, InternalFunctionsInvisibleToClassification) {
+  DfmState from = WithEnabled({{"f", &comp_a_}, {"g", &comp_a_}});
+  ASSERT_TRUE(from.SetVisibility("g", comp_a_.id,
+                                 Visibility::kInternal).ok());
+  DfmState to = WithEnabled({{"f", &comp_a_}});
+  // g was internal in `from`, so its absence in `to` breaks nothing.
+  CompatibilityReport report = ClassifyTransition(from, to);
+  EXPECT_EQ(report.level, Compatibility::kIdentical);
+}
+
+TEST_F(CompatibilityTest, MixedChangesReportBreakingWithDetail) {
+  DfmState from = WithEnabled({{"f", &comp_a_}, {"g", &comp_a_}});
+  DfmState to = WithEnabled({{"f", &comp_b_}});  // g removed, f moved
+  CompatibilityReport report = ClassifyTransition(from, to);
+  EXPECT_EQ(report.level, Compatibility::kBreaking);
+  EXPECT_EQ(report.removed.size(), 1u);
+  EXPECT_EQ(report.reimplemented.size(), 1u);
+  EXPECT_NE(report.Summary().find("removed: g"), std::string::npos);
+  EXPECT_NE(report.Summary().find("reimplemented: f"), std::string::npos);
+}
+
+TEST_F(CompatibilityTest, NamesCovered) {
+  EXPECT_EQ(CompatibilityName(Compatibility::kIdentical), "identical");
+  EXPECT_EQ(CompatibilityName(Compatibility::kBehavioral), "behavioral");
+  EXPECT_EQ(CompatibilityName(Compatibility::kExtension), "extension");
+  EXPECT_EQ(CompatibilityName(Compatibility::kBreaking), "breaking");
+}
+
+}  // namespace
+}  // namespace dcdo

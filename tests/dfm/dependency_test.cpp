@@ -1,0 +1,153 @@
+#include "dfm/dependency.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+const ObjectId kC1(domains::kComponent, 1);
+const ObjectId kC2(domains::kComponent, 2);
+const ObjectId kC3(domains::kComponent, 3);
+
+TEST(DependencyTest, FactoriesProduceValidRecords) {
+  EXPECT_TRUE(Dependency::TypeA("f1", kC1, "f2").Validate().ok());
+  EXPECT_TRUE(Dependency::TypeB("f1", kC1, "f2", kC2).Validate().ok());
+  EXPECT_TRUE(Dependency::TypeC("f1", "f2", kC2).Validate().ok());
+  EXPECT_TRUE(Dependency::TypeD("f1", "f2").Validate().ok());
+}
+
+TEST(DependencyTest, WrongOptionalFieldsRejected) {
+  Dependency dep = Dependency::TypeA("f1", kC1, "f2");
+  dep.kind = DependencyKind::kTypeD;  // Type D must not carry C1
+  EXPECT_FALSE(dep.Validate().ok());
+
+  Dependency dep2 = Dependency::TypeD("f1", "f2");
+  dep2.kind = DependencyKind::kTypeB;  // Type B needs both components
+  EXPECT_FALSE(dep2.Validate().ok());
+}
+
+TEST(DependencyTest, EmptyNamesRejected) {
+  EXPECT_FALSE(Dependency::TypeD("", "f2").Validate().ok());
+  EXPECT_FALSE(Dependency::TypeD("f1", "").Validate().ok());
+}
+
+TEST(DependencyTest, ToStringShowsKind) {
+  EXPECT_EQ(Dependency::TypeD("a", "b").ToString(), "[a]->[b] (Type D)");
+}
+
+TEST(EnabledSnapshotTest, TracksPerImplementationState) {
+  EnabledSnapshot snapshot;
+  EXPECT_FALSE(snapshot.AnyEnabled("f"));
+  snapshot.Enable("f", kC1);
+  EXPECT_TRUE(snapshot.IsEnabled("f", kC1));
+  EXPECT_FALSE(snapshot.IsEnabled("f", kC2));
+  EXPECT_TRUE(snapshot.AnyEnabled("f"));
+  snapshot.Disable("f", kC1);
+  EXPECT_FALSE(snapshot.AnyEnabled("f"));
+}
+
+class DependencySetTest : public ::testing::Test {
+ protected:
+  DependencySet deps_;
+  EnabledSnapshot snapshot_;
+};
+
+// Type A: [F1,C1] -> [F2] — some impl of F2 must exist while (F1,C1) runs.
+TEST_F(DependencySetTest, TypeASatisfiedByAnyImplementation) {
+  ASSERT_TRUE(deps_.Add(Dependency::TypeA("sort", kC1, "compare")).ok());
+  snapshot_.Enable("sort", kC1);
+  snapshot_.Enable("compare", kC3);  // any component will do
+  EXPECT_TRUE(deps_.Validate(snapshot_).ok());
+  snapshot_.Disable("compare", kC3);
+  EXPECT_EQ(deps_.Validate(snapshot_).code(),
+            ErrorCode::kDependencyViolation);
+}
+
+// Type B: [F1,C1] -> [F2,C2] — exactly C2's implementation must be enabled.
+TEST_F(DependencySetTest, TypeBRequiresSpecificImplementation) {
+  ASSERT_TRUE(deps_.Add(Dependency::TypeB("sort", kC1, "compare", kC2)).ok());
+  snapshot_.Enable("sort", kC1);
+  snapshot_.Enable("compare", kC3);  // wrong component
+  EXPECT_FALSE(deps_.Validate(snapshot_).ok());
+  snapshot_.Disable("compare", kC3);
+  snapshot_.Enable("compare", kC2);
+  EXPECT_TRUE(deps_.Validate(snapshot_).ok());
+}
+
+// Type C: [F1] -> [F2,C2] — any impl of F1 binds the specific target.
+TEST_F(DependencySetTest, TypeCBindsForAnyDependentImpl) {
+  ASSERT_TRUE(deps_.Add(Dependency::TypeC("serve", "auth", kC2)).ok());
+  snapshot_.Enable("serve", kC3);  // some implementation of serve
+  EXPECT_FALSE(deps_.Validate(snapshot_).ok());
+  snapshot_.Enable("auth", kC2);
+  EXPECT_TRUE(deps_.Validate(snapshot_).ok());
+}
+
+// Type D: [F1] -> [F2] — fully structural.
+TEST_F(DependencySetTest, TypeDStructural) {
+  ASSERT_TRUE(deps_.Add(Dependency::TypeD("serve", "log")).ok());
+  snapshot_.Enable("serve", kC1);
+  EXPECT_FALSE(deps_.Validate(snapshot_).ok());
+  snapshot_.Enable("log", kC2);
+  EXPECT_TRUE(deps_.Validate(snapshot_).ok());
+}
+
+// Dependencies bind only while the head is enabled: disabling the dependent
+// function "retracts" the constraint.
+TEST_F(DependencySetTest, VacuousWhenHeadDisabled) {
+  ASSERT_TRUE(deps_.Add(Dependency::TypeA("sort", kC1, "compare")).ok());
+  EXPECT_TRUE(deps_.Validate(snapshot_).ok()) << "nothing enabled";
+  snapshot_.Enable("sort", kC2);  // different impl of sort, not (sort,C1)
+  EXPECT_TRUE(deps_.Validate(snapshot_).ok());
+}
+
+TEST_F(DependencySetTest, AddIsIdempotent) {
+  ASSERT_TRUE(deps_.Add(Dependency::TypeD("a", "b")).ok());
+  ASSERT_TRUE(deps_.Add(Dependency::TypeD("a", "b")).ok());
+  EXPECT_EQ(deps_.size(), 1u);
+}
+
+TEST_F(DependencySetTest, RemoveExactMatchOnly) {
+  ASSERT_TRUE(deps_.Add(Dependency::TypeD("a", "b")).ok());
+  EXPECT_EQ(deps_.Remove(Dependency::TypeD("a", "c")).code(),
+            ErrorCode::kNotFound);
+  EXPECT_TRUE(deps_.Remove(Dependency::TypeD("a", "b")).ok());
+  EXPECT_EQ(deps_.size(), 0u);
+}
+
+TEST_F(DependencySetTest, AddRejectsMalformed) {
+  Dependency bad = Dependency::TypeD("a", "b");
+  bad.target_component = kC1;  // Type D must not carry a target component
+  EXPECT_FALSE(deps_.Add(bad).ok());
+}
+
+TEST_F(DependencySetTest, BindingDependenciesOnFindsActiveHeads) {
+  ASSERT_TRUE(deps_.Add(Dependency::TypeA("sort", kC1, "compare")).ok());
+  ASSERT_TRUE(deps_.Add(Dependency::TypeB("merge", kC2, "compare", kC3)).ok());
+  snapshot_.Enable("sort", kC1);
+
+  // Only sort's dependency is binding (merge is disabled).
+  auto on_any = deps_.BindingDependenciesOn("compare", kC3, snapshot_);
+  ASSERT_EQ(on_any.size(), 1u);
+  EXPECT_EQ(on_any[0]->dependent, "sort");
+
+  snapshot_.Enable("merge", kC2);
+  EXPECT_EQ(deps_.BindingDependenciesOn("compare", kC3, snapshot_).size(), 2u);
+  // Type B targets a specific component: asking about a different component
+  // of compare only matches the structural (Type A) dependency.
+  EXPECT_EQ(deps_.BindingDependenciesOn("compare", kC1, snapshot_).size(), 1u);
+}
+
+// Self-dependency: "by indicating that a function depends on itself, a
+// programmer can ensure that recursive functions are not changed or removed
+// while they are executing."
+TEST_F(DependencySetTest, SelfDependencyBindsWhileEnabled) {
+  ASSERT_TRUE(deps_.Add(Dependency::TypeC("fib", "fib", kC1)).ok());
+  snapshot_.Enable("fib", kC1);
+  auto binding = deps_.BindingDependenciesOn("fib", kC1, snapshot_);
+  ASSERT_EQ(binding.size(), 1u);
+  EXPECT_EQ(binding[0]->dependent, "fib");
+}
+
+}  // namespace
+}  // namespace dcdo

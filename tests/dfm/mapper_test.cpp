@@ -1,0 +1,256 @@
+#include "dfm/mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace dcdo {
+namespace {
+
+constexpr auto kArch = sim::Architecture::kX86Linux;
+
+class NullContext : public CallContext {
+ public:
+  Result<ByteBuffer> CallInternal(const std::string&,
+                                  const ByteBuffer&) override {
+    return FunctionMissingError("null context");
+  }
+  ObjectId self_id() const override { return ObjectId(); }
+  void BlockOnOutcall(double) override {}
+};
+
+class MapperTest : public ::testing::Test {
+ protected:
+  MapperTest() {
+    comp_a_ = testing::MakeEchoComponent(registry_, "libA", {"f", "g"});
+    comp_b_ = testing::MakeEchoComponent(registry_, "libB", {"f"});
+  }
+
+  std::string CallThrough(const std::string& function,
+                          CallOrigin origin = CallOrigin::kExternal) {
+    auto guard = mapper_.Acquire(function, origin);
+    if (!guard.ok()) return guard.status().ToString();
+    NullContext ctx;
+    auto result = guard->body()(ctx, ByteBuffer::FromString("x"));
+    return result.ok() ? result->ToString() : result.status().ToString();
+  }
+
+  NativeCodeRegistry registry_;
+  ImplementationComponent comp_a_;
+  ImplementationComponent comp_b_;
+  DynamicFunctionMapper mapper_;
+};
+
+TEST_F(MapperTest, IncorporateResolvesAndCallsBody) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", comp_a_.id).ok());
+  EXPECT_EQ(CallThrough("f"), "libA.f:x");
+  EXPECT_EQ(mapper_.calls_resolved(), 1u);
+}
+
+TEST_F(MapperTest, ErrorTaxonomyMatchesProblemClasses) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  // Present but disabled -> kFunctionDisabled.
+  auto disabled = mapper_.Acquire("f", CallOrigin::kExternal);
+  EXPECT_EQ(disabled.status().code(), ErrorCode::kFunctionDisabled);
+  // Entirely absent -> kFunctionMissing.
+  auto missing = mapper_.Acquire("zap", CallOrigin::kExternal);
+  EXPECT_EQ(missing.status().code(), ErrorCode::kFunctionMissing);
+  EXPECT_EQ(mapper_.calls_rejected(), 2u);
+}
+
+TEST_F(MapperTest, InternalFunctionInvisibleExternally) {
+  auto internal = ComponentBuilder("libI")
+                      .AddFunction("helper", "v()", "libI/helper",
+                                   Visibility::kInternal)
+                      .Build();
+  ASSERT_TRUE(internal.ok());
+  testing::RegisterEcho(registry_, "libI/helper", "helper");
+  ASSERT_TRUE(mapper_.IncorporateComponent(*internal, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("helper", internal->id).ok());
+
+  // Externally it looks missing (not merely disabled).
+  auto external = mapper_.Acquire("helper", CallOrigin::kExternal);
+  EXPECT_EQ(external.status().code(), ErrorCode::kFunctionMissing);
+  // Internally it works.
+  auto internal_call = mapper_.Acquire("helper", CallOrigin::kInternal);
+  EXPECT_TRUE(internal_call.ok());
+}
+
+TEST_F(MapperTest, IncorporateIsAllOrNothingOnUnresolvedSymbol) {
+  auto broken = ComponentBuilder("broken")
+                    .AddFunction("ok", "v()", "broken/ok")
+                    .AddFunction("bad", "v()", "broken/missing-symbol")
+                    .Build();
+  ASSERT_TRUE(broken.ok());
+  testing::RegisterEcho(registry_, "broken/ok", "ok");
+  // "broken/missing-symbol" never registered.
+  Status status = mapper_.IncorporateComponent(*broken, registry_, kArch);
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(mapper_.state().HasComponent(broken->id));
+}
+
+TEST_F(MapperTest, IncorporateRejectsIncompatibleArchitecture) {
+  auto native = ComponentBuilder("natA")
+                    .SetType(ImplementationType::Native(
+                        sim::Architecture::kSparcSolaris))
+                    .AddFunction("f", "v()", "natA/f")
+                    .Build();
+  ASSERT_TRUE(native.ok());
+  Status status = mapper_.IncorporateComponent(*native, registry_, kArch);
+  EXPECT_EQ(status.code(), ErrorCode::kArchMismatch);
+}
+
+// --- Thread activity monitoring ---
+
+TEST_F(MapperTest, GuardTracksActiveThreadCounts) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", comp_a_.id).ok());
+  {
+    auto g1 = mapper_.Acquire("f", CallOrigin::kExternal);
+    ASSERT_TRUE(g1.ok());
+    EXPECT_EQ(mapper_.ActiveCount("f", comp_a_.id), 1);
+    {
+      auto g2 = mapper_.Acquire("f", CallOrigin::kExternal);
+      EXPECT_EQ(mapper_.ActiveCount("f", comp_a_.id), 2);
+      EXPECT_EQ(mapper_.TotalActive(), 2);
+    }
+    EXPECT_EQ(mapper_.ActiveCount("f", comp_a_.id), 1);
+  }
+  EXPECT_EQ(mapper_.ActiveCount("f", comp_a_.id), 0);
+}
+
+TEST_F(MapperTest, GuardMoveTransfersOwnership) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", comp_a_.id).ok());
+  auto g1 = mapper_.Acquire("f", CallOrigin::kExternal);
+  ASSERT_TRUE(g1.ok());
+  DynamicFunctionMapper::CallGuard g2 = std::move(*g1);
+  EXPECT_EQ(mapper_.ActiveCount("f", comp_a_.id), 1) << "still one call";
+  g2.Release();
+  EXPECT_EQ(mapper_.ActiveCount("f", comp_a_.id), 0);
+  g2.Release();  // double release is harmless
+  EXPECT_EQ(mapper_.ActiveCount("f", comp_a_.id), 0);
+}
+
+TEST_F(MapperTest, RemoveComponentBlockedByActiveThreads) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", comp_a_.id).ok());
+  auto guard = mapper_.Acquire("f", CallOrigin::kExternal);
+  ASSERT_TRUE(guard.ok());
+
+  Status blocked = mapper_.RemoveComponent(comp_a_.id);
+  EXPECT_EQ(blocked.code(), ErrorCode::kActiveThreads);
+  guard->Release();
+  EXPECT_TRUE(mapper_.RemoveComponent(comp_a_.id).ok());
+}
+
+TEST_F(MapperTest, ForcePolicyRemovesDespiteActiveThreads) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", comp_a_.id).ok());
+  auto guard = mapper_.Acquire("f", CallOrigin::kExternal);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_TRUE(
+      mapper_.RemoveComponent(comp_a_.id, ActiveThreadPolicy::kForce).ok());
+  // The paper's observation: the in-flight call can still finish, because
+  // the guard holds the body alive even though the table row is gone.
+  NullContext ctx;
+  auto result = guard->body()(ctx, ByteBuffer::FromString("y"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "libA.f:y");
+}
+
+// A thread can proceed inside a *disabled* function; only new calls are
+// rejected. ("There is no reason why a thread cannot proceed inside a
+// deactivated function.")
+TEST_F(MapperTest, DisableDoesNotAffectInFlightCalls) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", comp_a_.id).ok());
+  auto guard = mapper_.Acquire("f", CallOrigin::kExternal);
+  ASSERT_TRUE(guard.ok());
+
+  ASSERT_TRUE(mapper_.DisableFunction("f", comp_a_.id).ok());
+  // New calls rejected...
+  EXPECT_EQ(mapper_.Acquire("f", CallOrigin::kExternal).status().code(),
+            ErrorCode::kFunctionDisabled);
+  // ...but the in-flight one still runs.
+  NullContext ctx;
+  EXPECT_TRUE(guard->body()(ctx, ByteBuffer{}).ok());
+}
+
+// Disable deferred while a *dependent* function is executing — the paper's
+// combination of activity monitoring with dependencies.
+TEST_F(MapperTest, DisableBlockedWhileDependentActive) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", comp_a_.id).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("g", comp_a_.id).ok());
+  ASSERT_TRUE(mapper_.AddDependency(
+      Dependency::TypeA("f", comp_a_.id, "g")).ok());
+
+  auto guard = mapper_.Acquire("f", CallOrigin::kExternal);  // f is running
+  ASSERT_TRUE(guard.ok());
+  Status blocked = mapper_.DisableFunction("g", comp_a_.id,
+                                           /*respect_active_dependents=*/true);
+  EXPECT_EQ(blocked.code(), ErrorCode::kActiveThreads);
+
+  guard->Release();
+  // With f idle the dependency still *exists*, so the disable now fails on
+  // the dependency check instead (f is still enabled).
+  EXPECT_EQ(mapper_.DisableFunction("g", comp_a_.id).code(),
+            ErrorCode::kDependencyViolation);
+  ASSERT_TRUE(mapper_.DisableFunction("f", comp_a_.id).ok());
+  EXPECT_TRUE(mapper_.DisableFunction("g", comp_a_.id).ok());
+}
+
+TEST_F(MapperTest, SwitchChangesWhichBodyRuns) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_b_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", comp_a_.id).ok());
+  EXPECT_EQ(CallThrough("f"), "libA.f:x");
+  ASSERT_TRUE(mapper_.SwitchImplementation("f", comp_b_.id).ok());
+  EXPECT_EQ(CallThrough("f"), "libB.f:x");
+}
+
+TEST_F(MapperTest, SyncMetadataAdoptsMarksAndDeps) {
+  ASSERT_TRUE(mapper_.IncorporateComponent(comp_a_, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", comp_a_.id).ok());
+
+  DfmState target;
+  ASSERT_TRUE(target.IncorporateComponent(comp_a_).ok());
+  ASSERT_TRUE(target.EnableFunction("f", comp_a_.id).ok());
+  ASSERT_TRUE(target.MarkMandatory("f").ok());
+
+  ASSERT_TRUE(mapper_.SyncMetadata(target).ok());
+  EXPECT_TRUE(mapper_.state().IsMandatory("f"));
+}
+
+TEST_F(MapperTest, RemapBodiesForNewArchitecture) {
+  // A symbol with two native builds.
+  auto dual = ComponentBuilder("dual")
+                  .SetType(ImplementationType::Portable())
+                  .AddFunction("f", "v()", "dual/f")
+                  .Build();
+  ASSERT_TRUE(dual.ok());
+  registry_.Register("dual/f",
+                     ImplementationType::Native(sim::Architecture::kX86Linux),
+                     [](CallContext&, const ByteBuffer&) {
+                       return Result<ByteBuffer>(
+                           ByteBuffer::FromString("x86-body"));
+                     });
+  registry_.Register(
+      "dual/f", ImplementationType::Native(sim::Architecture::kSparcSolaris),
+      [](CallContext&, const ByteBuffer&) {
+        return Result<ByteBuffer>(ByteBuffer::FromString("sparc-body"));
+      });
+
+  ASSERT_TRUE(mapper_.IncorporateComponent(*dual, registry_, kArch).ok());
+  ASSERT_TRUE(mapper_.EnableFunction("f", dual->id).ok());
+  EXPECT_EQ(CallThrough("f"), "x86-body");
+
+  ASSERT_TRUE(
+      mapper_.RemapBodies(registry_, sim::Architecture::kSparcSolaris).ok());
+  EXPECT_EQ(CallThrough("f"), "sparc-body");
+}
+
+}  // namespace
+}  // namespace dcdo

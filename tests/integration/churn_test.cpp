@@ -1,0 +1,204 @@
+// Randomized long-run churn: a manager with a growing version tree and a
+// small fleet, driven by a seeded random mix of derive / configure / freeze /
+// designate / evolve / update / migrate / call operations. After every step
+// the system-wide invariants must hold. This is the "does the whole machine
+// stay consistent under realistic messiness" test.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/manager.h"
+#include "runtime/testbed.h"
+#include "testing/fixtures.h"
+
+namespace dcdo {
+namespace {
+
+class ChurnProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnProperty, InvariantsHoldUnderRandomOperations) {
+  std::mt19937 rng(GetParam());
+  Testbed testbed;
+  DcdoManager manager("churn", testbed.host(0), &testbed.transport(),
+                      &testbed.agent(), &testbed.registry(),
+                      MakeMultiVersionIncreasing());
+  ASSERT_TRUE(manager.AttachNameService(&testbed.names()).ok());
+
+  // Component pool: five components over three function names.
+  std::vector<ImplementationComponent> pool;
+  pool.push_back(testing::MakeEchoComponent(testbed.registry(), "q0",
+                                            {"alpha", "beta"}));
+  pool.push_back(testing::MakeEchoComponent(testbed.registry(), "q1",
+                                            {"alpha"}));
+  pool.push_back(testing::MakeEchoComponent(testbed.registry(), "q2",
+                                            {"beta", "gamma"}));
+  pool.push_back(testing::MakeEchoComponent(testbed.registry(), "q3",
+                                            {"gamma"}));
+  pool.push_back(testing::MakeEchoComponent(testbed.registry(), "q4",
+                                            {"alpha", "gamma"}));
+  for (const ImplementationComponent& comp : pool) {
+    ASSERT_TRUE(manager.PublishComponent(comp).ok());
+  }
+
+  VersionId root = *manager.CreateRootVersion();
+  {
+    DfmDescriptor* d = *manager.MutableDescriptor(root);
+    ASSERT_TRUE(d->IncorporateComponent(pool[0]).ok());
+    ASSERT_TRUE(d->EnableFunction("alpha", pool[0].id).ok());
+    ASSERT_TRUE(manager.MarkInstantiable(root).ok());
+    ASSERT_TRUE(manager.SetCurrentVersion(root).ok());
+  }
+
+  std::vector<ObjectId> instances;
+  std::vector<VersionId> instantiable{root};
+  std::vector<VersionId> configurable;
+
+  auto create_instance = [&] {
+    std::uniform_int_distribution<std::size_t> host_dist(1, 10);
+    bool done = false;
+    manager.CreateInstance(testbed.host(host_dist(rng)),
+                           [&](Result<ObjectId> result) {
+                             if (result.ok()) instances.push_back(*result);
+                             done = true;
+                           });
+    testbed.simulation().RunWhile([&] { return !done; });
+  };
+  create_instance();
+
+  auto check_invariants = [&] {
+    // Every instance's version is a known instantiable version...
+    for (const ObjectId& instance : instances) {
+      auto version = manager.InstanceVersion(instance);
+      ASSERT_TRUE(version.ok());
+      bool known = false;
+      for (const VersionId& v : instantiable) {
+        if (v == *version) known = true;
+      }
+      ASSERT_TRUE(known) << "instance at unknown/configurable version "
+                         << version->ToString();
+      // ...and the live object's configuration validates completely.
+      Dcdo* object = manager.FindInstance(instance);
+      ASSERT_NE(object, nullptr);
+      ASSERT_TRUE(object->mapper().state().ValidateComplete().ok());
+    }
+    // Version ids in the DFM store form a tree rooted at "1".
+    for (const VersionId& version : manager.Versions()) {
+      ASSERT_TRUE(version.IsDerivedFrom(root));
+    }
+  };
+
+  std::uniform_int_distribution<int> op_dist(0, 7);
+  for (int step = 0; step < 120; ++step) {
+    switch (op_dist(rng)) {
+      case 0: {  // derive a new configurable version from a random existing
+        std::vector<VersionId> all = manager.Versions();
+        std::uniform_int_distribution<std::size_t> pick(0, all.size() - 1);
+        auto derived = manager.DeriveVersion(all[pick(rng)]);
+        if (derived.ok()) configurable.push_back(*derived);
+        break;
+      }
+      case 1: {  // randomly configure a configurable version
+        if (configurable.empty()) break;
+        std::uniform_int_distribution<std::size_t> pick(
+            0, configurable.size() - 1);
+        auto descriptor = manager.MutableDescriptor(configurable[pick(rng)]);
+        if (!descriptor.ok()) break;
+        std::uniform_int_distribution<std::size_t> comp_pick(0,
+                                                             pool.size() - 1);
+        const ImplementationComponent& comp = pool[comp_pick(rng)];
+        // Ignore failures: illegal configurations must fail cleanly.
+        (void)(*descriptor)->IncorporateComponent(comp);
+        if (!comp.functions.empty()) {
+          (void)(*descriptor)
+              ->SwitchImplementation(comp.functions[0].function.name,
+                                     comp.id);
+        }
+        break;
+      }
+      case 2: {  // freeze a configurable version
+        if (configurable.empty()) break;
+        std::uniform_int_distribution<std::size_t> pick(
+            0, configurable.size() - 1);
+        std::size_t index = pick(rng);
+        if (manager.MarkInstantiable(configurable[index]).ok()) {
+          instantiable.push_back(configurable[index]);
+          configurable.erase(configurable.begin() +
+                             static_cast<std::ptrdiff_t>(index));
+        }
+        break;
+      }
+      case 3: {  // designate a random instantiable version current
+        std::uniform_int_distribution<std::size_t> pick(
+            0, instantiable.size() - 1);
+        (void)manager.SetCurrentVersion(instantiable[pick(rng)]);
+        break;
+      }
+      case 4: {  // evolve a random instance to a random instantiable version
+        if (instances.empty()) break;
+        std::uniform_int_distribution<std::size_t> ipick(0,
+                                                         instances.size() - 1);
+        std::uniform_int_distribution<std::size_t> vpick(
+            0, instantiable.size() - 1);
+        bool done = false;
+        manager.EvolveInstanceTo(instances[ipick(rng)],
+                                 instantiable[vpick(rng)],
+                                 [&](Status) { done = true; });
+        testbed.simulation().RunWhile([&] { return !done; });
+        break;
+      }
+      case 5: {  // explicit update of a random instance
+        if (instances.empty()) break;
+        std::uniform_int_distribution<std::size_t> ipick(0,
+                                                         instances.size() - 1);
+        bool done = false;
+        manager.UpdateInstance(instances[ipick(rng)],
+                               [&](Status) { done = true; });
+        testbed.simulation().RunWhile([&] { return !done; });
+        break;
+      }
+      case 6: {  // call a random instance (must succeed or fail typed)
+        if (instances.empty()) break;
+        std::uniform_int_distribution<std::size_t> ipick(0,
+                                                         instances.size() - 1);
+        Dcdo* object = manager.FindInstance(instances[ipick(rng)]);
+        const char* fns[] = {"alpha", "beta", "gamma"};
+        std::uniform_int_distribution<int> fpick(0, 2);
+        auto result = object->Call(fns[fpick(rng)], ByteBuffer{});
+        if (!result.ok()) {
+          ErrorCode code = result.status().code();
+          ASSERT_TRUE(code == ErrorCode::kFunctionMissing ||
+                      code == ErrorCode::kFunctionDisabled)
+              << result.status();
+        }
+        break;
+      }
+      case 7: {  // create (rarely) or migrate an instance
+        if (instances.size() < 4) {
+          create_instance();
+        } else {
+          std::uniform_int_distribution<std::size_t> ipick(
+              0, instances.size() - 1);
+          std::uniform_int_distribution<std::size_t> host_dist(1, 10);
+          bool done = false;
+          manager.MigrateInstance(instances[ipick(rng)],
+                                  testbed.host(host_dist(rng)),
+                                  [&](Status) { done = true; });
+          testbed.simulation().RunWhile([&] { return !done; });
+        }
+        break;
+      }
+    }
+    testbed.simulation().Run();
+    check_invariants();
+  }
+
+  // The name service stayed consistent with the DCDO table.
+  auto listed = testbed.names().List("/types/churn/instances");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), manager.instance_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace dcdo

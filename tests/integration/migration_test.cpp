@@ -1,0 +1,191 @@
+// Migration across a heterogeneous testbed: implementation types decide
+// which components can map where, and lazy-on-migrate policies piggyback
+// updates on the move (paper Sections 2.1 and 3.4).
+#include <gtest/gtest.h>
+
+#include "core/manager.h"
+#include "runtime/testbed.h"
+#include "testing/fixtures.h"
+
+namespace dcdo {
+namespace {
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() : testbed_(MakeOptions()) {}
+
+  static Testbed::Options MakeOptions() {
+    Testbed::Options options;
+    options.heterogeneous = true;  // hosts rotate x86/sparc/alpha/nt
+    return options;
+  }
+
+  void InitManager(std::unique_ptr<EvolutionPolicy> policy) {
+    manager_ = std::make_unique<DcdoManager>(
+        "het", testbed_.host(0), &testbed_.transport(), &testbed_.agent(),
+        &testbed_.registry(), std::move(policy));
+  }
+
+  Result<ObjectId> CreateBlocking(std::size_t host_index) {
+    std::optional<Result<ObjectId>> out;
+    manager_->CreateInstance(testbed_.host(host_index),
+                             [&](Result<ObjectId> result) {
+                               out.emplace(std::move(result));
+                             });
+    testbed_.simulation().RunWhile([&] { return !out.has_value(); });
+    return out.value_or(InternalError("create never completed"));
+  }
+
+  Status MigrateBlocking(const ObjectId& instance, std::size_t host_index) {
+    std::optional<Status> out;
+    manager_->MigrateInstance(instance, testbed_.host(host_index),
+                              [&](Status status) { out = status; });
+    testbed_.simulation().RunWhile([&] { return !out.has_value(); });
+    return out.value_or(InternalError("migrate never completed"));
+  }
+
+  Testbed testbed_;
+  std::unique_ptr<DcdoManager> manager_;
+};
+
+TEST_F(MigrationTest, TestbedRotatesArchitectures) {
+  EXPECT_EQ(testbed_.host(0)->architecture(), sim::Architecture::kX86Linux);
+  EXPECT_EQ(testbed_.host(1)->architecture(),
+            sim::Architecture::kSparcSolaris);
+  EXPECT_EQ(testbed_.host(2)->architecture(), sim::Architecture::kAlphaOsf);
+  EXPECT_EQ(testbed_.host(3)->architecture(), sim::Architecture::kX86Nt);
+  EXPECT_EQ(testbed_.host(4)->architecture(), sim::Architecture::kX86Linux);
+}
+
+TEST_F(MigrationTest, PortableComponentMigratesAcrossArchitectures) {
+  InitManager(MakeSingleVersionExplicit());
+  auto comp = testing::MakeEchoComponent(testbed_.registry(), "portable",
+                                         {"serve"});
+  ASSERT_TRUE(manager_->PublishComponent(comp).ok());
+  VersionId v1 = *manager_->CreateRootVersion();
+  auto d1 = *manager_->MutableDescriptor(v1);
+  ASSERT_TRUE(d1->IncorporateComponent(comp).ok());
+  ASSERT_TRUE(d1->EnableFunction("serve", comp.id).ok());
+  ASSERT_TRUE(manager_->MarkInstantiable(v1).ok());
+  ASSERT_TRUE(manager_->SetCurrentVersion(v1).ok());
+
+  auto instance = CreateBlocking(4);  // x86-linux
+  ASSERT_TRUE(instance.ok());
+  // x86 -> sparc -> alpha, serving at each stop.
+  for (std::size_t dest : {1u, 2u}) {
+    ASSERT_TRUE(MigrateBlocking(*instance, dest).ok());
+    Dcdo* object = manager_->FindInstance(*instance);
+    EXPECT_EQ(object->address().node, testbed_.host(dest)->node());
+    auto result = object->Call("serve", ByteBuffer::FromString("hi"));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->ToString(), "portable.serve:hi");
+  }
+}
+
+TEST_F(MigrationTest, NativeOnlyComponentRefusesIncompatibleDestination) {
+  InitManager(MakeSingleVersionExplicit());
+  // A component whose only build is x86-linux native.
+  auto native = ComponentBuilder("native")
+                    .SetType(ImplementationType::Native(
+                        sim::Architecture::kX86Linux))
+                    .AddFunction("serve", "b(b)", "native/serve")
+                    .Build();
+  ASSERT_TRUE(native.ok());
+  testbed_.registry().Register(
+      "native/serve", ImplementationType::Native(sim::Architecture::kX86Linux),
+      [](CallContext&, const ByteBuffer&) {
+        return Result<ByteBuffer>(ByteBuffer::FromString("native"));
+      });
+  ASSERT_TRUE(manager_->PublishComponent(*native).ok());
+  VersionId v1 = *manager_->CreateRootVersion();
+  auto d1 = *manager_->MutableDescriptor(v1);
+  ASSERT_TRUE(d1->IncorporateComponent(*native).ok());
+  ASSERT_TRUE(d1->EnableFunction("serve", native->id).ok());
+  ASSERT_TRUE(manager_->MarkInstantiable(v1).ok());
+  ASSERT_TRUE(manager_->SetCurrentVersion(v1).ok());
+
+  auto instance = CreateBlocking(4);  // x86-linux host
+  ASSERT_TRUE(instance.ok());
+  // Host 1 is sparc-solaris: the migration must be refused up front.
+  Status status = MigrateBlocking(*instance, 1);
+  EXPECT_EQ(status.code(), ErrorCode::kArchMismatch);
+  // The instance is untouched and still serving on its original host.
+  Dcdo* object = manager_->FindInstance(*instance);
+  EXPECT_EQ(object->address().node, testbed_.host(4)->node());
+  EXPECT_TRUE(object->Call("serve", ByteBuffer{}).ok());
+}
+
+TEST_F(MigrationTest, PerArchitectureBuildsSwapOnMigration) {
+  InitManager(MakeSingleVersionExplicit());
+  // One component, portable *type*, but with per-arch native bodies in the
+  // registry: the DCDO keeps the same version yet runs a different build
+  // after the move — "functionally equivalent implementations".
+  auto comp = ComponentBuilder("multi")
+                  .SetType(ImplementationType::Portable())
+                  .AddFunction("which", "s()", "multi/which")
+                  .Build();
+  ASSERT_TRUE(comp.ok());
+  for (auto arch : {sim::Architecture::kX86Linux,
+                    sim::Architecture::kSparcSolaris,
+                    sim::Architecture::kAlphaOsf, sim::Architecture::kX86Nt}) {
+    testbed_.registry().Register(
+        "multi/which", ImplementationType::Native(arch),
+        [arch](CallContext&, const ByteBuffer&) {
+          return Result<ByteBuffer>(ByteBuffer::FromString(
+              std::string(sim::ArchitectureName(arch))));
+        });
+  }
+  ASSERT_TRUE(manager_->PublishComponent(*comp).ok());
+  VersionId v1 = *manager_->CreateRootVersion();
+  auto d1 = *manager_->MutableDescriptor(v1);
+  ASSERT_TRUE(d1->IncorporateComponent(*comp).ok());
+  ASSERT_TRUE(d1->EnableFunction("which", comp->id).ok());
+  ASSERT_TRUE(manager_->MarkInstantiable(v1).ok());
+  ASSERT_TRUE(manager_->SetCurrentVersion(v1).ok());
+
+  auto instance = CreateBlocking(4);  // x86-linux
+  ASSERT_TRUE(instance.ok());
+  Dcdo* object = manager_->FindInstance(*instance);
+  EXPECT_EQ(object->Call("which", ByteBuffer{})->ToString(), "x86-linux");
+
+  ASSERT_TRUE(MigrateBlocking(*instance, 1).ok());  // sparc
+  EXPECT_EQ(object->Call("which", ByteBuffer{})->ToString(),
+            "sparc-solaris");
+  EXPECT_EQ(manager_->InstanceVersion(*instance).value_or(VersionId()), v1)
+      << "same version, different build";
+}
+
+TEST_F(MigrationTest, MigrationFetchesComponentsAtDestination) {
+  InitManager(MakeSingleVersionExplicit());
+  auto comp = testing::MakeEchoComponent(testbed_.registry(), "heavy",
+                                         {"serve"}, /*code_bytes=*/5'100'000);
+  ASSERT_TRUE(manager_->PublishComponent(comp).ok());
+  VersionId v1 = *manager_->CreateRootVersion();
+  auto d1 = *manager_->MutableDescriptor(v1);
+  ASSERT_TRUE(d1->IncorporateComponent(comp).ok());
+  ASSERT_TRUE(d1->EnableFunction("serve", comp.id).ok());
+  ASSERT_TRUE(manager_->MarkInstantiable(v1).ok());
+  ASSERT_TRUE(manager_->SetCurrentVersion(v1).ok());
+
+  auto instance = CreateBlocking(4);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_FALSE(testbed_.host(8)->ComponentCached(comp.id));
+
+  sim::SimTime start = testbed_.simulation().Now();
+  ASSERT_TRUE(MigrateBlocking(*instance, 8).ok());
+  EXPECT_TRUE(testbed_.host(8)->ComponentCached(comp.id));
+  double cold_seconds = (testbed_.simulation().Now() - start).ToSeconds();
+
+  // A second migration to the same host skips the component download; only
+  // the state-transfer session remains, so it is measurably cheaper.
+  ASSERT_TRUE(MigrateBlocking(*instance, 4).ok());
+  start = testbed_.simulation().Now();
+  ASSERT_TRUE(MigrateBlocking(*instance, 8).ok());
+  double warm_seconds = (testbed_.simulation().Now() - start).ToSeconds();
+  EXPECT_GT(cold_seconds, warm_seconds + 0.5)
+      << "cold migration pays the 5.1 MB component stream";
+  EXPECT_LT(cold_seconds, 10.0);
+}
+
+}  // namespace
+}  // namespace dcdo

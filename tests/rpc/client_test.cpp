@@ -1,0 +1,146 @@
+#include "rpc/client.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo::rpc {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest()
+      : network_(&simulation_, sim::CostModel{}),
+        transport_(&network_),
+        client_(&transport_, &agent_, /*node=*/1) {
+    network_.AddNode(1);
+    network_.AddNode(2);
+    network_.AddNode(3);
+    target_ = ObjectId::Next(domains::kInstance);
+  }
+
+  // Registers an echo server for `target_` at (node, pid, epoch) and binds it.
+  void ServeAt(sim::NodeId node, sim::ProcessId pid, std::uint64_t epoch) {
+    transport_.RegisterEndpoint(
+        node, pid, epoch, [](const MethodInvocation& inv, ReplyFn reply) {
+          reply(MethodResult::Ok(ByteBuffer::FromString(inv.method)));
+        });
+    agent_.Bind(target_, ObjectAddress{node, pid, epoch});
+  }
+
+  sim::Simulation simulation_;
+  sim::SimNetwork network_;
+  RpcTransport transport_;
+  BindingAgent agent_;
+  RpcClient client_;
+  ObjectId target_;
+};
+
+TEST_F(ClientTest, BlockingInvokeReturnsPayload) {
+  ServeAt(2, 10, 1);
+  auto result = client_.InvokeBlocking(target_, "echoMe");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "echoMe");
+  EXPECT_EQ(client_.timeouts(), 0u);
+  // A healthy call completes in milliseconds, not timeout territory.
+  EXPECT_LT(simulation_.Now().ToSeconds(), 0.1);
+}
+
+TEST_F(ClientTest, UnknownTargetFailsFast) {
+  auto result = client_.InvokeBlocking(ObjectId::Next(domains::kInstance),
+                                       "anything");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+// The paper's stale-binding scenario: the object re-activated elsewhere; the
+// client's cached binding points at a dead process. Recovery takes the
+// timeout-retry-rebind protocol — 25-35 simulated seconds.
+TEST_F(ClientTest, StaleBindingRecoveredWithinPaperBand) {
+  ServeAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warm").ok());  // cache binding
+
+  // The object "evolves": old endpoint dies, new activation at node 3.
+  transport_.UnregisterEndpoint(2, 10);
+  ServeAt(3, 20, 2);
+
+  sim::SimTime start = simulation_.Now();
+  auto result = client_.InvokeBlocking(target_, "afterEvolve");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "afterEvolve");
+
+  double seconds = (simulation_.Now() - start).ToSeconds();
+  EXPECT_GE(seconds, 25.0);
+  EXPECT_LE(seconds, 35.0);
+  EXPECT_EQ(client_.rebinds(), 1u);
+  EXPECT_GE(client_.timeouts(), 3u);  // initial + retries
+}
+
+TEST_F(ClientTest, SecondCallAfterRebindIsFastAgain) {
+  ServeAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warm").ok());
+  transport_.UnregisterEndpoint(2, 10);
+  ServeAt(3, 20, 2);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "recover").ok());
+
+  sim::SimTime start = simulation_.Now();
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "fast").ok());
+  EXPECT_LT((simulation_.Now() - start).ToSeconds(), 0.1);
+}
+
+TEST_F(ClientTest, ObjectTrulyGoneTimesOutAfterRebind) {
+  ServeAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warm").ok());
+  transport_.UnregisterEndpoint(2, 10);
+  // Binding agent still points at the dead activation (no new one).
+
+  auto result = client_.InvokeBlocking(target_, "lost");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+}
+
+TEST_F(ClientTest, UnboundAfterDeathReportsUnavailable) {
+  ServeAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warm").ok());
+  transport_.UnregisterEndpoint(2, 10);
+  agent_.Unbind(target_);  // deactivated with no forwarding address
+
+  auto result = client_.InvokeBlocking(target_, "lost");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(ClientTest, EpochChangeAtSameAddressIsAlsoStale) {
+  ServeAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warm").ok());
+  // Re-activation reuses (node, pid) but bumps the epoch.
+  transport_.UnregisterEndpoint(2, 10);
+  ServeAt(2, 10, 2);
+
+  auto result = client_.InvokeBlocking(target_, "again");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(client_.rebinds(), 1u);
+}
+
+TEST_F(ClientTest, ApplicationErrorsDoNotTriggerRetry) {
+  transport_.RegisterEndpoint(2, 10, 1,
+                              [](const MethodInvocation&, ReplyFn reply) {
+                                reply(MethodResult::Error(
+                                    FunctionDisabledError("off")));
+                              });
+  agent_.Bind(target_, ObjectAddress{2, 10, 1});
+  auto result = client_.InvokeBlocking(target_, "disabledFn");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kFunctionDisabled);
+  EXPECT_EQ(client_.timeouts(), 0u);
+  EXPECT_LT(simulation_.Now().ToSeconds(), 1.0);
+}
+
+TEST_F(ClientTest, AsyncInvokeRunsCallbackOnce) {
+  ServeAt(2, 10, 1);
+  int calls = 0;
+  client_.Invoke(target_, "once", {}, [&](Result<ByteBuffer>) { ++calls; });
+  simulation_.Run();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace dcdo::rpc

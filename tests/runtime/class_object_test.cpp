@@ -1,0 +1,196 @@
+#include "runtime/class_object.h"
+
+#include <gtest/gtest.h>
+
+#include "rpc/client.h"
+#include "runtime/testbed.h"
+
+namespace dcdo {
+namespace {
+
+// The paper's "typical" executable size for moderately sized Legion objects.
+constexpr std::size_t kTypicalExecutable = 5'100'000;
+
+Executable MakeExecutable(const std::string& name, std::size_t bytes,
+                          const std::string& reply) {
+  Executable executable;
+  executable.name = name;
+  executable.bytes = bytes;
+  executable.methods.Add("whoami",
+                         [reply](InstanceState&, const ByteBuffer&) {
+                           return Result<ByteBuffer>(
+                               ByteBuffer::FromString(reply));
+                         });
+  return executable;
+}
+
+class ClassObjectTest : public ::testing::Test {
+ protected:
+  ClassObjectTest()
+      : class_object_("server", testbed_.host(0), &testbed_.transport(),
+                      &testbed_.agent()) {
+    v1_ = class_object_.AddExecutable(
+        MakeExecutable("server-v1", kTypicalExecutable, "v1"));
+    v2_ = class_object_.AddExecutable(
+        MakeExecutable("server-v2", kTypicalExecutable, "v2"));
+  }
+
+  Result<ObjectId> CreateBlocking(sim::SimHost* host,
+                                  std::size_t state_bytes = 0) {
+    std::optional<Result<ObjectId>> out;
+    class_object_.CreateInstance(host, state_bytes,
+                                 [&](Result<ObjectId> result) {
+                                   out.emplace(std::move(result));
+                                 });
+    testbed_.simulation().RunWhile([&] { return !out.has_value(); });
+    return out.value_or(InternalError("create never completed"));
+  }
+
+  Status EvolveBlocking(const ObjectId& instance, std::size_t executable) {
+    std::optional<Status> out;
+    class_object_.EvolveInstance(instance, executable,
+                                 [&](Status status) { out = status; });
+    testbed_.simulation().RunWhile([&] { return !out.has_value(); });
+    return out.value_or(InternalError("evolve never completed"));
+  }
+
+  Testbed testbed_;
+  ClassObject class_object_;
+  std::size_t v1_ = 0;
+  std::size_t v2_ = 0;
+};
+
+// Paper: "creating an object with ... 500 functions that reside in a static
+// monolithic executable takes only 2.2 seconds" — when the executable is
+// already on the host.
+TEST_F(ClassObjectTest, CreateOnHomeHostTakesAboutTwoSeconds) {
+  sim::SimTime start = testbed_.simulation().Now();
+  auto instance = CreateBlocking(testbed_.host(0));
+  ASSERT_TRUE(instance.ok());
+  double seconds = (testbed_.simulation().Now() - start).ToSeconds();
+  EXPECT_GT(seconds, 1.8);
+  EXPECT_LT(seconds, 2.6);
+  EXPECT_EQ(class_object_.instance_count(), 1u);
+}
+
+TEST_F(ClassObjectTest, CreateOnRemoteHostPaysExecutableDownload) {
+  sim::SimTime start = testbed_.simulation().Now();
+  auto instance = CreateBlocking(testbed_.host(5));
+  ASSERT_TRUE(instance.ok());
+  double seconds = (testbed_.simulation().Now() - start).ToSeconds();
+  // ~2 s create + 15-25 s download of the 5.1 MB executable.
+  EXPECT_GT(seconds, 17.0);
+  EXPECT_LT(seconds, 28.0);
+  // Second create on the same host reuses the downloaded executable.
+  start = testbed_.simulation().Now();
+  ASSERT_TRUE(CreateBlocking(testbed_.host(5)).ok());
+  EXPECT_LT((testbed_.simulation().Now() - start).ToSeconds(), 2.6);
+}
+
+TEST_F(ClassObjectTest, InstanceServesMethodCalls) {
+  auto instance = CreateBlocking(testbed_.host(1));
+  ASSERT_TRUE(instance.ok());
+  auto client = testbed_.MakeClient(2);
+  auto reply = client->InvokeBlocking(*instance, "whoami");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ToString(), "v1");
+}
+
+TEST_F(ClassObjectTest, UnknownMethodReturnsTypedError) {
+  auto instance = CreateBlocking(testbed_.host(1));
+  ASSERT_TRUE(instance.ok());
+  auto client = testbed_.MakeClient(2);
+  auto reply = client->InvokeBlocking(*instance, "nosuch");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ClassObjectTest, EvolveSwapsExecutableAndBehaviour) {
+  auto instance = CreateBlocking(testbed_.host(1), /*state=*/1 << 20);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(EvolveBlocking(*instance, v2_).ok());
+  EXPECT_EQ(class_object_.InstanceExecutable(*instance).value_or(99), v2_);
+
+  // A *fresh* client (empty cache) sees the new behaviour immediately.
+  auto client = testbed_.MakeClient(2);
+  auto reply = client->InvokeBlocking(*instance, "whoami");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ToString(), "v2");
+}
+
+// The headline baseline number: monolithic evolution costs tens of seconds
+// (capture + executable download + respawn + restore).
+TEST_F(ClassObjectTest, MonolithicEvolutionCostsTensOfSeconds) {
+  auto instance = CreateBlocking(testbed_.host(1), /*state=*/1 << 20);
+  ASSERT_TRUE(instance.ok());
+  sim::SimTime start = testbed_.simulation().Now();
+  ASSERT_TRUE(EvolveBlocking(*instance, v2_).ok());
+  double seconds = (testbed_.simulation().Now() - start).ToSeconds();
+  EXPECT_GT(seconds, 18.0) << "download dominates";
+  EXPECT_LT(seconds, 35.0);
+}
+
+// And the client-visible cost on top: the old binding is stale, so the
+// first post-evolution call from an old client pays the 25-35 s discovery.
+TEST_F(ClassObjectTest, OldClientPaysStaleBindingAfterEvolution) {
+  auto instance = CreateBlocking(testbed_.host(1));
+  ASSERT_TRUE(instance.ok());
+  auto client = testbed_.MakeClient(2);
+  ASSERT_TRUE(client->InvokeBlocking(*instance, "whoami").ok());  // warm cache
+
+  ASSERT_TRUE(EvolveBlocking(*instance, v2_).ok());
+
+  sim::SimTime start = testbed_.simulation().Now();
+  auto reply = client->InvokeBlocking(*instance, "whoami");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ToString(), "v2");
+  double seconds = (testbed_.simulation().Now() - start).ToSeconds();
+  EXPECT_GE(seconds, 25.0);
+  EXPECT_LE(seconds, 35.0);
+  EXPECT_EQ(client->rebinds(), 1u);
+}
+
+TEST_F(ClassObjectTest, MigrationMovesInstance) {
+  auto instance = CreateBlocking(testbed_.host(1), /*state=*/512 * 1024);
+  ASSERT_TRUE(instance.ok());
+  std::optional<Status> migrated;
+  class_object_.MigrateInstance(*instance, testbed_.host(3),
+                                [&](Status status) { migrated = status; });
+  testbed_.simulation().RunWhile([&] { return !migrated.has_value(); });
+  ASSERT_TRUE(migrated.has_value());
+  ASSERT_TRUE(migrated->ok());
+  EXPECT_EQ(class_object_.InstanceNode(*instance).value_or(0),
+            testbed_.host(3)->node());
+  auto client = testbed_.MakeClient(4);
+  EXPECT_TRUE(client->InvokeBlocking(*instance, "whoami").ok());
+}
+
+TEST_F(ClassObjectTest, DestroyInstanceUnbinds) {
+  auto instance = CreateBlocking(testbed_.host(1));
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(class_object_.DestroyInstance(*instance).ok());
+  EXPECT_FALSE(class_object_.HasInstance(*instance));
+  EXPECT_FALSE(testbed_.agent().Bound(*instance));
+  EXPECT_EQ(class_object_.DestroyInstance(*instance).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ClassObjectTest, SetCurrentExecutableValidatesIndex) {
+  EXPECT_TRUE(class_object_.SetCurrentExecutable(v2_).ok());
+  EXPECT_EQ(class_object_.current_executable().name, "server-v2");
+  EXPECT_EQ(class_object_.SetCurrentExecutable(99).code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST_F(ClassObjectTest, EvolveUnknownInstanceFails) {
+  EXPECT_EQ([&] {
+    std::optional<Status> out;
+    class_object_.EvolveInstance(ObjectId::Next(domains::kInstance), v2_,
+                                 [&](Status status) { out = status; });
+    testbed_.simulation().Run();
+    return out.value_or(InternalError("no callback"));
+  }().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,78 @@
+#include "runtime/method_table.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo {
+namespace {
+
+MethodFn Echo(const std::string& tag) {
+  return [tag](InstanceState&, const ByteBuffer& args) {
+    return Result<ByteBuffer>(
+        ByteBuffer::FromString(tag + ":" + args.ToString()));
+  };
+}
+
+TEST(MethodTableTest, AddAndFind) {
+  MethodTable table;
+  table.Add("ping", Echo("pong"));
+  auto method = table.Find("ping");
+  ASSERT_TRUE(method.ok());
+  InstanceState state;
+  auto result = (**method)(state, ByteBuffer::FromString("x"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "pong:x");
+}
+
+TEST(MethodTableTest, FindMissingIsTypedError) {
+  MethodTable table;
+  auto method = table.Find("ghost");
+  ASSERT_FALSE(method.ok());
+  EXPECT_EQ(method.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(MethodTableTest, AddReplacesBinding) {
+  MethodTable table;
+  table.Add("f", Echo("v1"));
+  table.Add("f", Echo("v2"));
+  EXPECT_EQ(table.size(), 1u);
+  InstanceState state;
+  auto result = (**table.Find("f"))(state, ByteBuffer{});
+  EXPECT_EQ(result->ToString(), "v2:");
+}
+
+TEST(MethodTableTest, MethodNamesSorted) {
+  MethodTable table;
+  table.Add("zeta", Echo("z"));
+  table.Add("alpha", Echo("a"));
+  EXPECT_EQ(table.MethodNames(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+  EXPECT_TRUE(table.Has("alpha"));
+  EXPECT_FALSE(table.Has("beta"));
+}
+
+TEST(MethodTableTest, MethodsMutateInstanceState) {
+  MethodTable table;
+  table.Add("store", [](InstanceState& state, const ByteBuffer& args) {
+    state.data = args;
+    return Result<ByteBuffer>(ByteBuffer{});
+  });
+  table.Add("load", [](InstanceState& state, const ByteBuffer&) {
+    return Result<ByteBuffer>(state.data);
+  });
+  InstanceState state;
+  ASSERT_TRUE((**table.Find("store"))(state,
+                                      ByteBuffer::FromString("kept")).ok());
+  auto result = (**table.Find("load"))(state, ByteBuffer{});
+  EXPECT_EQ(result->ToString(), "kept");
+}
+
+TEST(InstanceStateTest, CaptureSizePrefersLogicalSize) {
+  InstanceState state;
+  state.data = ByteBuffer::FromString("abc");
+  EXPECT_EQ(state.CaptureSize(), 3u);
+  state.logical_size = 1 << 20;
+  EXPECT_EQ(state.CaptureSize(), 1u << 20);
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,93 @@
+#include "sim/host.h"
+
+#include <gtest/gtest.h>
+
+#include "common/object_id.h"
+
+namespace dcdo::sim {
+namespace {
+
+class HostTest : public ::testing::Test {
+ protected:
+  HostTest()
+      : network_(&simulation_, CostModel{}),
+        host_(&simulation_, &network_, 1, Architecture::kX86Linux) {}
+
+  Simulation simulation_;
+  SimNetwork network_;
+  SimHost host_;
+};
+
+TEST_F(HostTest, ArchitectureNames) {
+  EXPECT_EQ(ArchitectureName(Architecture::kX86Linux), "x86-linux");
+  EXPECT_EQ(ArchitectureName(Architecture::kSparcSolaris), "sparc-solaris");
+  EXPECT_EQ(ArchitectureName(Architecture::kAlphaOsf), "alpha-osf");
+  EXPECT_EQ(ArchitectureName(Architecture::kX86Nt), "x86-nt");
+}
+
+TEST_F(HostTest, SpawnChargesProcessCost) {
+  ObjectId owner = ObjectId::Next(domains::kInstance);
+  ProcessId pid = 0;
+  host_.SpawnProcess(owner, 550'000, [&](ProcessId p) { pid = p; });
+  EXPECT_EQ(pid, 0u);  // not yet
+  simulation_.Run();
+  ASSERT_NE(pid, 0u);
+  EXPECT_TRUE(host_.ProcessAlive(pid));
+  EXPECT_EQ(host_.ProcessOwner(pid), owner);
+  // Spawn (1.6 s) + executable load from disk.
+  EXPECT_GT(simulation_.Now().ToSeconds(), 1.6);
+  EXPECT_LT(simulation_.Now().ToSeconds(), 2.0);
+}
+
+TEST_F(HostTest, AdoptProcessIsImmediateAndFree) {
+  ObjectId owner = ObjectId::Next(domains::kIco);
+  ProcessId pid = host_.AdoptProcess(owner);
+  EXPECT_TRUE(host_.ProcessAlive(pid));
+  EXPECT_EQ(simulation_.Now(), SimTime::Zero());
+}
+
+TEST_F(HostTest, KillProcessRemoves) {
+  ProcessId pid = host_.AdoptProcess(ObjectId::Next(domains::kInstance));
+  EXPECT_TRUE(host_.KillProcess(pid).ok());
+  EXPECT_FALSE(host_.ProcessAlive(pid));
+  EXPECT_EQ(host_.KillProcess(pid).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(HostTest, SpawnOnDeadHostNeverCompletes) {
+  host_.SetUp(false);
+  bool spawned = false;
+  host_.SpawnProcess(ObjectId::Next(domains::kInstance), 1024,
+                     [&](ProcessId) { spawned = true; });
+  simulation_.Run();
+  EXPECT_FALSE(spawned);
+}
+
+TEST_F(HostTest, FileStore) {
+  EXPECT_FALSE(host_.HasFile("exec/a"));
+  host_.StoreFile("exec/a", 5'100'000);
+  EXPECT_TRUE(host_.HasFile("exec/a"));
+  EXPECT_EQ(host_.FileSize("exec/a"), 5'100'000u);
+  host_.RemoveFile("exec/a");
+  EXPECT_FALSE(host_.HasFile("exec/a"));
+  EXPECT_EQ(host_.FileSize("exec/a"), std::nullopt);
+}
+
+TEST_F(HostTest, ComponentCache) {
+  ObjectId comp = ObjectId::Next(domains::kComponent);
+  EXPECT_FALSE(host_.ComponentCached(comp));
+  host_.CacheComponent(comp, 64 * 1024);
+  EXPECT_TRUE(host_.ComponentCached(comp));
+  EXPECT_EQ(host_.CachedComponentSize(comp), 64u * 1024);
+  EXPECT_EQ(host_.cached_component_count(), 1u);
+  host_.EvictComponent(comp);
+  EXPECT_FALSE(host_.ComponentCached(comp));
+}
+
+TEST_F(HostTest, PidsAreUnique) {
+  ProcessId a = host_.AdoptProcess(ObjectId::Next(domains::kInstance));
+  ProcessId b = host_.AdoptProcess(ObjectId::Next(domains::kInstance));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dcdo::sim

@@ -1,0 +1,129 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo::sim {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(&simulation_, CostModel{}) {
+    network_.AddNode(1);
+    network_.AddNode(2);
+    network_.AddNode(3);
+  }
+  Simulation simulation_;
+  SimNetwork network_;
+};
+
+TEST_F(NetworkTest, NodesStartUp) {
+  EXPECT_TRUE(network_.NodeUp(1));
+  EXPECT_TRUE(network_.Reachable(1, 2));
+  EXPECT_FALSE(network_.NodeUp(99));
+}
+
+TEST_F(NetworkTest, MessageDeliveredWithLatency) {
+  bool delivered = false;
+  network_.Send(1, 2, 1024, [&] { delivered = true; });
+  EXPECT_FALSE(delivered);
+  simulation_.Run();
+  EXPECT_TRUE(delivered);
+  // 1 KB at 12.5 MB/s = ~82 us wire + 300 us latency.
+  double micros = simulation_.Now().ToSeconds() * 1e6;
+  EXPECT_GT(micros, 300.0);
+  EXPECT_LT(micros, 500.0);
+}
+
+TEST_F(NetworkTest, LoopbackIsFast) {
+  bool delivered = false;
+  network_.Send(1, 1, 1024, [&] { delivered = true; });
+  simulation_.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_LT(simulation_.Now().ToSeconds() * 1e6, 50.0);
+}
+
+TEST_F(NetworkTest, SenderNicSerializesBackToBackSends) {
+  std::vector<int> order;
+  // Two large messages from node 1: the second waits for the first's wire
+  // time before starting.
+  network_.Send(1, 2, 1'000'000, [&] { order.push_back(1); });
+  network_.Send(1, 3, 1'000'000, [&] { order.push_back(2); });
+  simulation_.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // Two 1 MB messages at 12.5 MB/s = 160 ms total serialization.
+  EXPECT_GT(simulation_.Now().ToSeconds(), 0.159);
+}
+
+TEST_F(NetworkTest, MessageToDownNodeIsDropped) {
+  network_.SetNodeUp(2, false);
+  bool delivered = false;
+  network_.Send(1, 2, 64, [&] { delivered = true; });
+  simulation_.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, NodeRecoveryRestoresDelivery) {
+  network_.SetNodeUp(2, false);
+  network_.SetNodeUp(2, true);
+  bool delivered = false;
+  network_.Send(1, 2, 64, [&] { delivered = true; });
+  simulation_.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetworkTest, PartitionBlocksBothDirections) {
+  network_.SetPartitioned(1, 2, true);
+  EXPECT_FALSE(network_.Reachable(1, 2));
+  EXPECT_FALSE(network_.Reachable(2, 1));
+  EXPECT_TRUE(network_.Reachable(1, 3));
+
+  bool delivered = false;
+  network_.Send(2, 1, 64, [&] { delivered = true; });
+  simulation_.Run();
+  EXPECT_FALSE(delivered);
+
+  network_.SetPartitioned(1, 2, false);
+  network_.Send(2, 1, 64, [&] { delivered = true; });
+  simulation_.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetworkTest, PartitionFormedInFlightLosesMessage) {
+  bool delivered = false;
+  network_.Send(1, 2, 1'000'000, [&] { delivered = true; });
+  // Cut the link before the (80 ms) transfer lands.
+  simulation_.Schedule(SimDuration::Millis(1),
+                       [&] { network_.SetPartitioned(1, 2, true); });
+  simulation_.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(NetworkTest, BulkTransferTakesDownloadTime) {
+  bool done = false;
+  network_.BulkTransfer(1, 2, 5'100'000, [&] { done = true; });
+  simulation_.Run();
+  EXPECT_TRUE(done);
+  double seconds = simulation_.Now().ToSeconds();
+  EXPECT_GE(seconds, 15.0);
+  EXPECT_LE(seconds, 25.0);
+}
+
+TEST_F(NetworkTest, BulkTransferToUnreachableDropped) {
+  network_.SetNodeUp(2, false);
+  bool done = false;
+  network_.BulkTransfer(1, 2, 1024, [&] { done = true; });
+  simulation_.Run();
+  EXPECT_FALSE(done);
+}
+
+TEST_F(NetworkTest, CountersTrackTraffic) {
+  network_.Send(1, 2, 100, [] {});
+  network_.Send(1, 3, 200, [] {});
+  simulation_.Run();
+  EXPECT_EQ(network_.messages_sent(), 2u);
+  EXPECT_EQ(network_.bytes_sent(), 300u);
+}
+
+}  // namespace
+}  // namespace dcdo::sim

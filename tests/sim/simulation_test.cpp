@@ -1,0 +1,149 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace dcdo::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtZeroAndIdle) {
+  Simulation simulation;
+  EXPECT_EQ(simulation.Now(), SimTime::Zero());
+  EXPECT_TRUE(simulation.Idle());
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation simulation;
+  std::vector<int> order;
+  simulation.Schedule(SimDuration::Millis(30), [&] { order.push_back(3); });
+  simulation.Schedule(SimDuration::Millis(10), [&] { order.push_back(1); });
+  simulation.Schedule(SimDuration::Millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(simulation.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulation.Now(), SimTime::Zero() + SimDuration::Millis(30));
+}
+
+TEST(SimulationTest, SameTimeEventsFireFifo) {
+  Simulation simulation;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulation.Schedule(SimDuration::Millis(10),
+                        [&order, i] { order.push_back(i); });
+  }
+  simulation.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, HandlersCanScheduleMoreEvents) {
+  Simulation simulation;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 4) simulation.Schedule(SimDuration::Millis(5), chain);
+  };
+  simulation.Schedule(SimDuration::Millis(5), chain);
+  simulation.Run();
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(simulation.Now().ToSeconds(), 0.020);
+}
+
+TEST(SimulationTest, CancelPreventsFiring) {
+  Simulation simulation;
+  bool fired = false;
+  std::uint64_t id =
+      simulation.Schedule(SimDuration::Millis(5), [&] { fired = true; });
+  simulation.Cancel(id);
+  simulation.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelIsSelective) {
+  Simulation simulation;
+  int fired = 0;
+  std::uint64_t id =
+      simulation.Schedule(SimDuration::Millis(5), [&] { ++fired; });
+  simulation.Schedule(SimDuration::Millis(6), [&] { ++fired; });
+  simulation.Cancel(id);
+  simulation.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation simulation;
+  std::vector<int> order;
+  simulation.Schedule(SimDuration::Millis(10), [&] { order.push_back(1); });
+  simulation.Schedule(SimDuration::Millis(30), [&] { order.push_back(2); });
+  simulation.RunUntil(SimTime::Zero() + SimDuration::Millis(20));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(simulation.Now(), SimTime::Zero() + SimDuration::Millis(20));
+  simulation.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Re-entrant RunUntil is how DCDO bodies "block on an outcall" while the
+// rest of the system proceeds; the engine must tolerate it.
+TEST(SimulationTest, ReentrantRunUntilFiresInterveningEvents) {
+  Simulation simulation;
+  std::vector<std::string> trace;
+  simulation.Schedule(SimDuration::Millis(10), [&] {
+    trace.push_back("outer-start");
+    simulation.RunUntil(simulation.Now() + SimDuration::Millis(20));
+    trace.push_back("outer-end");
+  });
+  simulation.Schedule(SimDuration::Millis(15),
+                      [&] { trace.push_back("intervening"); });
+  simulation.Run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"outer-start", "intervening",
+                                             "outer-end"}));
+  EXPECT_EQ(simulation.Now(), SimTime::Zero() + SimDuration::Millis(30));
+}
+
+TEST(SimulationTest, RunWhilePredicateStops) {
+  Simulation simulation;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    simulation.Schedule(SimDuration::Millis(i), [&] { ++count; });
+  }
+  bool satisfied = simulation.RunWhile([&] { return count < 4; });
+  EXPECT_TRUE(satisfied);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(SimulationTest, RunWhileReturnsFalseWhenDrained) {
+  Simulation simulation;
+  simulation.Schedule(SimDuration::Millis(1), [] {});
+  bool satisfied = simulation.RunWhile([] { return true; });
+  EXPECT_FALSE(satisfied);
+}
+
+TEST(SimulationTest, AdvanceInlineMovesClockWithoutEvents) {
+  Simulation simulation;
+  simulation.AdvanceInline(SimDuration::Micros(12));
+  EXPECT_EQ(simulation.Now().nanos(), 12'000);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation simulation;
+  simulation.AdvanceInline(SimDuration::Millis(5));
+  bool fired = false;
+  simulation.Schedule(SimDuration::Millis(-10), [&] { fired = true; });
+  simulation.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(simulation.Now(), SimTime::Zero() + SimDuration::Millis(5));
+}
+
+TEST(SimTimeTest, DurationArithmetic) {
+  EXPECT_EQ(SimDuration::Seconds(1.5).nanos(), 1'500'000'000);
+  EXPECT_EQ((SimDuration::Millis(2) + SimDuration::Micros(500)).ToMillis(),
+            2.5);
+  EXPECT_EQ((SimDuration::Millis(2) * 3).ToMillis(), 6.0);
+  EXPECT_LT(SimDuration::Micros(1), SimDuration::Millis(1));
+}
+
+TEST(SimTimeTest, TimeMinusTimeIsDuration) {
+  SimTime a = SimTime::Zero() + SimDuration::Seconds(2.0);
+  SimTime b = SimTime::Zero() + SimDuration::Seconds(0.5);
+  EXPECT_EQ((a - b).ToSeconds(), 1.5);
+}
+
+}  // namespace
+}  // namespace dcdo::sim
