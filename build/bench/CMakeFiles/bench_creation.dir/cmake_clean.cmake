@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_creation.dir/bench_creation.cpp.o"
+  "CMakeFiles/bench_creation.dir/bench_creation.cpp.o.d"
+  "bench_creation"
+  "bench_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evolution_cost.dir/bench_evolution_cost.cpp.o"
+  "CMakeFiles/bench_evolution_cost.dir/bench_evolution_cost.cpp.o.d"
+  "bench_evolution_cost"
+  "bench_evolution_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evolution_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_invocation.dir/bench_remote_invocation.cpp.o"
+  "CMakeFiles/bench_remote_invocation.dir/bench_remote_invocation.cpp.o.d"
+  "bench_remote_invocation"
+  "bench_remote_invocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stale_binding.dir/bench_stale_binding.cpp.o"
+  "CMakeFiles/bench_stale_binding.dir/bench_stale_binding.cpp.o.d"
+  "bench_stale_binding"
+  "bench_stale_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stale_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_update_policies.cpp" "bench/CMakeFiles/bench_update_policies.dir/bench_update_policies.cpp.o" "gcc" "bench/CMakeFiles/bench_update_policies.dir/bench_update_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcdo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfm/CMakeFiles/dcdo_dfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/dcdo_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dcdo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dcdo_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dcdo_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcdo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcdo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

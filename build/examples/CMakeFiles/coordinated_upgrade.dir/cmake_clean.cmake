@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordinated_upgrade.dir/coordinated_upgrade.cpp.o"
+  "CMakeFiles/coordinated_upgrade.dir/coordinated_upgrade.cpp.o.d"
+  "coordinated_upgrade"
+  "coordinated_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordinated_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution_policies.dir/evolution_policies.cpp.o"
+  "CMakeFiles/evolution_policies.dir/evolution_policies.cpp.o.d"
+  "evolution_policies"
+  "evolution_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_patch_service.dir/hot_patch_service.cpp.o"
+  "CMakeFiles/hot_patch_service.dir/hot_patch_service.cpp.o.d"
+  "hot_patch_service"
+  "hot_patch_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_patch_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

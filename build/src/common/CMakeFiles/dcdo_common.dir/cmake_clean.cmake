@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdo_common.dir/bytes.cc.o"
+  "CMakeFiles/dcdo_common.dir/bytes.cc.o.d"
+  "CMakeFiles/dcdo_common.dir/logging.cc.o"
+  "CMakeFiles/dcdo_common.dir/logging.cc.o.d"
+  "CMakeFiles/dcdo_common.dir/object_id.cc.o"
+  "CMakeFiles/dcdo_common.dir/object_id.cc.o.d"
+  "CMakeFiles/dcdo_common.dir/serialize.cc.o"
+  "CMakeFiles/dcdo_common.dir/serialize.cc.o.d"
+  "CMakeFiles/dcdo_common.dir/status.cc.o"
+  "CMakeFiles/dcdo_common.dir/status.cc.o.d"
+  "CMakeFiles/dcdo_common.dir/strings.cc.o"
+  "CMakeFiles/dcdo_common.dir/strings.cc.o.d"
+  "CMakeFiles/dcdo_common.dir/version_id.cc.o"
+  "CMakeFiles/dcdo_common.dir/version_id.cc.o.d"
+  "libdcdo_common.a"
+  "libdcdo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/component/component.cc" "src/component/CMakeFiles/dcdo_component.dir/component.cc.o" "gcc" "src/component/CMakeFiles/dcdo_component.dir/component.cc.o.d"
+  "/root/repo/src/component/dynamic_function.cc" "src/component/CMakeFiles/dcdo_component.dir/dynamic_function.cc.o" "gcc" "src/component/CMakeFiles/dcdo_component.dir/dynamic_function.cc.o.d"
+  "/root/repo/src/component/ico.cc" "src/component/CMakeFiles/dcdo_component.dir/ico.cc.o" "gcc" "src/component/CMakeFiles/dcdo_component.dir/ico.cc.o.d"
+  "/root/repo/src/component/implementation_type.cc" "src/component/CMakeFiles/dcdo_component.dir/implementation_type.cc.o" "gcc" "src/component/CMakeFiles/dcdo_component.dir/implementation_type.cc.o.d"
+  "/root/repo/src/component/native_code_registry.cc" "src/component/CMakeFiles/dcdo_component.dir/native_code_registry.cc.o" "gcc" "src/component/CMakeFiles/dcdo_component.dir/native_code_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcdo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcdo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dcdo_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dcdo_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

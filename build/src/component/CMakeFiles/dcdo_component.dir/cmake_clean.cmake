@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdo_component.dir/component.cc.o"
+  "CMakeFiles/dcdo_component.dir/component.cc.o.d"
+  "CMakeFiles/dcdo_component.dir/dynamic_function.cc.o"
+  "CMakeFiles/dcdo_component.dir/dynamic_function.cc.o.d"
+  "CMakeFiles/dcdo_component.dir/ico.cc.o"
+  "CMakeFiles/dcdo_component.dir/ico.cc.o.d"
+  "CMakeFiles/dcdo_component.dir/implementation_type.cc.o"
+  "CMakeFiles/dcdo_component.dir/implementation_type.cc.o.d"
+  "CMakeFiles/dcdo_component.dir/native_code_registry.cc.o"
+  "CMakeFiles/dcdo_component.dir/native_code_registry.cc.o.d"
+  "libdcdo_component.a"
+  "libdcdo_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdo_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

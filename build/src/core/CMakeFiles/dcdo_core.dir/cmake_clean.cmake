@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdo_core.dir/coordinator.cc.o"
+  "CMakeFiles/dcdo_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/dcdo_core.dir/dcdo.cc.o"
+  "CMakeFiles/dcdo_core.dir/dcdo.cc.o.d"
+  "CMakeFiles/dcdo_core.dir/evolution_policy.cc.o"
+  "CMakeFiles/dcdo_core.dir/evolution_policy.cc.o.d"
+  "CMakeFiles/dcdo_core.dir/ico_directory.cc.o"
+  "CMakeFiles/dcdo_core.dir/ico_directory.cc.o.d"
+  "CMakeFiles/dcdo_core.dir/manager.cc.o"
+  "CMakeFiles/dcdo_core.dir/manager.cc.o.d"
+  "CMakeFiles/dcdo_core.dir/proxy.cc.o"
+  "CMakeFiles/dcdo_core.dir/proxy.cc.o.d"
+  "libdcdo_core.a"
+  "libdcdo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfm/compatibility.cc" "src/dfm/CMakeFiles/dcdo_dfm.dir/compatibility.cc.o" "gcc" "src/dfm/CMakeFiles/dcdo_dfm.dir/compatibility.cc.o.d"
+  "/root/repo/src/dfm/dependency.cc" "src/dfm/CMakeFiles/dcdo_dfm.dir/dependency.cc.o" "gcc" "src/dfm/CMakeFiles/dcdo_dfm.dir/dependency.cc.o.d"
+  "/root/repo/src/dfm/descriptor.cc" "src/dfm/CMakeFiles/dcdo_dfm.dir/descriptor.cc.o" "gcc" "src/dfm/CMakeFiles/dcdo_dfm.dir/descriptor.cc.o.d"
+  "/root/repo/src/dfm/descriptor_wire.cc" "src/dfm/CMakeFiles/dcdo_dfm.dir/descriptor_wire.cc.o" "gcc" "src/dfm/CMakeFiles/dcdo_dfm.dir/descriptor_wire.cc.o.d"
+  "/root/repo/src/dfm/mapper.cc" "src/dfm/CMakeFiles/dcdo_dfm.dir/mapper.cc.o" "gcc" "src/dfm/CMakeFiles/dcdo_dfm.dir/mapper.cc.o.d"
+  "/root/repo/src/dfm/state.cc" "src/dfm/CMakeFiles/dcdo_dfm.dir/state.cc.o" "gcc" "src/dfm/CMakeFiles/dcdo_dfm.dir/state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcdo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/component/CMakeFiles/dcdo_component.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dcdo_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dcdo_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcdo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdo_dfm.dir/compatibility.cc.o"
+  "CMakeFiles/dcdo_dfm.dir/compatibility.cc.o.d"
+  "CMakeFiles/dcdo_dfm.dir/dependency.cc.o"
+  "CMakeFiles/dcdo_dfm.dir/dependency.cc.o.d"
+  "CMakeFiles/dcdo_dfm.dir/descriptor.cc.o"
+  "CMakeFiles/dcdo_dfm.dir/descriptor.cc.o.d"
+  "CMakeFiles/dcdo_dfm.dir/descriptor_wire.cc.o"
+  "CMakeFiles/dcdo_dfm.dir/descriptor_wire.cc.o.d"
+  "CMakeFiles/dcdo_dfm.dir/mapper.cc.o"
+  "CMakeFiles/dcdo_dfm.dir/mapper.cc.o.d"
+  "CMakeFiles/dcdo_dfm.dir/state.cc.o"
+  "CMakeFiles/dcdo_dfm.dir/state.cc.o.d"
+  "libdcdo_dfm.a"
+  "libdcdo_dfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdo_dfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/naming/address.cc" "src/naming/CMakeFiles/dcdo_naming.dir/address.cc.o" "gcc" "src/naming/CMakeFiles/dcdo_naming.dir/address.cc.o.d"
+  "/root/repo/src/naming/binding_agent.cc" "src/naming/CMakeFiles/dcdo_naming.dir/binding_agent.cc.o" "gcc" "src/naming/CMakeFiles/dcdo_naming.dir/binding_agent.cc.o.d"
+  "/root/repo/src/naming/binding_cache.cc" "src/naming/CMakeFiles/dcdo_naming.dir/binding_cache.cc.o" "gcc" "src/naming/CMakeFiles/dcdo_naming.dir/binding_cache.cc.o.d"
+  "/root/repo/src/naming/name_service.cc" "src/naming/CMakeFiles/dcdo_naming.dir/name_service.cc.o" "gcc" "src/naming/CMakeFiles/dcdo_naming.dir/name_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcdo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcdo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

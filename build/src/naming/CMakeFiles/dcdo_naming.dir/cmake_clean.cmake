@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdo_naming.dir/address.cc.o"
+  "CMakeFiles/dcdo_naming.dir/address.cc.o.d"
+  "CMakeFiles/dcdo_naming.dir/binding_agent.cc.o"
+  "CMakeFiles/dcdo_naming.dir/binding_agent.cc.o.d"
+  "CMakeFiles/dcdo_naming.dir/binding_cache.cc.o"
+  "CMakeFiles/dcdo_naming.dir/binding_cache.cc.o.d"
+  "CMakeFiles/dcdo_naming.dir/name_service.cc.o"
+  "CMakeFiles/dcdo_naming.dir/name_service.cc.o.d"
+  "libdcdo_naming.a"
+  "libdcdo_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdo_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

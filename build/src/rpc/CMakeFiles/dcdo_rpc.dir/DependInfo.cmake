@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/client.cc" "src/rpc/CMakeFiles/dcdo_rpc.dir/client.cc.o" "gcc" "src/rpc/CMakeFiles/dcdo_rpc.dir/client.cc.o.d"
+  "/root/repo/src/rpc/message.cc" "src/rpc/CMakeFiles/dcdo_rpc.dir/message.cc.o" "gcc" "src/rpc/CMakeFiles/dcdo_rpc.dir/message.cc.o.d"
+  "/root/repo/src/rpc/transport.cc" "src/rpc/CMakeFiles/dcdo_rpc.dir/transport.cc.o" "gcc" "src/rpc/CMakeFiles/dcdo_rpc.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcdo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcdo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dcdo_naming.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

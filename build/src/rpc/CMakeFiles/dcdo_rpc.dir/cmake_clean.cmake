@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdo_rpc.dir/client.cc.o"
+  "CMakeFiles/dcdo_rpc.dir/client.cc.o.d"
+  "CMakeFiles/dcdo_rpc.dir/message.cc.o"
+  "CMakeFiles/dcdo_rpc.dir/message.cc.o.d"
+  "CMakeFiles/dcdo_rpc.dir/transport.cc.o"
+  "CMakeFiles/dcdo_rpc.dir/transport.cc.o.d"
+  "libdcdo_rpc.a"
+  "libdcdo_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdo_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcdo_rpc.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdo_runtime.dir/class_object.cc.o"
+  "CMakeFiles/dcdo_runtime.dir/class_object.cc.o.d"
+  "CMakeFiles/dcdo_runtime.dir/method_table.cc.o"
+  "CMakeFiles/dcdo_runtime.dir/method_table.cc.o.d"
+  "CMakeFiles/dcdo_runtime.dir/testbed.cc.o"
+  "CMakeFiles/dcdo_runtime.dir/testbed.cc.o.d"
+  "libdcdo_runtime.a"
+  "libdcdo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

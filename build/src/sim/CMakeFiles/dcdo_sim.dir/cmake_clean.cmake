@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdo_sim.dir/cost_model.cc.o"
+  "CMakeFiles/dcdo_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/dcdo_sim.dir/host.cc.o"
+  "CMakeFiles/dcdo_sim.dir/host.cc.o.d"
+  "CMakeFiles/dcdo_sim.dir/network.cc.o"
+  "CMakeFiles/dcdo_sim.dir/network.cc.o.d"
+  "CMakeFiles/dcdo_sim.dir/sim_time.cc.o"
+  "CMakeFiles/dcdo_sim.dir/sim_time.cc.o.d"
+  "CMakeFiles/dcdo_sim.dir/simulation.cc.o"
+  "CMakeFiles/dcdo_sim.dir/simulation.cc.o.d"
+  "libdcdo_sim.a"
+  "libdcdo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

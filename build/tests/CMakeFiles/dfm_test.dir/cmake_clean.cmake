@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfm_test.dir/dfm/compatibility_test.cpp.o"
+  "CMakeFiles/dfm_test.dir/dfm/compatibility_test.cpp.o.d"
+  "CMakeFiles/dfm_test.dir/dfm/concurrency_test.cpp.o"
+  "CMakeFiles/dfm_test.dir/dfm/concurrency_test.cpp.o.d"
+  "CMakeFiles/dfm_test.dir/dfm/dependency_test.cpp.o"
+  "CMakeFiles/dfm_test.dir/dfm/dependency_test.cpp.o.d"
+  "CMakeFiles/dfm_test.dir/dfm/descriptor_test.cpp.o"
+  "CMakeFiles/dfm_test.dir/dfm/descriptor_test.cpp.o.d"
+  "CMakeFiles/dfm_test.dir/dfm/descriptor_wire_test.cpp.o"
+  "CMakeFiles/dfm_test.dir/dfm/descriptor_wire_test.cpp.o.d"
+  "CMakeFiles/dfm_test.dir/dfm/mapper_test.cpp.o"
+  "CMakeFiles/dfm_test.dir/dfm/mapper_test.cpp.o.d"
+  "CMakeFiles/dfm_test.dir/dfm/state_test.cpp.o"
+  "CMakeFiles/dfm_test.dir/dfm/state_test.cpp.o.d"
+  "dfm_test"
+  "dfm_test.pdb"
+  "dfm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

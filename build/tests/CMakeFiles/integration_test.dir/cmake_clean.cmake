@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/churn_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/churn_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/evolution_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/evolution_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/migration_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/migration_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/paper_examples_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/paper_examples_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/problems_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/problems_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/property_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/property_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/remote_config_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/remote_config_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naming_rpc_test.dir/naming/binding_test.cpp.o"
+  "CMakeFiles/naming_rpc_test.dir/naming/binding_test.cpp.o.d"
+  "CMakeFiles/naming_rpc_test.dir/naming/name_service_test.cpp.o"
+  "CMakeFiles/naming_rpc_test.dir/naming/name_service_test.cpp.o.d"
+  "CMakeFiles/naming_rpc_test.dir/rpc/client_test.cpp.o"
+  "CMakeFiles/naming_rpc_test.dir/rpc/client_test.cpp.o.d"
+  "CMakeFiles/naming_rpc_test.dir/rpc/transport_test.cpp.o"
+  "CMakeFiles/naming_rpc_test.dir/rpc/transport_test.cpp.o.d"
+  "naming_rpc_test"
+  "naming_rpc_test.pdb"
+  "naming_rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
