@@ -47,7 +47,7 @@ WorkloadResult DriveWorkload(Testbed& testbed, rpc::RpcClient& client,
 
 void SimTime_AvailabilityDcdoEvolution(benchmark::State& state) {
   for (auto _ : state) {
-    Testbed testbed;
+    Testbed testbed{BenchOptions()};
     auto grid = MakeFunctionGrid(testbed, "grid", 10, 1);
     auto manager = MakeManagerWithVersion(testbed, "svc", grid,
                                           MakeSingleVersionExplicit());
@@ -79,7 +79,7 @@ BENCHMARK(SimTime_AvailabilityDcdoEvolution)->UseManualTime()->Iterations(1);
 
 void SimTime_AvailabilityMonolithicEvolution(benchmark::State& state) {
   for (auto _ : state) {
-    Testbed testbed;
+    Testbed testbed{BenchOptions()};
     ClassObject class_object("legacy", testbed.host(0), &testbed.transport(),
                              &testbed.agent());
     auto make_executable = [](const std::string& name) {

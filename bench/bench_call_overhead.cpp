@@ -28,7 +28,7 @@ struct CallScenario {
 
 CallScenario MakeScenario(std::size_t functions, std::size_t components) {
   CallScenario scenario;
-  scenario.testbed = std::make_unique<Testbed>();
+  scenario.testbed = std::make_unique<Testbed>(BenchOptions());
   auto grid = MakeFunctionGrid(*scenario.testbed, "grid", functions,
                                components);
   scenario.manager =
@@ -67,7 +67,7 @@ BENCHMARK(SimTime_DynamicCall)
 
 // Self-call / intra-component / inter-component all pay the same DFM cost.
 void SimTime_IntraObjectCallKinds(benchmark::State& state) {
-  auto testbed = std::make_unique<Testbed>();
+  auto testbed = std::make_unique<Testbed>(BenchOptions());
   // comp X: caller plus callee (intra-component); comp Y: callee
   // (inter-component). Self-call: body calls its own name? The DFM treats a
   // recursive self-call identically; we model it with a one-level recursion

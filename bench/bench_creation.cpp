@@ -21,7 +21,7 @@ void SimTime_CreateDcdo(benchmark::State& state) {
   std::size_t components = static_cast<std::size_t>(state.range(1));
   bool cached = state.range(2) != 0;
   for (auto _ : state) {
-    Testbed testbed;  // fresh testbed per iteration: cold caches
+    Testbed testbed{BenchOptions()};  // fresh testbed per iteration: cold caches
     auto grid = MakeFunctionGrid(testbed, "grid", functions, components);
     auto manager = MakeManagerWithVersion(testbed, "bench", grid,
                                           MakeSingleVersionExplicit());
@@ -54,7 +54,7 @@ void SimTime_CreateMonolithic(benchmark::State& state) {
   std::size_t executable_bytes = static_cast<std::size_t>(state.range(0));
   bool remote_host = state.range(1) != 0;
   for (auto _ : state) {
-    Testbed testbed;
+    Testbed testbed{BenchOptions()};
     ClassObject class_object("legacy", testbed.host(0), &testbed.transport(),
                              &testbed.agent());
     Executable executable;

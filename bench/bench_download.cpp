@@ -21,7 +21,7 @@ namespace {
 void SimTime_ExecutableDownload(benchmark::State& state) {
   std::size_t bytes = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    Testbed testbed;
+    Testbed testbed{BenchOptions()};
     double seconds = SimSeconds(testbed, [&] {
       bool done = false;
       testbed.network().BulkTransfer(testbed.host(0)->node(),
@@ -47,7 +47,7 @@ BENCHMARK(SimTime_ExecutableDownload)
 void SimTime_ComponentFetch(benchmark::State& state) {
   std::size_t bytes = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    Testbed testbed;
+    Testbed testbed{BenchOptions()};
     auto comp = ComponentBuilder("blob")
                     .SetCodeBytes(bytes)
                     .AddFunction("f", "v()", "blob/f")
@@ -81,7 +81,7 @@ BENCHMARK(SimTime_ComponentFetch)
 // The cached path for contrast: ~free (the paper's 200 us applies at
 // incorporate time, not fetch time).
 void SimTime_ComponentFetchCached(benchmark::State& state) {
-  Testbed testbed;
+  Testbed testbed{BenchOptions()};
   auto comp = ComponentBuilder("blob")
                   .SetCodeBytes(550'000)
                   .AddFunction("f", "v()", "blob/f")

@@ -20,7 +20,7 @@ namespace dcdo::bench {
 namespace {
 
 struct EvolveScenario {
-  Testbed testbed;
+  Testbed testbed{BenchOptions()};
   std::unique_ptr<DcdoManager> manager;
   std::vector<ImplementationComponent> base_components;
   VersionId v1;
@@ -154,7 +154,7 @@ void SimTime_EvolveMonolithic(benchmark::State& state) {
   std::size_t executable_bytes = static_cast<std::size_t>(state.range(0));
   std::size_t state_bytes = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
-    Testbed testbed;
+    Testbed testbed{BenchOptions()};
     ClassObject class_object("legacy", testbed.host(0), &testbed.transport(),
                              &testbed.agent());
     auto make_executable = [&](const std::string& name) {
@@ -203,7 +203,7 @@ BENCHMARK(SimTime_EvolveMonolithic)
 void SimTime_PostEvolutionClientCall(benchmark::State& state) {
   bool monolithic = state.range(0) != 0;
   for (auto _ : state) {
-    Testbed testbed;
+    Testbed testbed{BenchOptions()};
     double seconds = 0;
     if (monolithic) {
       ClassObject class_object("legacy", testbed.host(0),

@@ -18,7 +18,7 @@ namespace dcdo::bench {
 namespace {
 
 void SimTime_RemoteCallNormalObject(benchmark::State& state) {
-  Testbed testbed;
+  Testbed testbed{BenchOptions()};
   ClassObject class_object("legacy", testbed.host(0), &testbed.transport(),
                            &testbed.agent());
   Executable executable;
@@ -50,7 +50,7 @@ void SimTime_RemoteCallNormalObject(benchmark::State& state) {
 BENCHMARK(SimTime_RemoteCallNormalObject)->UseManualTime()->Iterations(64);
 
 void SimTime_RemoteCallDcdo(benchmark::State& state) {
-  Testbed testbed;
+  Testbed testbed{BenchOptions()};
   auto grid = MakeFunctionGrid(testbed, "grid",
                                static_cast<std::size_t>(state.range(0)),
                                static_cast<std::size_t>(state.range(1)));
@@ -80,7 +80,7 @@ BENCHMARK(SimTime_RemoteCallDcdo)
 // Payload-size sweep: the roundtrip is dominated by latency + marshaling,
 // identically for both object kinds.
 void SimTime_RemoteCallDcdoPayload(benchmark::State& state) {
-  Testbed testbed;
+  Testbed testbed{BenchOptions()};
   auto grid = MakeFunctionGrid(testbed, "grid", 10, 1);
   auto manager = MakeManagerWithVersion(testbed, "bench", grid,
                                         MakeSingleVersionExplicit());

@@ -29,6 +29,7 @@ struct StaleScenario {
 
   static Testbed::Options MakeOptions(const sim::CostModel& cost) {
     Testbed::Options options;
+    options.checking = false;
     options.cost_model = cost;
     return options;
   }

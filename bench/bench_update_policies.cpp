@@ -37,6 +37,7 @@ struct FleetScenario {
 
   static Testbed::Options MakeOptions() {
     Testbed::Options options;
+    options.checking = false;
     options.host_count = 16;
     return options;
   }

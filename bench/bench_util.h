@@ -19,6 +19,14 @@
 
 namespace dcdo::bench {
 
+// Benches measure the raw runtime: invariant checking stays off so the
+// numbers are comparable whether or not the build compiled it in.
+inline Testbed::Options BenchOptions() {
+  Testbed::Options options;
+  options.checking = false;
+  return options;
+}
+
 // Registers `count` trivial exported functions named <prefix>_fn0.. spread
 // evenly over `components` components, and returns the component metas.
 // Bodies are registered in `testbed`'s registry.

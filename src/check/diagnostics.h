@@ -1,0 +1,69 @@
+// Diagnostics: the structured violation sink of the checking layer.
+//
+// Every invariant violation and logical race the checker detects lands here
+// as a Diagnostic: which invariant, at what simulated time, during which
+// simulation event, against which object/version, and a human-readable
+// explanation. Tests assert on the sink ("this scenario must fire
+// binding-coherence exactly once"); operators dump it as text or JSON.
+// Severity kInfo entries are audit notes (coordinated-update batches,
+// rollbacks) rather than violations; Clean() looks only at kError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/version_id.h"
+#include "sim/sim_time.h"
+
+namespace dcdo::check {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+std::string_view SeverityName(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string invariant;       // e.g. "version-monotonic", "race-forced-removal"
+  std::string message;
+  sim::SimTime time;           // simulated time at record
+  std::uint64_t event_id = 0;  // simulation events fired when recorded
+  ObjectId object;             // offending object (nil when system-wide)
+  VersionId version;           // version involved (invalid when n/a)
+
+  // "[error] t=1.250s ev=42 version-monotonic obj=3:7 v=1.2: <message>"
+  std::string ToString() const;
+  // One JSON object, all fields present.
+  std::string ToJson() const;
+};
+
+class Diagnostics {
+ public:
+  void Record(Diagnostic diagnostic);
+
+  const std::vector<Diagnostic>& all() const { return entries_; }
+  std::size_t count() const { return entries_.size(); }
+  std::size_t errors() const;
+  std::size_t warnings() const;
+  bool Clean() const { return errors() == 0; }
+
+  // All entries recorded against `invariant`.
+  std::vector<const Diagnostic*> For(std::string_view invariant) const;
+  std::size_t CountFor(std::string_view invariant) const {
+    return For(invariant).size();
+  }
+
+  // One line per entry.
+  std::string DumpText() const;
+  // A JSON array of diagnostic objects.
+  std::string DumpJson() const;
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<Diagnostic> entries_;
+};
+
+}  // namespace dcdo::check

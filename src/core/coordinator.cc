@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "check/check_context.h"
 #include "common/logging.h"
 
 namespace dcdo {
@@ -59,6 +60,9 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
 
   auto shared_steps = std::make_shared<std::vector<Step>>(std::move(steps));
   auto shared_done = std::make_shared<DoneCallback>(std::move(done));
+  DCDO_CHECK_HOOK(Note("coordinated-update",
+                       "batch of " + std::to_string(shared_steps->size()) +
+                           " step(s) begins"));
 
   // Roll back steps [0, upto) in reverse, then report `failure`.
   auto rollback = std::make_shared<std::function<void(std::size_t, Status)>>();
@@ -66,6 +70,10 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
                   std::size_t upto, Status failure) {
     if (upto == 0) {
       outcome->status = failure;
+      DCDO_CHECK_HOOK(Note("coordinated-update",
+                           "batch rolled back (" +
+                               std::to_string(outcome->rolled_back) +
+                               " step(s) undone): " + failure.ToString()));
       (*shared_done)(std::move(*outcome));
       return;
     }
@@ -91,6 +99,10 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
                std::size_t index) {
     if (index == shared_steps->size()) {
       outcome->status = Status::Ok();
+      DCDO_CHECK_HOOK(Note("coordinated-update",
+                           "batch applied (" +
+                               std::to_string(outcome->applied) +
+                               " step(s))"));
       (*shared_done)(std::move(*outcome));
       return;
     }

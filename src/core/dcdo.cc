@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "check/check_context.h"
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "dfm/descriptor_wire.h"
@@ -37,9 +38,35 @@ Dcdo::Dcdo(std::string name, sim::SimHost* host, rpc::RpcTransport* transport,
   address_.epoch = 1;
   agent_.Bind(id_, address_);
   RegisterEndpoint();
+#if defined(DCDO_CHECK_ENABLED)
+  mapper_.SetCheckOwner(id_);
+  // Expose this object's live state to the checker's invariants. The probe
+  // holds a raw `this`; the destructor unregisters first.
+  if (auto* ctx = check::CheckContext::Current()) {
+    ctx->RegisterObject(id_, [this]() {
+      check::ObjectStatusSnapshot snapshot;
+      snapshot.id = id_;
+      snapshot.name = name_;
+      snapshot.version = version_;
+      snapshot.active = active_;
+      snapshot.components = mapper_.state().ComponentIds();
+      snapshot.total_active_threads = mapper_.TotalActive();
+      snapshot.config_anomalies = mapper_.state().CheckIntegrity();
+      snapshot.node = address_.node;
+      snapshot.pid = address_.pid;
+      snapshot.epoch = address_.epoch;
+      return snapshot;
+    });
+  }
+#endif
 }
 
 Dcdo::~Dcdo() {
+#if defined(DCDO_CHECK_ENABLED)
+  if (auto* ctx = check::CheckContext::Current()) {
+    ctx->UnregisterObject(id_);
+  }
+#endif
   transport_.UnregisterEndpoint(address_.node, address_.pid);
   agent_.Unbind(id_);
   (void)host_->KillProcess(address_.pid);
@@ -263,6 +290,7 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
                    << target.version().ToString() << " (" << plan.TotalSteps()
                    << " steps, " << plan.incorporate.size()
                    << " new components)";
+  DCDO_CHECK_HOOK(OnEvolveBegin(id_, version_, target.version()));
 
   // The evolution runs asynchronously; snapshot the target so the caller's
   // descriptor need not outlive the operation.
@@ -277,10 +305,14 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
   auto stage3_finish = [this, target_version = target.version(),
                         done](Status status) {
     if (!status.ok()) {
+      DCDO_CHECK_HOOK(OnEvolveEnd(id_, /*ok=*/false));
       done(status);
       return;
     }
+    VersionId previous = version_;
     version_ = target_version;
+    DCDO_CHECK_HOOK(OnVersionChanged(id_, previous, target_version));
+    DCDO_CHECK_HOOK(OnEvolveEnd(id_, /*ok=*/true));
     done(Status::Ok());
   };
 

@@ -1,5 +1,7 @@
 #include "dfm/mapper.h"
 
+#include "check/check_context.h"
+
 namespace dcdo {
 
 DynamicFunctionMapper::CallGuard& DynamicFunctionMapper::CallGuard::operator=(
@@ -25,43 +27,54 @@ void DynamicFunctionMapper::CallGuard::Release() {
 
 Result<DynamicFunctionMapper::CallGuard> DynamicFunctionMapper::Acquire(
     const std::string& function, CallOrigin origin) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const DfmEntry* entry = state_.EnabledImpl(function);
-  if (entry == nullptr) {
-    ++calls_rejected_;
-    if (state_.AnyImplPresent(function)) {
-      return FunctionDisabledError("'" + function + "' is disabled");
-    }
-    return FunctionMissingError("no implementation of '" + function + "'");
-  }
-  if (origin == CallOrigin::kExternal &&
-      entry->visibility != Visibility::kExported) {
-    ++calls_rejected_;
-    // External callers cannot tell internal-only from absent.
-    return FunctionMissingError("no exported function '" + function + "'");
-  }
-  auto body_it = bodies_.find({function, entry->component});
-  if (body_it == bodies_.end()) {
-    ++calls_rejected_;
-    return InternalError("enabled '" + function + "' has no resolved body");
-  }
-  ++calls_resolved_;
-  ++active_[{function, entry->component}];
-
   CallGuard guard;
-  guard.mapper_ = this;
-  guard.function_ = function;
-  guard.component_ = entry->component;
-  guard.body_ = body_it->second;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const DfmEntry* entry = state_.EnabledImpl(function);
+    if (entry == nullptr) {
+      ++calls_rejected_;
+      if (state_.AnyImplPresent(function)) {
+        return FunctionDisabledError("'" + function + "' is disabled");
+      }
+      return FunctionMissingError("no implementation of '" + function + "'");
+    }
+    if (origin == CallOrigin::kExternal &&
+        entry->visibility != Visibility::kExported) {
+      ++calls_rejected_;
+      // External callers cannot tell internal-only from absent.
+      return FunctionMissingError("no exported function '" + function + "'");
+    }
+    auto body_it = bodies_.find({function, entry->component});
+    if (body_it == bodies_.end()) {
+      ++calls_rejected_;
+      return InternalError("enabled '" + function + "' has no resolved body");
+    }
+    ++calls_resolved_;
+    ++active_[{function, entry->component}];
+
+    guard.mapper_ = this;
+    guard.function_ = function;
+    guard.component_ = entry->component;
+    guard.body_ = body_it->second;
+  }
+  if (!check_owner_.nil()) {
+    DCDO_CHECK_HOOK(
+        OnCallStart(check_owner_, guard.function_, guard.component_));
+  }
   return guard;
 }
 
 void DynamicFunctionMapper::ReleaseCall(const std::string& function,
                                         const ObjectId& component) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = active_.find({function, component});
-  if (it != active_.end() && it->second > 0) {
-    --it->second;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = active_.find({function, component});
+    if (it != active_.end() && it->second > 0) {
+      --it->second;
+    }
+  }
+  if (!check_owner_.nil()) {
+    DCDO_CHECK_HOOK(OnCallEnd(check_owner_, function, component));
   }
 }
 
@@ -89,24 +102,33 @@ Status DynamicFunctionMapper::IncorporateComponent(
 
 Status DynamicFunctionMapper::RemoveComponent(const ObjectId& component,
                                               ActiveThreadPolicy policy) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (policy == ActiveThreadPolicy::kError) {
+  bool had_active = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& [key, count] : active_) {
       if (key.second == component && count > 0) {
-        return ActiveThreadsError("function '" + key.first + "' in component " +
-                                  component.ToString() + " has " +
-                                  std::to_string(count) +
-                                  " active thread(s)");
+        if (policy == ActiveThreadPolicy::kError) {
+          return ActiveThreadsError("function '" + key.first +
+                                    "' in component " + component.ToString() +
+                                    " has " + std::to_string(count) +
+                                    " active thread(s)");
+        }
+        had_active = true;
       }
     }
+    DCDO_RETURN_IF_ERROR(state_.RemoveComponent(component));
+    std::erase_if(bodies_, [&component](const auto& kv) {
+      return kv.first.second == component;
+    });
+    std::erase_if(active_, [&component](const auto& kv) {
+      return kv.first.second == component;
+    });
   }
-  DCDO_RETURN_IF_ERROR(state_.RemoveComponent(component));
-  std::erase_if(bodies_, [&component](const auto& kv) {
-    return kv.first.second == component;
-  });
-  std::erase_if(active_, [&component](const auto& kv) {
-    return kv.first.second == component;
-  });
+  if (!check_owner_.nil()) {
+    // "forced" means the removal actually overrode live threads, not merely
+    // that the caller passed kForce.
+    DCDO_CHECK_HOOK(OnComponentRemoved(check_owner_, component, had_active));
+  }
   return Status::Ok();
 }
 
@@ -144,8 +166,23 @@ Status DynamicFunctionMapper::DisableFunction(const std::string& function,
 
 Status DynamicFunctionMapper::SwitchImplementation(
     const std::string& function, const ObjectId& to_component) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return state_.SwitchImplementation(function, to_component);
+  ObjectId from_component;
+  int active_on_from = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const DfmEntry* enabled = state_.EnabledImpl(function)) {
+      from_component = enabled->component;
+      auto it = active_.find({function, from_component});
+      if (it != active_.end()) active_on_from = it->second;
+    }
+    DCDO_RETURN_IF_ERROR(state_.SwitchImplementation(function, to_component));
+  }
+  if (!check_owner_.nil() && !from_component.nil() &&
+      from_component != to_component) {
+    DCDO_CHECK_HOOK(OnImplSwapped(check_owner_, function, from_component,
+                                  to_component, active_on_from));
+  }
+  return Status::Ok();
 }
 
 Status DynamicFunctionMapper::SetVisibility(const std::string& function,

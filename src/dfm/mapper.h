@@ -138,9 +138,17 @@ class DynamicFunctionMapper {
   std::uint64_t calls_resolved() const { return calls_resolved_; }
   std::uint64_t calls_rejected() const { return calls_rejected_; }
 
+  // Names the DCDO this mapper belongs to for the checking layer; while set
+  // (non-nil), call starts/ends, removals and implementation swaps are
+  // reported to the installed CheckContext. Hooks fire after mutex_ is
+  // released, so checker evaluations may call back into const accessors.
+  void SetCheckOwner(const ObjectId& owner) { check_owner_ = owner; }
+  const ObjectId& check_owner() const { return check_owner_; }
+
  private:
   void ReleaseCall(const std::string& function, const ObjectId& component);
 
+  ObjectId check_owner_;  // nil: unowned (raw unit-test mappers), no hooks
   mutable std::mutex mutex_;
   DfmState state_;
   std::map<DfmState::EntryKey, DynamicFn> bodies_;

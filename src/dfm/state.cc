@@ -404,4 +404,37 @@ Status DfmState::ValidateComplete() const {
   return deps_.Validate(Snapshot());
 }
 
+std::vector<std::string> DfmState::CheckIntegrity() const {
+  std::vector<std::string> anomalies;
+  std::map<std::string, int> enabled_per_function;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.enabled) ++enabled_per_function[entry.function.name];
+    if (entry.permanent && !entry.enabled) {
+      anomalies.push_back("permanent implementation of '" +
+                          entry.function.name + "' in component " +
+                          entry.component.ToString() + " is disabled");
+    }
+    if (!components_.contains(entry.component)) {
+      anomalies.push_back("entry for '" + entry.function.name +
+                          "' references component " +
+                          entry.component.ToString() +
+                          " which is not incorporated");
+    }
+  }
+  for (const auto& [function, count] : enabled_per_function) {
+    if (count > 1) {
+      anomalies.push_back("function '" + function + "' has " +
+                          std::to_string(count) +
+                          " enabled implementations (at most one allowed)");
+    }
+  }
+  for (const std::string& function : mandatory_) {
+    if (!AnyImplPresent(function)) {
+      anomalies.push_back("mandatory function '" + function +
+                          "' has no implementation present");
+    }
+  }
+  return anomalies;
+}
+
 }  // namespace dcdo

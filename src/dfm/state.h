@@ -147,6 +147,16 @@ class DfmState {
   // violated.
   Status ValidateComplete() const;
 
+  // Structural self-check for the checking layer (dfm-integrity invariant):
+  // conditions every mutation path is supposed to preserve at every event
+  // boundary, phrased as one string per anomaly. Unlike ValidateComplete
+  // (which gates instantiability and may legitimately fail mid-build), an
+  // anomaly here means table state no mutation sequence should produce:
+  // two enabled implementations of one function, a permanent implementation
+  // that is disabled, a mandatory function with no implementation present,
+  // or a row referencing a component that is not incorporated.
+  std::vector<std::string> CheckIntegrity() const;
+
  private:
   Status ValidateMutation(const EnabledSnapshot& proposed) const;
 

@@ -1,6 +1,35 @@
 #include "naming/binding_cache.h"
 
+#include "check/check_context.h"
+
 namespace dcdo {
+
+BindingCache::BindingCache(const BindingAgent* agent) : agent_(*agent) {
+#if defined(DCDO_CHECK_ENABLED)
+  // Expose the cache contents to the binding-coherence invariant. The probe
+  // holds a raw `this`; the destructor unregisters before the cache dies.
+  if (auto* ctx = check::CheckContext::Current()) {
+    check_handle_ = ctx->RegisterBindingCache([this]() {
+      std::vector<check::CacheEntrySnapshot> entries;
+      entries.reserve(cache_.size());
+      for (const auto& [id, address] : cache_) {
+        entries.push_back({id, address.node, address.pid, address.epoch});
+      }
+      return entries;
+    });
+  }
+#endif
+}
+
+BindingCache::~BindingCache() {
+#if defined(DCDO_CHECK_ENABLED)
+  if (check_handle_ != 0) {
+    if (auto* ctx = check::CheckContext::Current()) {
+      ctx->UnregisterBindingCache(check_handle_);
+    }
+  }
+#endif
+}
 
 Result<ObjectAddress> BindingCache::Resolve(const ObjectId& id) {
   auto it = cache_.find(id);
@@ -19,6 +48,8 @@ Result<ObjectAddress> BindingCache::RefreshFromAgent(const ObjectId& id) {
   cache_.erase(id);
   DCDO_ASSIGN_OR_RETURN(ObjectAddress address, agent_.Lookup(id));
   cache_[id] = address;
+  DCDO_CHECK_HOOK(
+      OnBindingRefreshed(id, address.node, address.pid, address.epoch));
   return address;
 }
 

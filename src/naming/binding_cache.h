@@ -24,7 +24,10 @@ namespace dcdo {
 
 class BindingCache {
  public:
-  explicit BindingCache(const BindingAgent* agent) : agent_(*agent) {}
+  explicit BindingCache(const BindingAgent* agent);
+  ~BindingCache();
+  BindingCache(const BindingCache&) = delete;
+  BindingCache& operator=(const BindingCache&) = delete;
 
   // Cached binding if present, else authoritative lookup (which populates the
   // cache). A cached entry may of course be stale — that is the point.
@@ -50,6 +53,7 @@ class BindingCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t refreshes_ = 0;
+  std::uint64_t check_handle_ = 0;  // binding-coherence probe registration
 };
 
 }  // namespace dcdo

@@ -1,5 +1,6 @@
 #include "rpc/transport.h"
 
+#include "check/check_context.h"
 #include "common/logging.h"
 
 namespace dcdo::rpc {
@@ -7,10 +8,12 @@ namespace dcdo::rpc {
 void RpcTransport::RegisterEndpoint(sim::NodeId node, sim::ProcessId pid,
                                     std::uint64_t epoch, Handler handler) {
   endpoints_[{node, pid}] = Endpoint{epoch, std::move(handler)};
+  DCDO_CHECK_HOOK(OnEndpointOpened(node, pid, epoch));
 }
 
 void RpcTransport::UnregisterEndpoint(sim::NodeId node, sim::ProcessId pid) {
   endpoints_.erase({node, pid});
+  DCDO_CHECK_HOOK(OnEndpointClosed(node, pid));
 }
 
 void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,

@@ -42,6 +42,14 @@ class RpcTransport {
     return endpoints_.contains({node, pid});
   }
 
+  // The epoch registered at (node, pid); 0 if no endpoint is there. Lets the
+  // checking layer decide whether a cached (node, pid, epoch) binding is
+  // live, stale-by-epoch, or pointing at nothing.
+  std::uint64_t EndpointEpoch(sim::NodeId node, sim::ProcessId pid) const {
+    auto it = endpoints_.find({node, pid});
+    return it == endpoints_.end() ? 0 : it->second.epoch;
+  }
+
   // Sends `invocation` from `from_node` to the endpoint at (to_node, to_pid).
   // `on_reply` runs back at the caller's node when the reply lands; it never
   // runs if the call is lost — callers arm their own timeout.

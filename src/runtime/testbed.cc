@@ -3,9 +3,37 @@
 namespace dcdo {
 
 Testbed::Testbed(const Options& options) {
+#if defined(DCDO_CHECK_ENABLED)
+  if (options.checking) {
+    // Installed before anything else exists, so every binding cache and
+    // DCDO constructed over this testbed registers its probe.
+    checker_ = std::make_unique<check::CheckContext>(options.check_options);
+    checker_->Install();
+    checker_->AttachSimulation(&simulation_);
+  }
+#endif
   network_ = std::make_unique<sim::SimNetwork>(&simulation_,
                                                options.cost_model);
   transport_ = std::make_unique<rpc::RpcTransport>(network_.get());
+#if defined(DCDO_CHECK_ENABLED)
+  if (checker_) {
+    checker_->SetEndpointLiveness(
+        [this](std::uint32_t node, std::uint64_t pid, std::uint64_t epoch) {
+          return transport_->EndpointEpoch(static_cast<sim::NodeId>(node),
+                                           static_cast<sim::ProcessId>(pid)) ==
+                     epoch &&
+                 epoch != 0;
+        });
+    checker_->SetNetworkProbe([this]() {
+      check::NetworkCounters counters;
+      counters.sent = network_->messages_sent();
+      counters.delivered = network_->messages_delivered();
+      counters.dropped_in_flight = network_->messages_dropped_in_flight();
+      counters.in_flight = network_->messages_in_flight();
+      return counters;
+    });
+  }
+#endif
   static constexpr sim::Architecture kRotation[] = {
       sim::Architecture::kX86Linux, sim::Architecture::kSparcSolaris,
       sim::Architecture::kAlphaOsf, sim::Architecture::kX86Nt};
@@ -14,6 +42,15 @@ Testbed::Testbed(const Options& options) {
         options.heterogeneous ? kRotation[i % 4] : sim::Architecture::kX86Linux;
     hosts_.push_back(std::make_unique<sim::SimHost>(
         &simulation_, network_.get(), static_cast<sim::NodeId>(i + 1), arch));
+  }
+}
+
+Testbed::~Testbed() {
+  if (checker_) {
+    // Final sweep: catches quiescence-only violations (messages still in
+    // flight) and anything an every-N cadence stepped over.
+    checker_->EvaluateAtEnd();
+    checker_->Uninstall();
   }
 }
 

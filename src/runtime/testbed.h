@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/check_context.h"
 #include "component/native_code_registry.h"
 #include "naming/binding_agent.h"
 #include "naming/name_service.h"
@@ -29,10 +30,19 @@ class Testbed {
     // set true to alternate architectures for heterogeneity experiments.
     bool heterogeneous = false;
     sim::CostModel cost_model = {};
+    // Install an always-on CheckContext (invariants + race detection) over
+    // this testbed. Default on — tests run checked; benches measuring the
+    // raw runtime turn it off. No effect when the build has DCDO_CHECKING
+    // off.
+    bool checking = true;
+    check::CheckContext::Options check_options = {};
   };
 
   explicit Testbed(const Options& options);
   Testbed() : Testbed(Options{}) {}
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
 
   sim::Simulation& simulation() { return simulation_; }
   const sim::CostModel& cost_model() const { return network_->cost_model(); }
@@ -51,8 +61,13 @@ class Testbed {
   // Drives the simulation until idle.
   void RunAll() { simulation_.Run(); }
 
+  // The installed checking context, or nullptr when checking is off (by
+  // option or because the build has DCDO_CHECKING off).
+  check::CheckContext* checker() { return checker_.get(); }
+
  private:
   sim::Simulation simulation_;
+  std::unique_ptr<check::CheckContext> checker_;
   std::unique_ptr<sim::SimNetwork> network_;
   std::vector<std::unique_ptr<sim::SimHost>> hosts_;
   BindingAgent agent_;

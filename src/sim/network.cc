@@ -47,10 +47,16 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
     return;
   }
   ++messages_sent_;
+  ++messages_in_flight_;
   bytes_sent_ += bytes;
   if (from == to) {
     // Loopback: no NIC serialization, negligible latency.
-    simulation_.Schedule(SimDuration::Micros(5), std::move(on_delivery));
+    simulation_.Schedule(SimDuration::Micros(5),
+                         [this, fn = std::move(on_delivery)]() {
+                           --messages_in_flight_;
+                           ++messages_delivered_;
+                           fn();
+                         });
     return;
   }
   // NIC serialization: back-to-back sends from one node queue behind each
@@ -66,10 +72,13 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
   // message is in flight loses the message.
   simulation_.ScheduleAt(
       delivered, [this, from, to, fn = std::move(on_delivery)]() {
+        --messages_in_flight_;
         if (!Reachable(from, to)) {
           ++messages_dropped_;
+          ++messages_dropped_in_flight_;
           return;
         }
+        ++messages_delivered_;
         fn();
       });
 }

@@ -62,9 +62,17 @@ class SimNetwork {
   void TimedTransfer(NodeId from, NodeId to, std::size_t bytes,
                      SimDuration duration, Delivery on_done);
 
-  // Counters (per run; used by benches to report message counts).
+  // Counters (per run; benches report message counts, the checking layer's
+  // message-conservation invariant requires
+  //   sent == delivered + dropped-in-flight + in-flight
+  // at all times, and in-flight == 0 once the simulator is idle).
   std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t messages_dropped_in_flight() const {
+    return messages_dropped_in_flight_;
+  }
+  std::uint64_t messages_in_flight() const { return messages_in_flight_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
@@ -75,7 +83,10 @@ class SimNetwork {
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
   std::unordered_map<NodeId, SimTime> nic_busy_until_;
   std::uint64_t messages_sent_ = 0;
-  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;           // refused at send time
+  std::uint64_t messages_dropped_in_flight_ = 0; // lost after acceptance
+  std::uint64_t messages_in_flight_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };
 

@@ -31,6 +31,8 @@ bool Simulation::PopAndFire() {
     }
     now_ = event.when;
     event.fn();
+    ++events_fired_;
+    if (observer_) observer_(events_fired_);
     return true;
   }
   return false;

@@ -49,6 +49,17 @@ class Simulation {
   bool Idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
 
+  // Total events fired since construction (monotone; identifies "when" an
+  // observation was made independent of the clock, which can stall).
+  std::uint64_t events_fired() const { return events_fired_; }
+
+  // Observer called after each event fires, with the running event count.
+  // One observer at most (the checking layer); pass nullptr to clear.
+  using EventObserver = std::function<void(std::uint64_t)>;
+  void SetEventObserver(EventObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   // Advances the clock with no event (used by host-local cost charging when
   // the caller is executing "inline" rather than via an event).
   void AdvanceInline(SimDuration delta) { now_ = now_ + delta; }
@@ -72,6 +83,8 @@ class Simulation {
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
+  std::uint64_t events_fired_ = 0;
+  EventObserver observer_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<std::uint64_t> cancelled_;  // sorted insert not needed; small
 };

@@ -117,20 +117,22 @@ TEST(MapperConcurrency, RemovalRacesActiveGuards) {
   // Try to remove while calls are in flight: must either succeed (no active
   // threads at that instant) or fail with kActiveThreads — never crash.
   int removed_attempts = 0;
-  Status final_status;
+  bool removed = false;
   for (int i = 0; i < 2000; ++i) {
     Status status = mapper.RemoveComponent(comp.id);
     ++removed_attempts;
     if (status.ok()) {
-      final_status = status;
+      removed = true;
       break;
     }
     ASSERT_EQ(status.code(), ErrorCode::kActiveThreads);
   }
   stop.store(true);
   caller.join();
-  if (!final_status.ok()) {
-    // Give it one guaranteed-quiet chance.
+  if (!removed) {
+    // All attempts raced with an active call (likely on a fast machine, where
+    // the caller thread reacquires immediately). Give it one guaranteed-quiet
+    // chance now that the caller has stopped.
     EXPECT_TRUE(mapper.RemoveComponent(comp.id).ok());
   }
   EXPECT_FALSE(mapper.state().HasComponent(comp.id));
