@@ -128,4 +128,4 @@ BENCHMARK(SimTime_AvailabilityMonolithicEvolution)
 }  // namespace
 }  // namespace dcdo::bench
 
-BENCHMARK_MAIN();
+DCDO_BENCH_MAIN();

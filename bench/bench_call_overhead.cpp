@@ -158,10 +158,19 @@ void Wall_DirectCall(benchmark::State& state) {
 }
 BENCHMARK(Wall_DirectCall);
 
-void Wall_DfmMediatedCall(benchmark::State& state) {
-  NativeCodeRegistry registry;
-  DynamicFunctionMapper mapper;
-  std::size_t functions = static_cast<std::size_t>(state.range(0));
+class NullCtx : public CallContext {
+ public:
+  Result<ByteBuffer> CallInternal(const std::string&,
+                                  const ByteBuffer&) override {
+    return FunctionMissingError("none");
+  }
+  ObjectId self_id() const override { return ObjectId(); }
+  void BlockOnOutcall(double) override {}
+};
+
+// A raw mapper with `functions` incorporated identity bodies, fn0 enabled.
+void FillWallMapper(DynamicFunctionMapper& mapper, NativeCodeRegistry& registry,
+                    std::size_t functions) {
   ComponentBuilder builder("wall");
   builder.SetCodeBytes(64 * 1024);
   for (std::size_t i = 0; i < functions; ++i) {
@@ -180,16 +189,14 @@ void Wall_DfmMediatedCall(benchmark::State& state) {
     std::abort();
   }
   if (!mapper.EnableFunction("fn0", comp->id).ok()) std::abort();
+}
 
-  class NullCtx : public CallContext {
-   public:
-    Result<ByteBuffer> CallInternal(const std::string&,
-                                    const ByteBuffer&) override {
-      return FunctionMissingError("none");
-    }
-    ObjectId self_id() const override { return ObjectId(); }
-    void BlockOnOutcall(double) override {}
-  } ctx;
+void Wall_DfmMediatedCall(benchmark::State& state) {
+  NativeCodeRegistry registry;
+  DynamicFunctionMapper mapper;
+  std::size_t functions = static_cast<std::size_t>(state.range(0));
+  FillWallMapper(mapper, registry, functions);
+  NullCtx ctx;
   ByteBuffer args;
   for (auto _ : state) {
     auto guard = mapper.Acquire("fn0", CallOrigin::kExternal);
@@ -200,7 +207,28 @@ void Wall_DfmMediatedCall(benchmark::State& state) {
 }
 BENCHMARK(Wall_DfmMediatedCall)->Arg(10)->Arg(100)->Arg(500);
 
+// The resolve-once caller pattern: method tables and proxies intern the
+// function name up front and dispatch by FunctionId, skipping even the name
+// hash on the call path.
+void Wall_DfmMediatedCallById(benchmark::State& state) {
+  NativeCodeRegistry registry;
+  DynamicFunctionMapper mapper;
+  std::size_t functions = static_cast<std::size_t>(state.range(0));
+  FillWallMapper(mapper, registry, functions);
+  FunctionId id = FunctionNameTable::Global().Find("fn0");
+  if (!id.valid()) std::abort();
+  NullCtx ctx;
+  ByteBuffer args;
+  for (auto _ : state) {
+    auto guard = mapper.Acquire(id, CallOrigin::kExternal);
+    if (!guard.ok()) std::abort();
+    benchmark::DoNotOptimize(guard->body()(ctx, args));
+  }
+  state.SetLabel(std::to_string(functions) + "-entry DFM");
+}
+BENCHMARK(Wall_DfmMediatedCallById)->Arg(10)->Arg(100)->Arg(500);
+
 }  // namespace
 }  // namespace dcdo::bench
 
-BENCHMARK_MAIN();
+DCDO_BENCH_MAIN();

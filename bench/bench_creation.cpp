@@ -93,4 +93,4 @@ BENCHMARK(SimTime_CreateMonolithic)
 }  // namespace
 }  // namespace dcdo::bench
 
-BENCHMARK_MAIN();
+DCDO_BENCH_MAIN();

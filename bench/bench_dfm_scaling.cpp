@@ -161,4 +161,4 @@ BENCHMARK(Wall_DisableWithDependencySet)->Arg(0)->Arg(32)->Arg(128);
 }  // namespace
 }  // namespace dcdo::bench
 
-BENCHMARK_MAIN();
+DCDO_BENCH_MAIN();

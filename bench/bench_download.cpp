@@ -109,4 +109,4 @@ BENCHMARK(SimTime_ComponentFetchCached)->UseManualTime()->Iterations(3);
 }  // namespace
 }  // namespace dcdo::bench
 
-BENCHMARK_MAIN();
+DCDO_BENCH_MAIN();

@@ -266,4 +266,4 @@ BENCHMARK(SimTime_PostEvolutionClientCall)
 }  // namespace
 }  // namespace dcdo::bench
 
-BENCHMARK_MAIN();
+DCDO_BENCH_MAIN();

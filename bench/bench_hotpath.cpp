@@ -1,0 +1,201 @@
+// E10 — Hot-path microbenchmarks for the dispatch/event/serialization layers.
+//
+// These are regression trackers, not paper reproductions: they time the three
+// inner loops every simulated scenario turns on —
+//
+//   * DFM acquire/release (by name, by pre-resolved FunctionId, and from
+//     many real threads against one mapper — the lock-light slot-table path);
+//   * the discrete-event engine's schedule/fire loop, with and without heavy
+//     cancellation traffic;
+//   * wire-message serialization through the pooled-buffer Writer.
+//
+// Run via scripts/bench.sh to record the numbers into BENCH_dcdo.json and
+// compare against the committed baseline.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/serialize.h"
+#include "dfm/mapper.h"
+#include "rpc/message.h"
+#include "sim/simulation.h"
+
+namespace dcdo::bench {
+namespace {
+
+class NullCtx : public CallContext {
+ public:
+  Result<ByteBuffer> CallInternal(const std::string&,
+                                  const ByteBuffer&) override {
+    return FunctionMissingError("none");
+  }
+  ObjectId self_id() const override { return ObjectId(); }
+  void BlockOnOutcall(double) override {}
+};
+
+void FillMapper(DynamicFunctionMapper& mapper, NativeCodeRegistry& registry,
+                std::size_t functions) {
+  ComponentBuilder builder("hot");
+  builder.SetCodeBytes(64 * 1024);
+  for (std::size_t i = 0; i < functions; ++i) {
+    std::string fn = "hot_fn" + std::to_string(i);
+    std::string symbol = "hot/" + fn;
+    registry.Register(symbol, ImplementationType::Portable(),
+                      [](CallContext&, const ByteBuffer& args) {
+                        return Result<ByteBuffer>(args);
+                      });
+    builder.AddFunction(fn, "b(b)", symbol);
+  }
+  auto comp = builder.Build();
+  if (!comp.ok()) std::abort();
+  if (!mapper.IncorporateComponent(*comp, registry,
+                                   sim::Architecture::kX86Linux).ok()) {
+    std::abort();
+  }
+  if (!mapper.EnableFunction("hot_fn0", comp->id).ok()) std::abort();
+}
+
+// --- DFM dispatch ---
+
+// Acquire+Release alone (no body call): the pure cost of the indirection.
+void Wall_DfmAcquireRelease(benchmark::State& state) {
+  NativeCodeRegistry registry;
+  DynamicFunctionMapper mapper;
+  FillMapper(mapper, registry, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto guard = mapper.Acquire("hot_fn0", CallOrigin::kExternal);
+    if (!guard.ok()) std::abort();
+    benchmark::DoNotOptimize(guard);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) + "-entry DFM");
+}
+BENCHMARK(Wall_DfmAcquireRelease)->Arg(10)->Arg(500);
+
+void Wall_DfmAcquireReleaseById(benchmark::State& state) {
+  NativeCodeRegistry registry;
+  DynamicFunctionMapper mapper;
+  FillMapper(mapper, registry, static_cast<std::size_t>(state.range(0)));
+  FunctionId id = FunctionNameTable::Global().Find("hot_fn0");
+  if (!id.valid()) std::abort();
+  for (auto _ : state) {
+    auto guard = mapper.Acquire(id, CallOrigin::kExternal);
+    if (!guard.ok()) std::abort();
+    benchmark::DoNotOptimize(guard);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) + "-entry DFM");
+}
+BENCHMARK(Wall_DfmAcquireReleaseById)->Arg(10)->Arg(500);
+
+// Many real OS threads hammering one mapper: the shared-lock fast path under
+// contention. items_per_second is total calls/sec across all threads.
+void Wall_DfmAcquireMT(benchmark::State& state) {
+  static NativeCodeRegistry* registry = nullptr;
+  static DynamicFunctionMapper* mapper = nullptr;
+  if (state.thread_index() == 0) {
+    registry = new NativeCodeRegistry();
+    mapper = new DynamicFunctionMapper();
+    FillMapper(*mapper, *registry, 100);
+  }
+  NullCtx ctx;
+  ByteBuffer args;
+  for (auto _ : state) {
+    auto guard = mapper->Acquire("hot_fn0", CallOrigin::kExternal);
+    if (!guard.ok()) std::abort();
+    benchmark::DoNotOptimize(guard->body()(ctx, args));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.SetLabel("threads=" + std::to_string(state.threads()));
+    delete mapper;
+    delete registry;
+    mapper = nullptr;
+    registry = nullptr;
+  }
+}
+BENCHMARK(Wall_DfmAcquireMT)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+// --- Discrete-event engine ---
+
+// Steady-state schedule+fire throughput (items = events fired).
+void Wall_SimEventThroughput(benchmark::State& state) {
+  constexpr std::size_t kBatch = 4096;
+  sim::Simulation simulation;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      simulation.Schedule(sim::SimDuration::Micros(static_cast<std::int64_t>(i)),
+                          [&fired] { ++fired; });
+    }
+    simulation.Run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(Wall_SimEventThroughput);
+
+// Timer churn: almost everything scheduled is cancelled before firing (the
+// retry/timeout pattern). Exercises O(1) Cancel plus the skip loop.
+void Wall_SimCancelHeavy(benchmark::State& state) {
+  constexpr std::size_t kBatch = 4096;
+  sim::Simulation simulation;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(kBatch);
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    ids.clear();
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      ids.push_back(simulation.Schedule(
+          sim::SimDuration::Micros(static_cast<std::int64_t>(i)),
+          [&fired] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      if (i % 16 != 0) simulation.Cancel(ids[i]);  // cancel 15 of every 16
+    }
+    simulation.Run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(Wall_SimCancelHeavy);
+
+// --- Serialization ---
+
+// Assembling a typical annotated-interface reply through the pooled-buffer
+// Writer; bytes_per_second is the serialization throughput.
+void Wall_MessageSerialize(benchmark::State& state) {
+  const std::size_t entries = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> names;
+  names.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    names.push_back("function_name_" + std::to_string(i));
+  }
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    Writer writer(rpc::WireBufferPool::Acquire());
+    writer.WriteU64(entries);
+    for (const std::string& name : names) {
+      writer.WriteString(name);
+      writer.WriteString("b(b)");
+      writer.WriteBool(false);
+      writer.WriteBool(true);
+    }
+    ByteBuffer wire = std::move(writer).Take();
+    bytes += static_cast<std::int64_t>(wire.size());
+    rpc::WireBufferPool::Release(std::move(wire));
+  }
+  state.SetBytesProcessed(bytes);
+  state.SetLabel(std::to_string(entries) + " interface entries");
+}
+BENCHMARK(Wall_MessageSerialize)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace dcdo::bench
+
+DCDO_BENCH_MAIN();

@@ -106,4 +106,4 @@ BENCHMARK(SimTime_RemoteCallDcdoPayload)
 }  // namespace
 }  // namespace dcdo::bench
 
-BENCHMARK_MAIN();
+DCDO_BENCH_MAIN();

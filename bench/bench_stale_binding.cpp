@@ -119,4 +119,4 @@ BENCHMARK(SimTime_WarmBindingCall)->UseManualTime()->Iterations(16);
 }  // namespace
 }  // namespace dcdo::bench
 
-BENCHMARK_MAIN();
+DCDO_BENCH_MAIN();

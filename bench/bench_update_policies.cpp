@@ -219,4 +219,4 @@ BENCHMARK(SimTime_PolicyManagerLoad)
 }  // namespace
 }  // namespace dcdo::bench
 
-BENCHMARK_MAIN();
+DCDO_BENCH_MAIN();

@@ -6,10 +6,22 @@
 // directly comparable to the paper's (seconds of Centurion time, not
 // nanoseconds of host time). Wall-clock benches (DFM indirection, table
 // scaling) use ordinary real-time mode.
+// Every bench binary built with DCDO_BENCH_MAIN() also records its results
+// into a regression-tracking JSON file (see JsonRecordingReporter below):
+// set DCDO_BENCH_JSON=/path/to/BENCH_dcdo.json and entries are merged into
+// the "benchmarks" object of that file, one line per benchmark, leaving the
+// rest of the document (notes, committed baselines) untouched. scripts/
+// bench.sh drives the whole suite this way.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -118,4 +130,150 @@ inline double SimSeconds(Testbed& testbed, const std::function<void()>& body) {
   return (testbed.simulation().Now() - start).ToSeconds();
 }
 
+// ===== JSON regression recording =====
+
+namespace detail {
+
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+// ns per 1 unit of `unit` (benchmark reports adjusted times in `unit`).
+inline double NanosPerUnit(::benchmark::TimeUnit unit) {
+  return 1e9 / ::benchmark::GetTimeUnitMultiplier(unit);
+}
+
+}  // namespace detail
+
+// Prints the usual console table AND records every finished run so the
+// numbers land in the regression file. For manual-time sim benches the
+// recorded real_ns is *simulated* nanoseconds — directly comparable to the
+// paper's absolute figures; for wall benches it is host nanoseconds.
+class JsonRecordingReporter : public ::benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ::benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      double to_ns = detail::NanosPerUnit(run.time_unit);
+      std::ostringstream os;
+      os << "{\"real_ns\": "
+         << detail::FormatDouble(run.GetAdjustedRealTime() * to_ns)
+         << ", \"cpu_ns\": "
+         << detail::FormatDouble(run.GetAdjustedCPUTime() * to_ns)
+         << ", \"iterations\": " << run.iterations;
+      for (const auto& [name, counter] : run.counters) {
+        os << ", \"" << detail::JsonEscape(name)
+           << "\": " << detail::FormatDouble(counter.value);
+      }
+      if (!run.report_label.empty()) {
+        os << ", \"label\": \"" << detail::JsonEscape(run.report_label)
+           << "\"";
+      }
+      os << "}";
+      entries_[run.benchmark_name()] = os.str();
+    }
+  }
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;  // name -> one-line JSON value
+};
+
+// Merges `entries` into the "benchmarks" object of the JSON file at `path`,
+// preserving everything outside that object (schema line, committed
+// baseline blocks). Entries are one per line, sorted, so diffs stay
+// reviewable. Creates the file if absent.
+inline void MergeBenchJson(const std::string& path,
+                           const std::map<std::string, std::string>& entries) {
+  std::vector<std::string> preamble;
+  std::vector<std::string> postamble;
+  std::map<std::string, std::string> merged;
+  std::ifstream in(path);
+  if (in) {
+    enum class Where { kBefore, kInside, kAfter } where = Where::kBefore;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (where == Where::kBefore) {
+        preamble.push_back(line);
+        if (line.find("\"benchmarks\": {") != std::string::npos) {
+          where = Where::kInside;
+        }
+      } else if (where == Where::kInside) {
+        std::string trimmed = line;
+        trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+        if (trimmed == "}" || trimmed == "},") {
+          postamble.push_back(line);
+          where = Where::kAfter;
+          continue;
+        }
+        // An entry line:   "name": {...},
+        std::size_t name_end = trimmed.find("\": ");
+        if (trimmed.size() > 1 && trimmed[0] == '"' &&
+            name_end != std::string::npos) {
+          std::string name = trimmed.substr(1, name_end - 1);
+          std::string value = trimmed.substr(name_end + 3);
+          if (!value.empty() && value.back() == ',') value.pop_back();
+          merged[name] = value;
+        }
+      } else {
+        postamble.push_back(line);
+      }
+    }
+  }
+  if (preamble.empty()) {
+    preamble = {"{", "  \"schema\": \"dcdo-bench-v1\",", "  \"benchmarks\": {"};
+    postamble = {"  }", "}"};
+  }
+  for (const auto& [name, value] : entries) merged[name] = value;
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;
+  for (const std::string& line : preamble) out << line << "\n";
+  std::size_t i = 0;
+  for (const auto& [name, value] : merged) {
+    out << "    \"" << name << "\": " << value
+        << (++i == merged.size() ? "" : ",") << "\n";
+  }
+  for (const std::string& line : postamble) out << line << "\n";
+}
+
+// Called by DCDO_BENCH_MAIN after the run: honours DCDO_BENCH_JSON.
+inline void FlushBenchJson(const JsonRecordingReporter& reporter) {
+  const char* path = std::getenv("DCDO_BENCH_JSON");
+  if (path == nullptr || *path == '\0' || reporter.entries().empty()) return;
+  MergeBenchJson(path, reporter.entries());
+}
+
 }  // namespace dcdo::bench
+
+// Drop-in replacement for BENCHMARK_MAIN(): same console output, plus JSON
+// recording into $DCDO_BENCH_JSON when set.
+#define DCDO_BENCH_MAIN()                                                 \
+  int main(int argc, char** argv) {                                       \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::dcdo::bench::JsonRecordingReporter reporter;                        \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                       \
+    ::dcdo::bench::FlushBenchJson(reporter);                              \
+    ::benchmark::Shutdown();                                              \
+    return 0;                                                             \
+  }                                                                       \
+  int dcdo_bench_main_anchor_ = 0

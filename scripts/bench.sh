@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Benchmark driver: builds the nocheck preset (invariant checking compiled
+# out, so the numbers measure the runtime itself) and runs every bench
+# binary, merging results into the regression-tracking JSON file.
+#
+# Usage:
+#   scripts/bench.sh                 # full run, updates BENCH_dcdo.json
+#   scripts/bench.sh --smoke         # quick CI pass (tiny min_time, no JSON
+#                                    # update unless DCDO_BENCH_JSON is set)
+#   scripts/bench.sh [--smoke] REGEX # only benches whose name matches REGEX
+#
+# Environment:
+#   DCDO_BENCH_JSON  output file (default: BENCH_dcdo.json at the repo root
+#                    for full runs; unset for --smoke so CI runs do not
+#                    produce machine-dependent diffs)
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+SMOKE=0
+FILTER=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    --*) echo "usage: $0 [--smoke] [benchmark-filter-regex]" >&2; exit 2 ;;
+    *) FILTER="$arg" ;;
+  esac
+done
+
+# Build (RelWithDebInfo, DCDO_CHECKING=OFF).
+cmake --preset nocheck >/dev/null || exit 1
+cmake --build build-nocheck -j "$(nproc)" || exit 1
+
+if [ "$SMOKE" = 1 ]; then
+  # Smoke mode: prove every bench still runs, not collect stable numbers.
+  EXTRA_ARGS="--benchmark_min_time=0.01"
+else
+  EXTRA_ARGS=""
+  DCDO_BENCH_JSON=${DCDO_BENCH_JSON:-$PWD/BENCH_dcdo.json}
+  export DCDO_BENCH_JSON
+  echo "bench: recording results into $DCDO_BENCH_JSON"
+fi
+if [ -n "$FILTER" ]; then
+  EXTRA_ARGS="$EXTRA_ARGS --benchmark_filter=$FILTER"
+fi
+
+FAILED=0
+for bench in build-nocheck/bench/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  echo "== $(basename "$bench") =="
+  # shellcheck disable=SC2086
+  "$bench" $EXTRA_ARGS || FAILED=1
+done
+
+exit "$FAILED"

@@ -34,6 +34,14 @@ class ByteBuffer {
   const std::byte* data() const { return data_.data(); }
   std::span<const std::byte> span() const { return data_; }
 
+  // Pre-grows capacity so a writer producing a message of known rough size
+  // appends without intermediate reallocations.
+  void Reserve(std::size_t capacity) { data_.reserve(capacity); }
+  std::size_t capacity() const { return data_.capacity(); }
+
+  // Drops contents but keeps capacity — the reuse half of buffer pooling.
+  void Clear() { data_.clear(); }
+
   void Append(const void* bytes, std::size_t count);
   void AppendBuffer(const ByteBuffer& other);
 

@@ -21,6 +21,16 @@ namespace dcdo {
 
 class Writer {
  public:
+  Writer() = default;
+  // Pre-reserves the output buffer: one allocation up front instead of a
+  // doubling cascade while the message is assembled.
+  explicit Writer(std::size_t reserve_hint) { buffer_.Reserve(reserve_hint); }
+  // Builds into `reuse`, keeping whatever capacity it already grew — pass a
+  // buffer from a previous message (or a pool) to serialize allocation-free.
+  explicit Writer(ByteBuffer reuse) : buffer_(std::move(reuse)) {
+    buffer_.Clear();
+  }
+
   void WriteU32(std::uint32_t v);
   void WriteU64(std::uint64_t v);
   void WriteI64(std::int64_t v);
@@ -33,6 +43,9 @@ class Writer {
 
   ByteBuffer Take() && { return std::move(buffer_); }
   const ByteBuffer& buffer() const { return buffer_; }
+
+  // Forgets content, keeps capacity: ready to assemble the next message.
+  void Reset() { buffer_.Clear(); }
 
  private:
   ByteBuffer buffer_;

@@ -123,6 +123,19 @@ Result<ByteBuffer> Dcdo::Call(const std::string& function,
   // The paper's measured DFM indirection: every dynamic call pays it.
   simulation().AdvanceInline(cost().dfm_lookup);
   DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
+                        mapper_.Acquire(std::string_view(function),
+                                        CallOrigin::kExternal));
+  return guard.body()(*this, args);
+}
+
+Result<ByteBuffer> Dcdo::Call(FunctionId function, const ByteBuffer& args) {
+  if (!active_) {
+    return UnavailableError(name_ + " is deactivated");
+  }
+  if (pre_call_hook_) pre_call_hook_();
+  ++user_calls_;
+  simulation().AdvanceInline(cost().dfm_lookup);
+  DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
                         mapper_.Acquire(function, CallOrigin::kExternal));
   return guard.body()(*this, args);
 }
@@ -131,6 +144,15 @@ Result<ByteBuffer> Dcdo::CallInternal(const std::string& function,
                                       const ByteBuffer& args) {
   // Intra-object calls go through the DFM too — same indirection cost for
   // self-calls, intra-component, and inter-component calls alike.
+  simulation().AdvanceInline(cost().dfm_lookup);
+  DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
+                        mapper_.Acquire(std::string_view(function),
+                                        CallOrigin::kInternal));
+  return guard.body()(*this, args);
+}
+
+Result<ByteBuffer> Dcdo::CallInternal(FunctionId function,
+                                      const ByteBuffer& args) {
   simulation().AdvanceInline(cost().dfm_lookup);
   DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
                         mapper_.Acquire(function, CallOrigin::kInternal));
@@ -417,7 +439,7 @@ Result<ByteBuffer> Dcdo::DispatchConfig(const std::string& method,
     // mandatory (assured present for the object's lifetime along derived
     // versions) and whether its implementation is permanent (frozen). This
     // is what lets a client decide how defensively to code a call site.
-    Writer writer;
+    Writer writer(rpc::WireBufferPool::Acquire());
     std::vector<FunctionSignature> interface = GetInterface();
     writer.WriteU64(interface.size());
     const DfmState& state = mapper_.state();
@@ -431,14 +453,14 @@ Result<ByteBuffer> Dcdo::DispatchConfig(const std::string& method,
     return std::move(writer).Take();
   }
   if (method == "dcdo.getVersion") {
-    Writer writer;
+    Writer writer(rpc::WireBufferPool::Acquire());
     writer.WriteVersionId(version_);
     return std::move(writer).Take();
   }
   if (method == "dcdo.getActiveCounts") {
     // Thread-activity report: every implementation currently hosting at
     // least one executing thread, with its count.
-    Writer writer;
+    Writer writer(rpc::WireBufferPool::Acquire());
     std::vector<std::tuple<std::string, ObjectId, int>> rows;
     for (const DfmEntry* entry : mapper_.state().AllEntries()) {
       int count = mapper_.ActiveCount(entry->function.name, entry->component);
@@ -454,7 +476,7 @@ Result<ByteBuffer> Dcdo::DispatchConfig(const std::string& method,
     return std::move(writer).Take();
   }
   if (method == "dcdo.getComponents") {
-    Writer writer;
+    Writer writer(rpc::WireBufferPool::Acquire());
     std::vector<ObjectId> components = GetComponents();
     writer.WriteU64(components.size());
     for (const ObjectId& id : components) writer.WriteObjectId(id);

@@ -137,9 +137,14 @@ class Dcdo final : public CallContext {
   // reaches the object). Charges the DFM lookup cost.
   Result<ByteBuffer> Call(const std::string& function, const ByteBuffer& args);
 
+  // Pre-resolved variant: repeat callers holding an interned FunctionId skip
+  // the per-call name lookup entirely.
+  Result<ByteBuffer> Call(FunctionId function, const ByteBuffer& args);
+
   // CallContext (bodies calling other dynamic functions in this object):
   Result<ByteBuffer> CallInternal(const std::string& function,
                                   const ByteBuffer& args) override;
+  Result<ByteBuffer> CallInternal(FunctionId function, const ByteBuffer& args);
   ObjectId self_id() const override;
   void BlockOnOutcall(double sim_seconds) override;
   ByteBuffer& object_data() override { return state_.data; }

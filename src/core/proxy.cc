@@ -16,23 +16,31 @@ Status DcdoProxy::RefreshInterface() {
     InterfaceEntry entry;
     DCDO_ASSIGN_OR_RETURN(entry.function.name, reader.ReadString());
     DCDO_ASSIGN_OR_RETURN(entry.function.signature, reader.ReadString());
+    // Resolve the interned id once per refresh, not per lookup.
+    entry.id = FunctionNameTable::Global().Intern(entry.function.name);
     DCDO_ASSIGN_OR_RETURN(entry.mandatory, reader.ReadBool());
     DCDO_ASSIGN_OR_RETURN(entry.permanent, reader.ReadBool());
     entries.push_back(std::move(entry));
   }
   interface_ = std::move(entries);
+  index_.clear();
+  for (std::size_t i = 0; i < interface_.size(); ++i) {
+    index_.emplace(interface_[i].id, i);
+  }
   interface_fetched_ = true;
+  // The reply is fully parsed; recycle its capacity for the next message.
+  rpc::WireBufferPool::Release(std::move(wire));
   return Status::Ok();
 }
 
-const InterfaceEntry* DcdoProxy::Find(const std::string& function) const {
-  for (const InterfaceEntry& entry : interface_) {
-    if (entry.function.name == function) return &entry;
-  }
-  return nullptr;
+const InterfaceEntry* DcdoProxy::Find(std::string_view function) const {
+  FunctionId id = FunctionNameTable::Global().Find(function);
+  if (!id.valid()) return nullptr;
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &interface_[it->second];
 }
 
-bool DcdoProxy::Offers(const std::string& function) const {
+bool DcdoProxy::Offers(std::string_view function) const {
   return Find(function) != nullptr;
 }
 
@@ -45,7 +53,9 @@ Result<VersionId> DcdoProxy::FetchVersion() {
   DCDO_ASSIGN_OR_RETURN(ByteBuffer wire,
                         client_.InvokeBlocking(target_, "dcdo.getVersion"));
   Reader reader(wire);
-  return reader.ReadVersionId();
+  Result<VersionId> version = reader.ReadVersionId();
+  rpc::WireBufferPool::Release(std::move(wire));
+  return version;
 }
 
 Result<ByteBuffer> DcdoProxy::Call(const std::string& function,

@@ -23,18 +23,23 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "common/version_id.h"
 #include "component/dynamic_function.h"
+#include "dfm/function_id.h"
 #include "rpc/client.h"
 
 namespace dcdo {
 
-// One row of the annotated interface.
+// One row of the annotated interface. `id` is the interned handle for
+// function.name, resolved once when the interface is fetched.
 struct InterfaceEntry {
   FunctionSignature function;
+  FunctionId id;
   bool mandatory = false;
   bool permanent = false;
 };
@@ -56,7 +61,7 @@ class DcdoProxy {
   bool interface_known() const { return interface_fetched_; }
 
   // True if the cached interface exports `function`.
-  bool Offers(const std::string& function) const;
+  bool Offers(std::string_view function) const;
 
   // True if `function` is exported AND marked mandatory: the object
   // guarantees some implementation for its lifetime (along derived
@@ -74,11 +79,14 @@ class DcdoProxy {
   std::uint64_t retries() const { return retries_; }
 
  private:
-  const InterfaceEntry* Find(const std::string& function) const;
+  const InterfaceEntry* Find(std::string_view function) const;
 
   rpc::RpcClient& client_;
   ObjectId target_;
   std::vector<InterfaceEntry> interface_;
+  // FunctionId -> position in interface_; rebuilt on every refresh so
+  // Offers/IsAssured/Call probe once instead of scanning the vector.
+  std::unordered_map<FunctionId, std::size_t> index_;
   bool interface_fetched_ = false;
   std::uint64_t refreshes_ = 0;
   std::uint64_t retries_ = 0;

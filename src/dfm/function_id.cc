@@ -1,0 +1,43 @@
+#include "dfm/function_id.h"
+
+#include <mutex>
+
+namespace dcdo {
+
+FunctionNameTable& FunctionNameTable::Global() {
+  static FunctionNameTable table;
+  return table;
+}
+
+FunctionId FunctionNameTable::Intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return FunctionId{it->second};
+  }
+  std::unique_lock lock(mutex_);
+  auto it = index_.find(name);  // raced with another interner?
+  if (it != index_.end()) return FunctionId{it->second};
+  auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return FunctionId{id};
+}
+
+FunctionId FunctionNameTable::Find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  auto it = index_.find(name);
+  return it == index_.end() ? FunctionId::Invalid() : FunctionId{it->second};
+}
+
+const std::string& FunctionNameTable::NameOf(FunctionId id) const {
+  std::shared_lock lock(mutex_);
+  return names_.at(id.value);
+}
+
+std::size_t FunctionNameTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace dcdo

@@ -1,87 +1,187 @@
 #include "dfm/mapper.h"
 
+#include <mutex>
+
 #include "check/check_context.h"
 
 namespace dcdo {
+
+// The body never changes after construction (RemapBodies builds a fresh
+// record), so in-flight guards may read it without synchronization. The
+// counter lives behind its own shared_ptr so RemapBodies can carry it over
+// into the replacement record: remapping does not end in-flight calls, and
+// their active counts must keep showing up in ActiveCount/TotalActive.
+struct DfmImplShared {
+  DfmImplShared(DynamicFn fn, std::shared_ptr<std::atomic<int>> counter)
+      : body(std::move(fn)), active(std::move(counter)) {}
+  const DynamicFn body;
+  const std::shared_ptr<std::atomic<int>> active;
+};
+
+namespace {
+const std::string& EmptyName() {
+  static const std::string empty;
+  return empty;
+}
+}  // namespace
 
 DynamicFunctionMapper::CallGuard& DynamicFunctionMapper::CallGuard::operator=(
     CallGuard&& other) noexcept {
   if (this != &other) {
     Release();
     mapper_ = other.mapper_;
-    function_ = std::move(other.function_);
+    name_ = other.name_;
+    function_id_ = other.function_id_;
     component_ = other.component_;
-    body_ = std::move(other.body_);
+    impl_ = std::move(other.impl_);
     other.mapper_ = nullptr;
   }
   return *this;
 }
 
+const DynamicFn& DynamicFunctionMapper::CallGuard::body() const {
+  return impl_->body;
+}
+
+const std::string& DynamicFunctionMapper::CallGuard::function() const {
+  return name_ != nullptr ? *name_ : EmptyName();
+}
+
 void DynamicFunctionMapper::CallGuard::Release() {
-  if (mapper_ != nullptr) {
-    mapper_->ReleaseCall(function_, component_);
-    mapper_ = nullptr;
-    body_ = nullptr;
+  if (mapper_ == nullptr) return;
+  DynamicFunctionMapper* mapper = mapper_;
+  mapper_ = nullptr;
+  // Close the checker's ledger entry *before* dropping the active count: a
+  // configuration change that observes the count at zero must also find the
+  // invocation already ended, or a quiescence-respecting removal would be
+  // misreported as overlapping a live call.
+  if (!mapper->check_owner_.nil()) {
+    DCDO_CHECK_HOOK(OnCallEnd(mapper->check_owner_, *name_, component_));
+  }
+  // Lock-free: the guard owns a reference to its implementation record,
+  // which outlives even a forced removal of the component.
+  impl_->active->fetch_sub(1, std::memory_order_acq_rel);
+  impl_.reset();
+}
+
+DynamicFunctionMapper::AcquireReject DynamicFunctionMapper::TryAcquireLocked(
+    const Slot* slot, FunctionId id, CallOrigin origin, CallGuard& guard) {
+  if (slot == nullptr || !slot->any_present) return AcquireReject::kMissing;
+  if (!slot->enabled) return AcquireReject::kDisabled;
+  if (origin == CallOrigin::kExternal &&
+      slot->visibility != Visibility::kExported) {
+    return AcquireReject::kNotExported;
+  }
+  if (slot->impl == nullptr) return AcquireReject::kNoBody;
+  // The hot path: one increment on the impl's counter plus one shared_ptr
+  // refcount bump; no string is copied or allocated.
+  slot->impl->active->fetch_add(1, std::memory_order_acq_rel);
+  calls_resolved_.fetch_add(1, std::memory_order_relaxed);
+  guard.mapper_ = this;
+  guard.name_ = slot->name;
+  guard.function_id_ = id;
+  guard.component_ = slot->component;
+  guard.impl_ = slot->impl;
+  return AcquireReject::kNone;
+}
+
+Status DynamicFunctionMapper::RejectError(AcquireReject reject,
+                                          std::string_view name) {
+  std::string quoted(name);
+  switch (reject) {
+    case AcquireReject::kDisabled:
+      return FunctionDisabledError("'" + quoted + "' is disabled");
+    case AcquireReject::kNotExported:
+      // External callers cannot tell internal-only from absent.
+      return FunctionMissingError("no exported function '" + quoted + "'");
+    case AcquireReject::kNoBody:
+      return InternalError("enabled '" + quoted + "' has no resolved body");
+    case AcquireReject::kMissing:
+    case AcquireReject::kNone:
+    default:
+      return FunctionMissingError("no implementation of '" + quoted + "'");
   }
 }
 
 Result<DynamicFunctionMapper::CallGuard> DynamicFunctionMapper::Acquire(
-    const std::string& function, CallOrigin origin) {
+    std::string_view function, CallOrigin origin) {
+  AcquireReject reject;
   CallGuard guard;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const DfmEntry* entry = state_.EnabledImpl(function);
-    if (entry == nullptr) {
-      ++calls_rejected_;
-      if (state_.AnyImplPresent(function)) {
-        return FunctionDisabledError("'" + function + "' is disabled");
-      }
-      return FunctionMissingError("no implementation of '" + function + "'");
-    }
-    if (origin == CallOrigin::kExternal &&
-        entry->visibility != Visibility::kExported) {
-      ++calls_rejected_;
-      // External callers cannot tell internal-only from absent.
-      return FunctionMissingError("no exported function '" + function + "'");
-    }
-    auto body_it = bodies_.find({function, entry->component});
-    if (body_it == bodies_.end()) {
-      ++calls_rejected_;
-      return InternalError("enabled '" + function + "' has no resolved body");
-    }
-    ++calls_resolved_;
-    ++active_[{function, entry->component}];
-
-    guard.mapper_ = this;
-    guard.function_ = function;
-    guard.component_ = entry->component;
-    guard.body_ = body_it->second;
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    // One hash probe against the mapper's own index — no round-trip through
+    // the global intern table on the call path.
+    auto it = name_index_.find(function);
+    reject = it == name_index_.end()
+                 ? AcquireReject::kMissing
+                 : TryAcquireLocked(&slots_[it->second.value], it->second,
+                                    origin, guard);
   }
-  if (!check_owner_.nil()) {
-    DCDO_CHECK_HOOK(
-        OnCallStart(check_owner_, guard.function_, guard.component_));
+  if (reject == AcquireReject::kNone) {
+    if (!check_owner_.nil()) {
+      DCDO_CHECK_HOOK(OnCallStart(check_owner_, *guard.name_,
+                                  guard.component_));
+    }
+    return guard;
   }
-  return guard;
+  calls_rejected_.fetch_add(1, std::memory_order_relaxed);
+  return RejectError(reject, function);
 }
 
-void DynamicFunctionMapper::ReleaseCall(const std::string& function,
-                                        const ObjectId& component) {
+Result<DynamicFunctionMapper::CallGuard> DynamicFunctionMapper::Acquire(
+    FunctionId function, CallOrigin origin) {
+  AcquireReject reject;
+  CallGuard guard;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = active_.find({function, component});
-    if (it != active_.end() && it->second > 0) {
-      --it->second;
-    }
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const Slot* slot = function.valid() && function.value < slots_.size()
+                           ? &slots_[function.value]
+                           : nullptr;
+    reject = TryAcquireLocked(slot, function, origin, guard);
   }
-  if (!check_owner_.nil()) {
-    DCDO_CHECK_HOOK(OnCallEnd(check_owner_, function, component));
+  if (reject == AcquireReject::kNone) {
+    if (!check_owner_.nil()) {
+      DCDO_CHECK_HOOK(OnCallStart(check_owner_, *guard.name_,
+                                  guard.component_));
+    }
+    return guard;
+  }
+  calls_rejected_.fetch_add(1, std::memory_order_relaxed);
+  return RejectError(reject,
+                     function.valid()
+                         ? std::string_view(
+                               FunctionNameTable::Global().NameOf(function))
+                         : std::string_view(EmptyName()));
+}
+
+void DynamicFunctionMapper::RebuildSlotsLocked() {
+  // Derived from the authoritative DfmState: one slot per interned function
+  // id, summarizing "who services a call to F" for the shared-lock readers.
+  FunctionNameTable& names = FunctionNameTable::Global();
+  for (Slot& slot : slots_) {
+    slot = Slot{};
+  }
+  name_index_.clear();
+  for (const DfmEntry* entry : state_.AllEntries()) {
+    FunctionId id = names.Intern(entry->function.name);
+    if (id.value >= slots_.size()) slots_.resize(id.value + 1);
+    Slot& slot = slots_[id.value];
+    slot.any_present = true;
+    slot.name = &names.NameOf(id);
+    name_index_.emplace(std::string_view(*slot.name), id);
+    if (!entry->enabled) continue;
+    slot.enabled = true;
+    slot.visibility = entry->visibility;
+    slot.component = entry->component;
+    auto impl = impls_.find({entry->function.name, entry->component});
+    if (impl != impls_.end()) slot.impl = impl->second;
   }
 }
 
 Status DynamicFunctionMapper::IncorporateComponent(
     const ImplementationComponent& meta, const NativeCodeRegistry& registry,
     sim::Architecture arch, bool auto_structural_deps) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (!meta.type.CompatibleWith(arch)) {
     return ArchMismatchError(
         "component " + meta.name + " (" + meta.type.ToString() +
@@ -89,14 +189,17 @@ Status DynamicFunctionMapper::IncorporateComponent(
         std::string(sim::ArchitectureName(arch)));
   }
   // Resolve every symbol before mutating anything (all-or-nothing).
-  std::map<DfmState::EntryKey, DynamicFn> resolved;
+  std::map<DfmState::EntryKey, std::shared_ptr<DfmImplShared>> resolved;
   for (const FunctionImplDescriptor& fn : meta.functions) {
     DCDO_ASSIGN_OR_RETURN(DynamicFn body, registry.Resolve(fn.symbol, arch));
-    resolved[{fn.function.name, meta.id}] = std::move(body);
+    resolved[{fn.function.name, meta.id}] = std::make_shared<DfmImplShared>(
+        std::move(body), std::make_shared<std::atomic<int>>(0));
   }
   DCDO_RETURN_IF_ERROR(
       state_.IncorporateComponent(meta, auto_structural_deps));
-  bodies_.merge(resolved);
+  impls_.merge(resolved);
+  RebuildSlotsLocked();
+  BumpVersion();
   return Status::Ok();
 }
 
@@ -104,25 +207,25 @@ Status DynamicFunctionMapper::RemoveComponent(const ObjectId& component,
                                               ActiveThreadPolicy policy) {
   bool had_active = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [key, count] : active_) {
-      if (key.second == component && count > 0) {
-        if (policy == ActiveThreadPolicy::kError) {
-          return ActiveThreadsError("function '" + key.first +
-                                    "' in component " + component.ToString() +
-                                    " has " + std::to_string(count) +
-                                    " active thread(s)");
-        }
-        had_active = true;
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    for (const auto& [key, record] : impls_) {
+      if (key.second != component) continue;
+      int count = record->active->load(std::memory_order_acquire);
+      if (count <= 0) continue;
+      if (policy == ActiveThreadPolicy::kError) {
+        return ActiveThreadsError("function '" + key.first +
+                                  "' in component " + component.ToString() +
+                                  " has " + std::to_string(count) +
+                                  " active thread(s)");
       }
+      had_active = true;
     }
     DCDO_RETURN_IF_ERROR(state_.RemoveComponent(component));
-    std::erase_if(bodies_, [&component](const auto& kv) {
+    std::erase_if(impls_, [&component](const auto& kv) {
       return kv.first.second == component;
     });
-    std::erase_if(active_, [&component](const auto& kv) {
-      return kv.first.second == component;
-    });
+    RebuildSlotsLocked();
+    BumpVersion();
   }
   if (!check_owner_.nil()) {
     // "forced" means the removal actually overrode live threads, not merely
@@ -134,22 +237,27 @@ Status DynamicFunctionMapper::RemoveComponent(const ObjectId& component,
 
 Status DynamicFunctionMapper::EnableFunction(const std::string& function,
                                              const ObjectId& component) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return state_.EnableFunction(function, component);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  DCDO_RETURN_IF_ERROR(state_.EnableFunction(function, component));
+  RebuildSlotsLocked();
+  BumpVersion();
+  return Status::Ok();
 }
 
 Status DynamicFunctionMapper::DisableFunction(const std::string& function,
                                               const ObjectId& component,
                                               bool respect_active_dependents) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (respect_active_dependents) {
     EnabledSnapshot snapshot = state_.Snapshot();
     for (const Dependency* dep : state_.dependencies().BindingDependenciesOn(
              function, component, snapshot)) {
       // The dependent function is enabled; is a thread inside it right now?
       const std::string& dependent = dep->dependent;
-      for (const auto& [key, count] : active_) {
-        if (key.first != dependent || count <= 0) continue;
+      for (const auto& [key, record] : impls_) {
+        if (key.first != dependent) continue;
+        int count = record->active->load(std::memory_order_acquire);
+        if (count <= 0) continue;
         if (dep->dependent_component.has_value() &&
             *dep->dependent_component != key.second) {
           continue;
@@ -161,7 +269,10 @@ Status DynamicFunctionMapper::DisableFunction(const std::string& function,
       }
     }
   }
-  return state_.DisableFunction(function, component);
+  DCDO_RETURN_IF_ERROR(state_.DisableFunction(function, component));
+  RebuildSlotsLocked();
+  BumpVersion();
+  return Status::Ok();
 }
 
 Status DynamicFunctionMapper::SwitchImplementation(
@@ -169,13 +280,17 @@ Status DynamicFunctionMapper::SwitchImplementation(
   ObjectId from_component;
   int active_on_from = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     if (const DfmEntry* enabled = state_.EnabledImpl(function)) {
       from_component = enabled->component;
-      auto it = active_.find({function, from_component});
-      if (it != active_.end()) active_on_from = it->second;
+      auto it = impls_.find({function, from_component});
+      if (it != impls_.end()) {
+        active_on_from = it->second->active->load(std::memory_order_acquire);
+      }
     }
     DCDO_RETURN_IF_ERROR(state_.SwitchImplementation(function, to_component));
+    RebuildSlotsLocked();
+    BumpVersion();
   }
   if (!check_owner_.nil() && !from_component.nil() &&
       from_component != to_component) {
@@ -188,39 +303,58 @@ Status DynamicFunctionMapper::SwitchImplementation(
 Status DynamicFunctionMapper::SetVisibility(const std::string& function,
                                             const ObjectId& component,
                                             Visibility visibility) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return state_.SetVisibility(function, component, visibility);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  DCDO_RETURN_IF_ERROR(state_.SetVisibility(function, component, visibility));
+  RebuildSlotsLocked();
+  BumpVersion();
+  return Status::Ok();
 }
 
 Status DynamicFunctionMapper::MarkMandatory(const std::string& function) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   return state_.MarkMandatory(function);
 }
 
 Status DynamicFunctionMapper::MarkPermanent(const std::string& function,
                                             const ObjectId& component) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return state_.MarkPermanent(function, component);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // MarkPermanent may switch the enabled implementation as a side effect.
+  DCDO_RETURN_IF_ERROR(state_.MarkPermanent(function, component));
+  RebuildSlotsLocked();
+  BumpVersion();
+  return Status::Ok();
 }
 
 Status DynamicFunctionMapper::AddDependency(Dependency dep) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   return state_.AddDependency(std::move(dep));
 }
 
 Status DynamicFunctionMapper::RemoveDependency(const Dependency& dep) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   return state_.RemoveDependency(dep);
 }
 
 Status DynamicFunctionMapper::AdoptConfiguration(const DfmState& target,
                                                  bool enforce_marks) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return state_.AdoptConfiguration(target, enforce_marks);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  DCDO_RETURN_IF_ERROR(state_.AdoptConfiguration(target, enforce_marks));
+  RebuildSlotsLocked();
+  BumpVersion();
+  return Status::Ok();
 }
 
 Status DynamicFunctionMapper::SyncMetadata(const DfmState& target) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Whatever happens below, leave the slot table mirroring state_: a failed
+  // sync may have applied some visibilities before erroring out.
+  struct Resync {
+    DynamicFunctionMapper* self;
+    ~Resync() {
+      self->RebuildSlotsLocked();
+      self->BumpVersion();
+    }
+  } resync{this};
   // Precondition: component and entry sets match the target.
   if (state_.component_count() != target.component_count() ||
       state_.entry_count() != target.entry_count()) {
@@ -279,8 +413,8 @@ Status DynamicFunctionMapper::SyncMetadata(const DfmState& target) {
 
 Status DynamicFunctionMapper::RemapBodies(const NativeCodeRegistry& registry,
                                           sim::Architecture arch) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::map<DfmState::EntryKey, DynamicFn> remapped;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::map<DfmState::EntryKey, std::shared_ptr<DfmImplShared>> remapped;
   for (const ObjectId& component_id : state_.ComponentIds()) {
     const ImplementationComponent* meta = state_.FindComponent(component_id);
     if (!meta->type.CompatibleWith(arch)) {
@@ -291,24 +425,38 @@ Status DynamicFunctionMapper::RemapBodies(const NativeCodeRegistry& registry,
     }
     for (const FunctionImplDescriptor& fn : meta->functions) {
       DCDO_ASSIGN_OR_RETURN(DynamicFn body, registry.Resolve(fn.symbol, arch));
-      remapped[{fn.function.name, component_id}] = std::move(body);
+      // Keep the existing counter: remapping does not end in-flight calls,
+      // and their counts must survive into the replacement record.
+      auto existing = impls_.find({fn.function.name, component_id});
+      remapped[{fn.function.name, component_id}] =
+          std::make_shared<DfmImplShared>(
+              std::move(body),
+              existing != impls_.end()
+                  ? existing->second->active
+                  : std::make_shared<std::atomic<int>>(0));
     }
   }
-  bodies_ = std::move(remapped);
+  impls_ = std::move(remapped);
+  RebuildSlotsLocked();
+  BumpVersion();
   return Status::Ok();
 }
 
 int DynamicFunctionMapper::ActiveCount(const std::string& function,
                                        const ObjectId& component) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = active_.find({function, component});
-  return it == active_.end() ? 0 : it->second;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = impls_.find({function, component});
+  return it == impls_.end()
+             ? 0
+             : it->second->active->load(std::memory_order_acquire);
 }
 
 int DynamicFunctionMapper::TotalActive() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   int total = 0;
-  for (const auto& [key, count] : active_) total += count;
+  for (const auto& [key, record] : impls_) {
+    total += record->active->load(std::memory_order_acquire);
+  }
   return total;
 }
 

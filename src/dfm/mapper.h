@@ -9,23 +9,47 @@
 // returned RAII guard keeps the per-implementation active-thread count
 // nonzero for exactly the duration of the call.
 //
+// The call path is read-mostly and lock-light. Function names are interned
+// into dense FunctionIds (function_id.h); the mapper keeps a flat slot table
+// indexed by FunctionId whose slots hold the enabled body, its visibility,
+// and a per-implementation atomic active-thread counter. Acquire on the hot
+// path is a shared-lock slot read plus one relaxed atomic increment; Release
+// is a single atomic decrement with no lock at all. Configuration mutations
+// (incorporate / remove / enable / disable / switch / adopt / remap) take
+// the exclusive side of the same std::shared_mutex, rebuild the slot table
+// from the authoritative DfmState, and bump a version stamp. The paper's
+// semantics are untouched: the error taxonomy (kFunctionMissing /
+// kFunctionDisabled / kActiveThreads), the visibility rules, and the
+// checker hooks all behave exactly as before — only the constant factor of
+// the indirection changed.
+//
 // The mapper owns a DfmState (the same table type managers use in
 // descriptors) plus what only the runtime needs: resolved bodies from the
 // NativeCodeRegistry, active-thread counts, and call statistics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "component/native_code_registry.h"
 #include "dfm/descriptor.h"
+#include "dfm/function_id.h"
 #include "dfm/state.h"
 
 namespace dcdo {
+
+// One incorporated implementation row: the resolved body plus its
+// active-thread counter. Defined in mapper.cc; guards pin a whole record
+// with a single shared_ptr, so acquire/release touch one refcount, not two.
+struct DfmImplShared;
 
 // Who is asking: external callers may only reach exported functions.
 enum class CallOrigin : std::uint8_t { kExternal, kInternal };
@@ -43,8 +67,11 @@ class DynamicFunctionMapper {
 
   // RAII "ability to call": holds the body and pins the active-thread count.
   // The body remains valid for the guard's lifetime even if the function is
-  // disabled mid-call — the paper notes "there is no reason why a thread
-  // cannot proceed inside a deactivated function; the code still exists."
+  // disabled — or its whole component force-removed — mid-call; the paper
+  // notes "there is no reason why a thread cannot proceed inside a
+  // deactivated function; the code still exists." The guard carries a slot
+  // handle (interned-name pointer, one shared impl record), not owned
+  // strings: constructing and destroying one allocates nothing.
   class CallGuard {
    public:
     CallGuard() = default;
@@ -54,9 +81,10 @@ class DynamicFunctionMapper {
     CallGuard& operator=(const CallGuard&) = delete;
     ~CallGuard() { Release(); }
 
-    const DynamicFn& body() const { return body_; }
+    const DynamicFn& body() const;
     const ObjectId& component() const { return component_; }
-    const std::string& function() const { return function_; }
+    const std::string& function() const;
+    FunctionId function_id() const { return function_id_; }
     bool valid() const { return mapper_ != nullptr; }
 
     void Release();
@@ -64,9 +92,11 @@ class DynamicFunctionMapper {
    private:
     friend class DynamicFunctionMapper;
     DynamicFunctionMapper* mapper_ = nullptr;
-    std::string function_;
+    const std::string* name_ = nullptr;  // interned; stable for process life
+    FunctionId function_id_;
     ObjectId component_;
-    DynamicFn body_;
+    // One refcount covers both the body and the active counter.
+    std::shared_ptr<DfmImplShared> impl_;
   };
 
   // --- The call path ---
@@ -76,7 +106,11 @@ class DynamicFunctionMapper {
   // present, kFunctionDisabled when implementations exist but none is
   // enabled, and kFunctionMissing for external calls to internal-only
   // functions (an outsider cannot distinguish "internal" from "absent").
-  Result<CallGuard> Acquire(const std::string& function, CallOrigin origin);
+  Result<CallGuard> Acquire(std::string_view function, CallOrigin origin);
+
+  // The pre-resolved fast path: callers that hold an interned FunctionId
+  // (method tables, proxies, repeated dispatch) skip the name lookup.
+  Result<CallGuard> Acquire(FunctionId function, CallOrigin origin);
 
   // --- Configuration (a DCDO's configuration functions land here) ---
 
@@ -135,26 +169,79 @@ class DynamicFunctionMapper {
   const DfmState& state() const { return state_; }
   int ActiveCount(const std::string& function, const ObjectId& component) const;
   int TotalActive() const;
-  std::uint64_t calls_resolved() const { return calls_resolved_; }
-  std::uint64_t calls_rejected() const { return calls_rejected_; }
+  std::uint64_t calls_resolved() const {
+    return calls_resolved_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t calls_rejected() const {
+    return calls_rejected_.load(std::memory_order_relaxed);
+  }
+
+  // Monotone stamp bumped by every successful configuration mutation; two
+  // equal stamps bracket a window in which the slot table did not change.
+  std::uint64_t table_version() const {
+    return table_version_.load(std::memory_order_acquire);
+  }
 
   // Names the DCDO this mapper belongs to for the checking layer; while set
   // (non-nil), call starts/ends, removals and implementation swaps are
-  // reported to the installed CheckContext. Hooks fire after mutex_ is
-  // released, so checker evaluations may call back into const accessors.
+  // reported to the installed CheckContext. Hooks fire after the table lock
+  // is released, so checker evaluations may call back into const accessors.
   void SetCheckOwner(const ObjectId& owner) { check_owner_ = owner; }
   const ObjectId& check_owner() const { return check_owner_; }
 
  private:
-  void ReleaseCall(const std::string& function, const ObjectId& component);
+  // The per-function slot the hot path reads: a digest of DfmState's answer
+  // to "which implementation services a call to F right now". The impl
+  // record (body + active counter, one shared allocation) lives behind a
+  // shared_ptr so in-flight guards keep it alive across disables, switches,
+  // and even forced removals.
+  struct Slot {
+    bool any_present = false;  // some implementation exists (disabled counts)
+    bool enabled = false;      // an implementation is enabled
+    Visibility visibility = Visibility::kExported;
+    ObjectId component;                 // of the enabled implementation
+    const std::string* name = nullptr;  // interned name
+    std::shared_ptr<DfmImplShared> impl;  // enabled implementation's record
+  };
+
+  // Why Acquire declined, decided under the shared lock; the error message
+  // (which allocates) is built only after the lock is dropped.
+  enum class AcquireReject : std::uint8_t {
+    kNone,
+    kMissing,
+    kDisabled,
+    kNotExported,
+    kNoBody,
+  };
+
+  // The shared-lock core of both Acquire overloads: classifies `slot` and,
+  // on success, pins the implementation into `guard`.
+  AcquireReject TryAcquireLocked(const Slot* slot, FunctionId id,
+                                 CallOrigin origin, CallGuard& guard);
+  static Status RejectError(AcquireReject reject, std::string_view name);
+
+  // Rebuilds slots_ from state_ + impls_. Caller holds the exclusive lock.
+  void RebuildSlotsLocked();
+  void BumpVersion() {
+    table_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   ObjectId check_owner_;  // nil: unowned (raw unit-test mappers), no hooks
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   DfmState state_;
-  std::map<DfmState::EntryKey, DynamicFn> bodies_;
-  std::map<DfmState::EntryKey, int> active_;
-  std::uint64_t calls_resolved_ = 0;
-  std::uint64_t calls_rejected_ = 0;
+  // Mutation-path store, keyed like DfmState rows; the hot path never
+  // touches it — it reads the shared_ptrs out of slots_.
+  std::map<DfmState::EntryKey, std::shared_ptr<DfmImplShared>> impls_;
+  std::vector<Slot> slots_;  // indexed by FunctionId::value
+  // Name-keyed entry to the slot table, so string Acquire pays one hash
+  // lookup under the mapper's own shared lock instead of a second
+  // lock/unlock round-trip through the global intern table. Keys view
+  // interner storage, which is stable for the life of the process.
+  std::unordered_map<std::string_view, FunctionId, FunctionNameHash>
+      name_index_;
+  std::atomic<std::uint64_t> table_version_{0};
+  std::atomic<std::uint64_t> calls_resolved_{0};
+  std::atomic<std::uint64_t> calls_rejected_{0};
 };
 
 }  // namespace dcdo

@@ -1,5 +1,37 @@
 #include "rpc/message.h"
 
-// MethodInvocation/MethodResult are header-only aggregates; this TU anchors
-// the library target.
-namespace dcdo::rpc {}
+#include <utility>
+#include <vector>
+
+namespace dcdo::rpc {
+
+namespace {
+std::vector<ByteBuffer>& Pool() {
+  thread_local std::vector<ByteBuffer> pool;
+  return pool;
+}
+}  // namespace
+
+ByteBuffer WireBufferPool::Acquire() {
+  std::vector<ByteBuffer>& pool = Pool();
+  if (!pool.empty()) {
+    ByteBuffer buffer = std::move(pool.back());
+    pool.pop_back();
+    buffer.Clear();
+    return buffer;
+  }
+  ByteBuffer buffer;
+  buffer.Reserve(kHeaderBytes);
+  return buffer;
+}
+
+void WireBufferPool::Release(ByteBuffer buffer) {
+  std::vector<ByteBuffer>& pool = Pool();
+  if (pool.size() >= kMaxPooled || buffer.capacity() == 0) return;
+  buffer.Clear();
+  pool.push_back(std::move(buffer));
+}
+
+std::size_t WireBufferPool::PooledCount() { return Pool().size(); }
+
+}  // namespace dcdo::rpc

@@ -31,6 +31,34 @@ struct MethodInvocation {
   }
 };
 
+// A small freelist of wire buffers so steady-state request/reply traffic
+// serializes into recycled capacity instead of allocating per message.
+// Thread-local: the simulator's hot paths are single-threaded per thread of
+// execution, so no lock is needed. Usage:
+//
+//   Writer writer(WireBufferPool::Acquire());   // reuses pooled capacity
+//   ... write fields ...
+//   ByteBuffer wire = std::move(writer).Take();
+//   ... ship it; once the contents are consumed ...
+//   WireBufferPool::Release(std::move(wire));   // capacity returns to pool
+//
+// Release is optional — a buffer that is never returned is simply freed.
+class WireBufferPool {
+ public:
+  // A buffer with whatever capacity its previous life grew (empty contents),
+  // or a fresh one reserved to kHeaderBytes if the pool is dry.
+  static ByteBuffer Acquire();
+
+  // Returns `buffer` to the pool for reuse; drops it if the pool is full.
+  static void Release(ByteBuffer buffer);
+
+  // Buffers currently parked in this thread's pool (for tests/benches).
+  static std::size_t PooledCount();
+
+ private:
+  static constexpr std::size_t kMaxPooled = 8;
+};
+
 struct MethodResult {
   Status status;
   ByteBuffer payload;

@@ -1,23 +1,46 @@
 #include "runtime/method_table.h"
 
+#include <algorithm>
+
 namespace dcdo {
 
 void MethodTable::Add(const std::string& name, MethodFn fn) {
-  methods_[name] = std::move(fn);
+  methods_[FunctionNameTable::Global().Intern(name)] = std::move(fn);
 }
 
-Result<const MethodFn*> MethodTable::Find(const std::string& name) const {
-  auto it = methods_.find(name);
+Result<const MethodFn*> MethodTable::Find(std::string_view name) const {
+  // Find, not Intern: an unknown method name must not grow the global table.
+  FunctionId id = FunctionNameTable::Global().Find(name);
+  if (id.valid()) {
+    auto it = methods_.find(id);
+    if (it != methods_.end()) return &it->second;
+  }
+  return NotFoundError("no method '" + std::string(name) + "'");
+}
+
+Result<const MethodFn*> MethodTable::Find(FunctionId id) const {
+  auto it = methods_.find(id);
   if (it == methods_.end()) {
-    return NotFoundError("no method '" + name + "'");
+    return NotFoundError("no method '" +
+                         (id.valid()
+                              ? FunctionNameTable::Global().NameOf(id)
+                              : std::string()) +
+                         "'");
   }
   return &it->second;
+}
+
+bool MethodTable::Has(std::string_view name) const {
+  FunctionId id = FunctionNameTable::Global().Find(name);
+  return id.valid() && methods_.contains(id);
 }
 
 std::vector<std::string> MethodTable::MethodNames() const {
   std::vector<std::string> out;
   out.reserve(methods_.size());
-  for (const auto& [name, fn] : methods_) out.push_back(name);
+  const FunctionNameTable& names = FunctionNameTable::Global();
+  for (const auto& [id, fn] : methods_) out.push_back(names.NameOf(id));
+  std::sort(out.begin(), out.end());
   return out;
 }
 

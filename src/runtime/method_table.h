@@ -5,14 +5,22 @@
 // the baseline the DCDO mechanism is compared against — changing any method
 // of such an object means replacing the whole executable (see
 // ClassObject::EvolveInstance).
+//
+// Methods are keyed by interned FunctionId, the same dense handles the DFM
+// uses: registration interns the name once, and dispatch — whether by name
+// or by a pre-resolved id — is a single flat hash probe with no string
+// comparisons.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "dfm/function_id.h"
 
 namespace dcdo {
 
@@ -31,17 +39,20 @@ using MethodFn =
 
 class MethodTable {
  public:
-  // Replaces any existing binding for `name`.
+  // Replaces any existing binding for `name`. Interns the name.
   void Add(const std::string& name, MethodFn fn);
 
-  Result<const MethodFn*> Find(const std::string& name) const;
-  bool Has(const std::string& name) const { return methods_.contains(name); }
+  Result<const MethodFn*> Find(std::string_view name) const;
+  // Pre-resolved dispatch: no name lookup at all.
+  Result<const MethodFn*> Find(FunctionId id) const;
+  bool Has(std::string_view name) const;
   std::size_t size() const { return methods_.size(); }
 
+  // Sorted, for stable interface listings.
   std::vector<std::string> MethodNames() const;
 
  private:
-  std::map<std::string, MethodFn> methods_;
+  std::unordered_map<FunctionId, MethodFn> methods_;
 };
 
 }  // namespace dcdo

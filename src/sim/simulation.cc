@@ -1,6 +1,6 @@
 #include "sim/simulation.h"
 
-#include <algorithm>
+#include <utility>
 
 namespace dcdo::sim {
 
@@ -17,18 +17,18 @@ std::uint64_t Simulation::ScheduleAt(SimTime when, Callback fn) {
 }
 
 void Simulation::Cancel(std::uint64_t event_id) {
-  cancelled_.push_back(event_id);
+  cancelled_.insert(event_id);
 }
 
 bool Simulation::PopAndFire() {
   while (!queue_.empty()) {
-    Event event = queue_.top();
+    // Move the event out of the queue instead of copying it: the callback is
+    // a std::function whose copy may allocate, and this is the engine's
+    // innermost loop. Mutating top() is safe because pop() follows
+    // immediately, before the heap looks at the element again.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    if (!cancelled_.empty() && cancelled_.erase(event.id) > 0) continue;
     now_ = event.when;
     event.fn();
     ++events_fired_;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/sim_time.h"
@@ -86,7 +87,10 @@ class Simulation {
   std::uint64_t events_fired_ = 0;
   EventObserver observer_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted insert not needed; small
+  // Ids cancelled while still pending; checked (and erased) as events
+  // surface at the top of the queue, so Cancel is O(1) even when tens of
+  // thousands of timers are torn down at once.
+  std::unordered_set<std::uint64_t> cancelled_;
 };
 
 }  // namespace dcdo::sim

@@ -67,6 +67,37 @@ TEST(SimulationTest, CancelIsSelective) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(SimulationTest, CancelScalesToTenThousandTimers) {
+  // The retry/timeout pattern at scale: 10k timers scheduled, most cancelled
+  // before firing. Cancellation is O(1) per timer (a tombstone set, not a
+  // queue scan), so this is quick even though every cancelled event is still
+  // popped and skipped by the run loop.
+  constexpr int kTimers = 10'000;
+  Simulation simulation;
+  int fired = 0;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    ids.push_back(
+        simulation.Schedule(SimDuration::Micros(i + 1), [&] { ++fired; }));
+  }
+  // Cancel all but every 100th timer, in reverse order (no relation between
+  // cancel order and queue order).
+  for (int i = kTimers - 1; i >= 0; --i) {
+    if (i % 100 != 0) simulation.Cancel(ids[i]);
+  }
+  // Cancelling an already-cancelled or unknown id is a harmless no-op.
+  simulation.Cancel(ids[1]);
+  simulation.Cancel(123456789u);
+  simulation.Run();
+  EXPECT_EQ(fired, kTimers / 100);
+  // The clock advanced to the last *surviving* timer: cancelled events are
+  // skipped without moving simulated time.
+  EXPECT_EQ(simulation.Now(),
+            SimTime::Zero() + SimDuration::Micros(9'901));
+  EXPECT_TRUE(simulation.Idle());
+}
+
 TEST(SimulationTest, RunUntilStopsAtDeadline) {
   Simulation simulation;
   std::vector<int> order;
