@@ -38,7 +38,8 @@ struct StaleScenario {
     testbed.transport().RegisterEndpoint(
         node, pid, epoch,
         [](const rpc::MethodInvocation& inv, rpc::ReplyFn reply) {
-          reply(rpc::MethodResult::Ok(ByteBuffer::FromString(inv.method)));
+          reply(rpc::MethodResult::Ok(
+              ByteBuffer::FromString(std::string(inv.method_name()))));
         });
     testbed.agent().Bind(target, ObjectAddress{node, pid, epoch});
   }

@@ -8,6 +8,10 @@
 #   scripts/bench.sh --smoke         # quick CI pass (tiny min_time, no JSON
 #                                    # update unless DCDO_BENCH_JSON is set)
 #   scripts/bench.sh [--smoke] REGEX # only benches whose name matches REGEX
+#   scripts/bench.sh --compare OLD.json NEW.json
+#                                    # flag Wall_* regressions > 20% and any
+#                                    # SimTime_* drift between two results
+#                                    # files; exits 1 if anything is flagged
 #
 # Environment:
 #   DCDO_BENCH_JSON  output file (default: BENCH_dcdo.json at the repo root
@@ -17,12 +21,73 @@ set -u
 
 cd "$(dirname "$0")/.." || exit 1
 
+if [ "${1:-}" = "--compare" ]; then
+  OLD_JSON=${2:-}
+  NEW_JSON=${3:-}
+  if [ -z "$OLD_JSON" ] || [ -z "$NEW_JSON" ]; then
+    echo "usage: $0 --compare OLD.json NEW.json" >&2
+    exit 2
+  fi
+  exec python3 - "$OLD_JSON" "$NEW_JSON" <<'PYEOF'
+import json
+import sys
+
+# Wall_* numbers are host time: noisy, so only a > 20% slowdown is flagged.
+# SimTime_* numbers are simulated time: deterministic by design, so ANY drift
+# is flagged — an unintended change to the cost model or event ordering.
+WALL_REGRESSION_RATIO = 1.20
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+try:
+    with open(old_path) as f:
+        old = json.load(f).get("benchmarks", {})
+    with open(new_path) as f:
+        new = json.load(f).get("benchmarks", {})
+except (OSError, json.JSONDecodeError) as err:
+    print(f"bench-compare: cannot read results: {err}", file=sys.stderr)
+    sys.exit(2)
+
+common = sorted(set(old) & set(new))
+if not common:
+    print("bench-compare: no common benchmark entries; nothing to compare")
+    sys.exit(0)
+
+flagged = []
+compared = 0
+for name in common:
+    old_ns = old[name].get("real_ns")
+    new_ns = new[name].get("real_ns")
+    if not isinstance(old_ns, (int, float)) or not isinstance(new_ns, (int, float)):
+        continue
+    base = name.split("/")[0]
+    if base.startswith("Wall_"):
+        compared += 1
+        if old_ns > 0 and new_ns / old_ns > WALL_REGRESSION_RATIO:
+            flagged.append(
+                f"  WALL REGRESSION {name}: {old_ns:g} ns -> {new_ns:g} ns "
+                f"({new_ns / old_ns:.2f}x)"
+            )
+    elif base.startswith("SimTime_"):
+        compared += 1
+        if old_ns != new_ns:
+            flagged.append(
+                f"  SIMTIME DRIFT   {name}: {old_ns:g} ns -> {new_ns:g} ns"
+            )
+
+print(f"bench-compare: {compared} entries compared ({old_path} -> {new_path})")
+if flagged:
+    print("\n".join(flagged))
+    sys.exit(1)
+print("bench-compare: no Wall_* regressions > 20%, no SimTime_* drift")
+PYEOF
+fi
+
 SMOKE=0
 FILTER=""
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE=1 ;;
-    --*) echo "usage: $0 [--smoke] [benchmark-filter-regex]" >&2; exit 2 ;;
+    --*) echo "usage: $0 [--smoke|--compare OLD NEW] [benchmark-filter-regex]" >&2; exit 2 ;;
     *) FILTER="$arg" ;;
   esac
 done

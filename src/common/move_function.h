@@ -1,0 +1,156 @@
+// A move-only callable wrapper with a large inline buffer.
+//
+// The simulation's hot path converts a handful of closures per remote call
+// (delivery, reply, timeout) into type-erased callables. std::function heap-
+// allocates for any capture that is not trivially copyable and <= 16 bytes,
+// which puts several malloc/free pairs on every event. MoveFunction trades
+// copyability (never needed for one-shot event callbacks) for a buffer big
+// enough to hold the engine's nested closures inline, so the common case
+// allocates nothing. Callables larger than the buffer still work — they fall
+// back to the heap transparently.
+#ifndef DCDO_COMMON_MOVE_FUNCTION_H_
+#define DCDO_COMMON_MOVE_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/pool_allocator.h"
+
+namespace dcdo::common {
+
+template <typename Signature, std::size_t kInlineBytes>
+class MoveFunction;
+
+template <typename R, typename... Args, std::size_t kInlineBytes>
+class MoveFunction<R(Args...), kInlineBytes> {
+ public:
+  MoveFunction() = default;
+  MoveFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, MoveFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  MoveFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else if constexpr (alignof(D) <= alignof(std::max_align_t)) {
+      // Spilled closures are one-shot and clustered in size (a marshaled
+      // invocation, a reply continuation), so they recycle through the
+      // thread-local block pools instead of malloc.
+      void* block = PoolAllocate<sizeof(D)>();
+      ::new (static_cast<void*>(storage_))
+          D*(::new (block) D(std::forward<F>(f)));
+      ops_ = &kPooledHeapOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  MoveFunction(MoveFunction&& other) noexcept { MoveFrom(other); }
+
+  MoveFunction& operator=(MoveFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  MoveFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  MoveFunction(const MoveFunction&) = delete;
+  MoveFunction& operator=(const MoveFunction&) = delete;
+
+  ~MoveFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs the callable from `from` into `to`, destroying the
+    // source. Heap-held callables just transfer the pointer.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) noexcept {
+        D* src = std::launder(reinterpret_cast<D*>(from));
+        ::new (to) D(std::move(*src));
+        src->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) noexcept {
+        ::new (to) D*(*std::launder(reinterpret_cast<D**>(from)));
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<D**>(s)); },
+  };
+
+  // Like kHeapOps, but the block came from (and returns to) the pools.
+  template <typename D>
+  static constexpr Ops kPooledHeapOps = {
+      [](void* s, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) noexcept {
+        ::new (to) D*(*std::launder(reinterpret_cast<D**>(from)));
+      },
+      [](void* s) noexcept {
+        D* d = *std::launder(reinterpret_cast<D**>(s));
+        d->~D();
+        PoolFree<sizeof(D)>(d);
+      },
+  };
+
+  void MoveFrom(MoveFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace dcdo::common
+
+#endif  // DCDO_COMMON_MOVE_FUNCTION_H_

@@ -1,0 +1,111 @@
+// Thread-local free-list pooling for fixed-size hot-path allocations.
+//
+// Every remote call burns a handful of same-sized heap blocks: the call-state
+// control block, the shared argument buffer, and any closure too big for a
+// MoveFunction's inline buffer. Each lives for exactly one call, so the
+// general-purpose allocator's work (size-class lookup, thread cache, frees
+// that may hit the page heap) is pure overhead — the block that was freed by
+// the previous call is always the right size for the next one. These pools
+// turn that pattern into a push/pop on a thread-local vector.
+//
+// Sizes are rounded to 64-byte classes so closures that differ by a capture
+// still share a bucket. Blocks come from (and overflow back to) ::operator
+// new, which guarantees max_align_t alignment — callers needing more must
+// allocate directly. Buckets are bounded: a burst can grow one, but it drains
+// back to the global allocator past the cap, so an idle thread retains at
+// most kMaxFreeBlocks blocks per size class.
+#ifndef DCDO_COMMON_POOL_ALLOCATOR_H_
+#define DCDO_COMMON_POOL_ALLOCATOR_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace dcdo::common {
+namespace pool_internal {
+
+inline constexpr std::size_t kMaxFreeBlocks = 256;
+
+template <std::size_t kClassBytes>
+inline std::vector<void*>& Bucket() {
+  thread_local std::vector<void*> bucket;
+  return bucket;
+}
+
+constexpr std::size_t SizeClass(std::size_t bytes) {
+  return (bytes + 63) & ~std::size_t{63};
+}
+
+}  // namespace pool_internal
+
+// Pops a block big enough for `kBytes` (alignment: max_align_t) from the
+// calling thread's pool, falling back to ::operator new.
+template <std::size_t kBytes>
+void* PoolAllocate() {
+  constexpr std::size_t kClass = pool_internal::SizeClass(kBytes);
+  std::vector<void*>& bucket = pool_internal::Bucket<kClass>();
+  if (!bucket.empty()) {
+    void* block = bucket.back();
+    bucket.pop_back();
+    return block;
+  }
+  return ::operator new(kClass);
+}
+
+// Returns a PoolAllocate<kBytes>() block to the calling thread's pool (which
+// need not be the allocating thread — blocks migrate freely; every bucket
+// holds interchangeable ::operator new storage of its class size).
+template <std::size_t kBytes>
+void PoolFree(void* block) noexcept {
+  constexpr std::size_t kClass = pool_internal::SizeClass(kBytes);
+  std::vector<void*>& bucket = pool_internal::Bucket<kClass>();
+  if (bucket.size() < pool_internal::kMaxFreeBlocks) {
+    bucket.push_back(block);
+    return;
+  }
+  ::operator delete(block);
+}
+
+// Standard allocator over the pools, for allocate_shared: the one-shot
+// control-block-plus-object node a shared_ptr mints per call comes from the
+// pool instead of malloc. Over-aligned types bypass the pools (they are
+// plain ::operator new storage).
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    if constexpr (alignof(T) > alignof(std::max_align_t)) {
+      return static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{alignof(T)}));
+    } else {
+      if (n == 1) return static_cast<T*>(PoolAllocate<sizeof(T)>());
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if constexpr (alignof(T) > alignof(std::max_align_t)) {
+      ::operator delete(p, n * sizeof(T), std::align_val_t{alignof(T)});
+    } else {
+      if (n == 1) {
+        PoolFree<sizeof(T)>(p);
+        return;
+      }
+      ::operator delete(p);
+    }
+  }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace dcdo::common
+
+#endif  // DCDO_COMMON_POOL_ALLOCATOR_H_

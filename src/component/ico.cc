@@ -21,11 +21,12 @@ ImplementationComponentObject::ImplementationComponentObject(
   transport_.RegisterEndpoint(
       host_.node(), pid_, /*epoch=*/1,
       [this](const rpc::MethodInvocation& invocation, rpc::ReplyFn reply) {
-        if (invocation.method == kGetDescriptor) {
+        const std::string_view method = invocation.method_name();
+        if (method == kGetDescriptor) {
           reply(rpc::MethodResult::Ok(SerializeComponentMeta(component_)));
           return;
         }
-        if (invocation.method == kGetSize) {
+        if (method == kGetSize) {
           Writer writer;
           writer.WriteU64(component_.code_bytes);
           reply(rpc::MethodResult::Ok(std::move(writer).Take()));
@@ -33,7 +34,7 @@ ImplementationComponentObject::ImplementationComponentObject(
         }
         reply(rpc::MethodResult::Error(NotFoundError(
             "ICO " + component_.name + " has no method '" +
-            invocation.method + "'")));
+            std::string(method) + "'")));
       });
 }
 

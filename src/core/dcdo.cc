@@ -432,7 +432,7 @@ Result<std::pair<std::string, ObjectId>> ReadFunctionComponent(
 }
 }  // namespace
 
-Result<ByteBuffer> Dcdo::DispatchConfig(const std::string& method,
+Result<ByteBuffer> Dcdo::DispatchConfig(std::string_view method,
                                         const ByteBuffer& args) {
   if (method == "dcdo.getInterface") {
     // Annotated interface: clients see, per exported function, whether it is
@@ -543,32 +543,47 @@ Result<ByteBuffer> Dcdo::DispatchConfig(const std::string& method,
     }
     return ByteBuffer{};
   }
-  return NotFoundError("no configuration method '" + method + "'");
+  return NotFoundError("no configuration method '" + std::string(method) +
+                       "'");
 }
 
 void Dcdo::HandleInvocation(const rpc::MethodInvocation& invocation,
                             rpc::ReplyFn reply) {
-  if (invocation.method == "dcdo.incorporateComponent") {
-    Reader reader(invocation.args);
+  // By-id fast path: a resolvable FunctionId can only name a user-defined
+  // dynamic function (clients never ship configuration methods by id), so
+  // dispatch straight through the DFM — no string comparisons at all.
+  if (FunctionId id = invocation.ResolvedId(); id.valid()) {
+    Result<ByteBuffer> result = Call(id, invocation.args());
+    if (result.ok()) {
+      reply(rpc::MethodResult::Ok(std::move(result).value()));
+    } else {
+      reply(rpc::MethodResult::Error(result.status()));
+    }
+    return;
+  }
+  const std::string_view method = invocation.method_name();
+  if (method == "dcdo.incorporateComponent") {
+    Reader reader(invocation.args());
     Result<ObjectId> component = reader.ReadObjectId();
     if (!component.ok()) {
       reply(rpc::MethodResult::Error(component.status()));
       return;
     }
-    IncorporateComponent(*component, [reply = std::move(reply)](Status status) {
+    auto reply_sp = std::make_shared<rpc::ReplyFn>(std::move(reply));
+    IncorporateComponent(*component, [reply_sp](Status status) {
       if (status.ok()) {
-        reply(rpc::MethodResult::Ok());
+        (*reply_sp)(rpc::MethodResult::Ok());
       } else {
-        reply(rpc::MethodResult::Error(status));
+        (*reply_sp)(rpc::MethodResult::Error(status));
       }
     });
     return;
   }
-  if (invocation.method == "dcdo.evolveTo") {
+  if (method == "dcdo.evolveTo") {
     // The fully remote evolution path: the caller ships a serialized DFM
     // descriptor; parsing re-validates every invariant before anything is
     // applied. Args: descriptor bytes, enforce-marks bool.
-    Reader reader(invocation.args);
+    Reader reader(invocation.args());
     Result<ByteBuffer> wire = reader.ReadBytes();
     if (!wire.ok()) {
       reply(rpc::MethodResult::Error(wire.status()));
@@ -584,20 +599,20 @@ void Dcdo::HandleInvocation(const rpc::MethodInvocation& invocation,
       reply(rpc::MethodResult::Error(target.status()));
       return;
     }
+    auto reply_sp = std::make_shared<rpc::ReplyFn>(std::move(reply));
     EvolveTo(*target, RemovalPolicy::Error(),
-             [reply = std::move(reply)](Status status) {
+             [reply_sp](Status status) {
                if (status.ok()) {
-                 reply(rpc::MethodResult::Ok());
+                 (*reply_sp)(rpc::MethodResult::Ok());
                } else {
-                 reply(rpc::MethodResult::Error(status));
+                 (*reply_sp)(rpc::MethodResult::Error(status));
                }
              },
              *enforce);
     return;
   }
-  if (invocation.method.starts_with("dcdo.")) {
-    Result<ByteBuffer> result =
-        DispatchConfig(invocation.method, invocation.args);
+  if (method.starts_with("dcdo.")) {
+    Result<ByteBuffer> result = DispatchConfig(method, invocation.args());
     if (result.ok()) {
       reply(rpc::MethodResult::Ok(std::move(result).value()));
     } else {
@@ -605,8 +620,10 @@ void Dcdo::HandleInvocation(const rpc::MethodInvocation& invocation,
     }
     return;
   }
-  // User-defined dynamic function.
-  Result<ByteBuffer> result = Call(invocation.method, invocation.args);
+  // User-defined dynamic function, named by string: first contact with a
+  // not-yet-interned name (interning happens at incorporate time, so this
+  // resolves — and subsequent calls ship by id) or a genuinely unknown one.
+  Result<ByteBuffer> result = Call(std::string(method), invocation.args());
   if (result.ok()) {
     reply(rpc::MethodResult::Ok(std::move(result).value()));
   } else {

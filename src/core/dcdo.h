@@ -188,7 +188,7 @@ class Dcdo final : public CallContext {
   void RegisterEndpoint();
   void HandleInvocation(const rpc::MethodInvocation& invocation,
                         rpc::ReplyFn reply);
-  Result<ByteBuffer> DispatchConfig(const std::string& method,
+  Result<ByteBuffer> DispatchConfig(std::string_view method,
                                     const ByteBuffer& args);
   sim::Simulation& simulation() { return host_->simulation(); }
   const sim::CostModel& cost() const { return host_->cost_model(); }

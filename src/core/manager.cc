@@ -24,30 +24,32 @@ DcdoManager::DcdoManager(std::string type_name, sim::SimHost* home,
   transport_.RegisterEndpoint(
       home_.node(), pid_, /*epoch=*/1,
       [this](const rpc::MethodInvocation& invocation, rpc::ReplyFn reply) {
-        if (invocation.method == "mgr.getCurrentVersion") {
+        const std::string_view method = invocation.method_name();
+        if (method == "mgr.getCurrentVersion") {
           Writer writer;
           writer.WriteVersionId(current_version_);
           reply(rpc::MethodResult::Ok(std::move(writer).Take()));
           return;
         }
-        if (invocation.method == "mgr.updateInstance") {
-          Reader reader(invocation.args);
+        if (method == "mgr.updateInstance") {
+          Reader reader(invocation.args());
           Result<ObjectId> instance = reader.ReadObjectId();
           if (!instance.ok()) {
             reply(rpc::MethodResult::Error(instance.status()));
             return;
           }
-          UpdateInstance(*instance, [reply = std::move(reply)](Status status) {
+          auto reply_sp = std::make_shared<rpc::ReplyFn>(std::move(reply));
+          UpdateInstance(*instance, [reply_sp](Status status) {
             if (status.ok()) {
-              reply(rpc::MethodResult::Ok());
+              (*reply_sp)(rpc::MethodResult::Ok());
             } else {
-              reply(rpc::MethodResult::Error(status));
+              (*reply_sp)(rpc::MethodResult::Error(status));
             }
           });
           return;
         }
-        if (invocation.method == "mgr.getDescriptor") {
-          Reader reader(invocation.args);
+        if (method == "mgr.getDescriptor") {
+          Reader reader(invocation.args());
           Result<VersionId> version = reader.ReadVersionId();
           if (!version.ok()) {
             reply(rpc::MethodResult::Error(version.status()));
@@ -61,7 +63,7 @@ DcdoManager::DcdoManager(std::string type_name, sim::SimHost* home,
           reply(rpc::MethodResult::Ok(SerializeDescriptor(**descriptor)));
           return;
         }
-        if (invocation.method == "mgr.getTable") {
+        if (method == "mgr.getTable") {
           Writer writer;
           std::vector<TableEntry> table = Table();
           writer.WriteU64(table.size());
@@ -74,7 +76,7 @@ DcdoManager::DcdoManager(std::string type_name, sim::SimHost* home,
           return;
         }
         reply(rpc::MethodResult::Error(NotFoundError(
-            "manager has no method '" + invocation.method + "'")));
+            "manager has no method '" + std::string(method) + "'")));
       });
 }
 

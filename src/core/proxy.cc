@@ -73,7 +73,13 @@ Result<ByteBuffer> DcdoProxy::Call(const std::string& function,
                                   target_.ToString());
     }
   }
-  Result<ByteBuffer> result = client_.InvokeBlocking(target_, function, args);
+  // Ship by id (Offers() just proved the name is interned): fixed-width wire
+  // form, zero server-side string hashing. One shared arg buffer serves the
+  // first attempt and any retry below.
+  const FunctionId id = FunctionNameTable::Global().Find(function);
+  std::shared_ptr<const ByteBuffer> shared_args;
+  if (!args.empty()) shared_args = std::make_shared<const ByteBuffer>(args);
+  Result<ByteBuffer> result = client_.InvokeBlocking(target_, id, shared_args);
   if (result.ok()) return result;
   ErrorCode code = result.status().code();
   if (code != ErrorCode::kFunctionMissing &&
@@ -88,7 +94,7 @@ Result<ByteBuffer> DcdoProxy::Call(const std::string& function,
     return result;  // genuinely gone; the caller handles the typed error
   }
   ++retries_;
-  return client_.InvokeBlocking(target_, function, args);
+  return client_.InvokeBlocking(target_, id, std::move(shared_args));
 }
 
 }  // namespace dcdo

@@ -47,8 +47,7 @@ const std::string& DynamicFunctionMapper::CallGuard::function() const {
   return name_ != nullptr ? *name_ : EmptyName();
 }
 
-void DynamicFunctionMapper::CallGuard::Release() {
-  if (mapper_ == nullptr) return;
+void DynamicFunctionMapper::CallGuard::ReleaseSlow() {
   DynamicFunctionMapper* mapper = mapper_;
   mapper_ = nullptr;
   // Close the checker's ledger entry *before* dropping the active count: a

@@ -87,10 +87,17 @@ class DynamicFunctionMapper {
     FunctionId function_id() const { return function_id_; }
     bool valid() const { return mapper_ != nullptr; }
 
-    void Release();
+    // Returning a guard through Result<CallGuard> leaves a trail of
+    // moved-from shells whose destructors all land here; keep the empty
+    // check inline so only the one live guard pays the out-of-line release.
+    void Release() {
+      if (mapper_ != nullptr) ReleaseSlow();
+    }
 
    private:
     friend class DynamicFunctionMapper;
+    void ReleaseSlow();
+
     DynamicFunctionMapper* mapper_ = nullptr;
     const std::string* name_ = nullptr;  // interned; stable for process life
     FunctionId function_id_;

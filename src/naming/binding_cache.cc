@@ -4,7 +4,8 @@
 
 namespace dcdo {
 
-BindingCache::BindingCache(const BindingAgent* agent) : agent_(*agent) {
+BindingCache::BindingCache(const BindingAgent* agent, std::size_t capacity)
+    : agent_(*agent), capacity_(capacity) {
 #if defined(DCDO_CHECK_ENABLED)
   // Expose the cache contents to the binding-coherence invariant. The probe
   // holds a raw `this`; the destructor unregisters before the cache dies.
@@ -12,8 +13,9 @@ BindingCache::BindingCache(const BindingAgent* agent) : agent_(*agent) {
     check_handle_ = ctx->RegisterBindingCache([this]() {
       std::vector<check::CacheEntrySnapshot> entries;
       entries.reserve(cache_.size());
-      for (const auto& [id, address] : cache_) {
-        entries.push_back({id, address.node, address.pid, address.epoch});
+      for (const auto& [id, entry] : cache_) {
+        entries.push_back(
+            {id, entry.address.node, entry.address.pid, entry.address.epoch});
       }
       return entries;
     });
@@ -31,23 +33,53 @@ BindingCache::~BindingCache() {
 #endif
 }
 
+void BindingCache::Store(const ObjectId& id, const ObjectAddress& address) {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    it->second.address = address;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(id);
+  cache_.emplace(id, Entry{address, lru_.begin()});
+  if (capacity_ != 0 && cache_.size() > capacity_) {
+    const ObjectId& victim = lru_.back();
+    cache_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void BindingCache::Invalidate(const ObjectId& id) {
+  auto it = cache_.find(id);
+  if (it == cache_.end()) return;
+  lru_.erase(it->second.lru_it);
+  cache_.erase(it);
+}
+
+void BindingCache::InvalidateAll() {
+  cache_.clear();
+  lru_.clear();
+}
+
 Result<ObjectAddress> BindingCache::Resolve(const ObjectId& id) {
   auto it = cache_.find(id);
   if (it != cache_.end()) {
     ++hits_;
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.address;
   }
   ++misses_;
   DCDO_ASSIGN_OR_RETURN(ObjectAddress address, agent_.Lookup(id));
-  cache_[id] = address;
+  Store(id, address);
   return address;
 }
 
 Result<ObjectAddress> BindingCache::RefreshFromAgent(const ObjectId& id) {
   ++refreshes_;
-  cache_.erase(id);
+  Invalidate(id);  // a failed lookup must not leave the stale entry behind
   DCDO_ASSIGN_OR_RETURN(ObjectAddress address, agent_.Lookup(id));
-  cache_[id] = address;
+  Store(id, address);
   DCDO_CHECK_HOOK(
       OnBindingRefreshed(id, address.node, address.pid, address.epoch));
   return address;

@@ -8,9 +8,16 @@
 // (stale_retry_count), and only then does the client consult the binding
 // agent (rebind_query). This class holds the cache and implements the refresh
 // decision; the invoker (rpc layer) drives the retry loop.
+//
+// The cache is bounded: entries are kept in LRU order and the least recently
+// used binding is evicted once `capacity` is exceeded (capacity comes from
+// CostModel::binding_cache_capacity; 0 means unbounded). Eviction is safe by
+// construction — a dropped binding is re-fetched from the agent on the next
+// miss, exactly like first contact.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <optional>
 #include <unordered_map>
 
@@ -24,7 +31,11 @@ namespace dcdo {
 
 class BindingCache {
  public:
-  explicit BindingCache(const BindingAgent* agent);
+  // Generous default; real clients pass CostModel::binding_cache_capacity.
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit BindingCache(const BindingAgent* agent,
+                        std::size_t capacity = kDefaultCapacity);
   ~BindingCache();
   BindingCache(const BindingCache&) = delete;
   BindingCache& operator=(const BindingCache&) = delete;
@@ -37,22 +48,36 @@ class BindingCache {
   // binding. The caller charges CostModel::rebind_query in sim time.
   Result<ObjectAddress> RefreshFromAgent(const ObjectId& id);
 
-  void Invalidate(const ObjectId& id) { cache_.erase(id); }
-  void InvalidateAll() { cache_.clear(); }
+  void Invalidate(const ObjectId& id);
+  void InvalidateAll();
 
   bool Cached(const ObjectId& id) const { return cache_.contains(id); }
   std::size_t size() const { return cache_.size(); }
+  std::size_t capacity() const { return capacity_; }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t refreshes() const { return refreshes_; }
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
+  struct Entry {
+    ObjectAddress address;
+    std::list<ObjectId>::iterator lru_it;  // position in lru_ (front = MRU)
+  };
+
+  // Inserts or overwrites `id`, moves it to MRU, and evicts the LRU entry
+  // if the bound is now exceeded.
+  void Store(const ObjectId& id, const ObjectAddress& address);
+
   const BindingAgent& agent_;
-  std::unordered_map<ObjectId, ObjectAddress, ObjectIdHash> cache_;
+  std::size_t capacity_;
+  std::list<ObjectId> lru_;  // front = most recently used
+  std::unordered_map<ObjectId, Entry, ObjectIdHash> cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t refreshes_ = 0;
+  std::uint64_t evictions_ = 0;
   std::uint64_t check_handle_ = 0;  // binding-coherence probe registration
 };
 

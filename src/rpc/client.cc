@@ -4,13 +4,15 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/pool_allocator.h"
 
 namespace dcdo::rpc {
 
 struct RpcClient::CallState {
   ObjectId target;
-  std::string method;
-  ByteBuffer args;
+  std::string method;    // slow path; empty when shipping by id
+  FunctionId method_id;  // fast path; Invalid() when shipping by name
+  std::shared_ptr<const ByteBuffer> args;  // shared by all attempts; may be null
   Callback done;
   ObjectAddress address;
   int attempts_this_binding = 0;
@@ -18,19 +20,70 @@ struct RpcClient::CallState {
   bool finished = false;
   std::uint64_t call_id = 0;
   std::uint64_t timer_id = 0;
+
+  std::string_view method_name() const {
+    if (!method.empty()) return method;
+    if (method_id.valid()) return FunctionNameTable::Global().NameOf(method_id);
+    return {};
+  }
 };
+
+std::shared_ptr<RpcClient::CallState> RpcClient::AcquireCallState() {
+  // allocate_shared puts the control block and the CallState in one node,
+  // and the pool allocator recycles that node call-to-call — a finished
+  // call's block is always the right size for the next Acquire, so the
+  // steady state allocates nothing.
+  return std::allocate_shared<CallState>(common::PoolAllocator<CallState>{});
+}
 
 void RpcClient::Invoke(const ObjectId& target, std::string method,
                        ByteBuffer args, Callback done) {
-  ++calls_started_;
-  auto call = std::make_shared<CallState>();
+  std::shared_ptr<CallState> call = AcquireCallState();
   call->target = target;
-  call->method = std::move(method);
+  // Ship by id when the name is already interned somewhere in this process —
+  // except configuration methods, which the configurable-object layer
+  // dispatches by name before any method table sees them. The memoized last
+  // resolution short-circuits the common same-method-again case; negative
+  // results are never memoized (the name could be interned later).
+  FunctionId id = FunctionId::Invalid();
+  if (method == last_method_) {
+    id = last_method_id_;
+  } else if (!IsConfigMethodName(method)) {
+    id = FunctionNameTable::Global().Find(method);
+    if (id.valid()) {
+      last_method_ = method;
+      last_method_id_ = id;
+    }
+  }
+  if (id.valid()) {
+    call->method_id = id;
+  } else {
+    call->method = std::move(method);
+  }
+  if (!args.empty()) {
+    // Pooled for the same reason as the call state: one shared-args node per
+    // call, identical size every time.
+    call->args = std::allocate_shared<const ByteBuffer>(
+        common::PoolAllocator<ByteBuffer>{}, std::move(args));
+  }
+  call->done = std::move(done);
+  StartCall(call);
+}
+
+void RpcClient::Invoke(const ObjectId& target, FunctionId method,
+                       std::shared_ptr<const ByteBuffer> args, Callback done) {
+  std::shared_ptr<CallState> call = AcquireCallState();
+  call->target = target;
+  call->method_id = method;
   call->args = std::move(args);
   call->done = std::move(done);
-  call->call_id = next_call_id_++;
+  StartCall(call);
+}
 
-  Result<ObjectAddress> address = cache_.Resolve(target);
+void RpcClient::StartCall(const std::shared_ptr<CallState>& call) {
+  ++calls_started_;
+  call->call_id = next_call_id_++;
+  Result<ObjectAddress> address = cache_.Resolve(call->target);
   if (!address.ok()) {
     call->done(address.status());
     return;
@@ -45,12 +98,18 @@ void RpcClient::Attempt(const std::shared_ptr<CallState>& call) {
 
   MethodInvocation invocation;
   invocation.target = call->target;
-  invocation.method = call->method;
-  invocation.args = call->args;
+  if (call->method_id.valid()) {
+    invocation.SetMethodId(call->method_id);
+  } else {
+    invocation.method = call->method;
+  }
+  if (call->args) invocation.SetSharedArgs(call->args);
   invocation.expected_epoch = call->address.epoch;
   invocation.call_id = call->call_id;
 
-  // Arm the timeout before sending; the reply cancels it.
+  // Arm the timeout before sending; the reply cancels it. The timer lands in
+  // the simulator's timing wheel, so the overwhelmingly common arm-then-
+  // cancel round trip is two O(1) operations with immediate reclamation.
   call->timer_id = simulation.Schedule(
       transport_.cost_model().invocation_timeout,
       [this, call]() { OnTimeout(call); });
@@ -75,7 +134,7 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
   const sim::CostModel& cost = transport_.cost_model();
 
   if (call->attempts_this_binding <= cost.stale_retry_count) {
-    DCDO_LOG(kDebug) << "rpc: timeout on " << call->method << ", retry "
+    DCDO_LOG(kDebug) << "rpc: timeout on " << call->method_name() << ", retry "
                      << call->attempts_this_binding;
     Attempt(call);
     return;
@@ -106,9 +165,18 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
   }
 
   call->finished = true;
-  call->done(TimeoutError("invocation of " + call->method + " on " +
-                          call->target.ToString() +
-                          " timed out after rebind"));
+  call->done(TimeoutError("invocation of " +
+                          std::string(call->method_name()) + " on " +
+                          call->target.ToString() + " timed out after rebind"));
+}
+
+Result<ByteBuffer> RpcClient::DriveToCompletion(
+    std::optional<Result<ByteBuffer>>& out) {
+  transport_.simulation().RunWhile([&out]() { return !out.has_value(); });
+  if (!out.has_value()) {
+    return InternalError("simulation drained before the reply arrived");
+  }
+  return std::move(*out);
 }
 
 Result<ByteBuffer> RpcClient::InvokeBlocking(const ObjectId& target,
@@ -117,11 +185,16 @@ Result<ByteBuffer> RpcClient::InvokeBlocking(const ObjectId& target,
   std::optional<Result<ByteBuffer>> out;
   Invoke(target, std::move(method), std::move(args),
          [&out](Result<ByteBuffer> result) { out.emplace(std::move(result)); });
-  transport_.simulation().RunWhile([&out]() { return !out.has_value(); });
-  if (!out.has_value()) {
-    return InternalError("simulation drained before the reply arrived");
-  }
-  return std::move(*out);
+  return DriveToCompletion(out);
+}
+
+Result<ByteBuffer> RpcClient::InvokeBlocking(
+    const ObjectId& target, FunctionId method,
+    std::shared_ptr<const ByteBuffer> args) {
+  std::optional<Result<ByteBuffer>> out;
+  Invoke(target, method, std::move(args),
+         [&out](Result<ByteBuffer> result) { out.emplace(std::move(result)); });
+  return DriveToCompletion(out);
 }
 
 }  // namespace dcdo::rpc

@@ -13,16 +13,26 @@
 // With the default CostModel (10 s timeout, 2 retries, ~0.9 s rebind) a
 // client takes ~30 s to recover from a stale binding — inside the paper's
 // observed 25-35 s band.
+//
+// Fast-path mechanics (invisible to callers):
+//   * per-call state comes from a thread-local free list, not the heap;
+//   * arguments live in one shared buffer for the life of the call, so every
+//     retry attempt reuses it instead of copying;
+//   * a method name that is already interned (and is not a configuration
+//     method) ships as a fixed-width FunctionId — the server dispatches with
+//     zero string hashing. Never-interned names use the string wire form.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/bytes.h"
 #include "common/object_id.h"
 #include "common/status.h"
+#include "dfm/function_id.h"
 #include "naming/binding_cache.h"
 #include "rpc/transport.h"
 
@@ -34,16 +44,27 @@ class RpcClient {
 
   RpcClient(RpcTransport* transport, const BindingAgent* agent,
             sim::NodeId node)
-      : transport_(*transport), cache_(agent), node_(node) {}
+      : transport_(*transport),
+        cache_(agent, transport->cost_model().binding_cache_capacity),
+        node_(node) {}
 
   // Asynchronous invocation; `done` runs exactly once, in sim time.
+  // Ships by-id when `method` is already interned and not a config method.
   void Invoke(const ObjectId& target, std::string method, ByteBuffer args,
               Callback done);
+
+  // By-id invocation for callers that hold a pre-resolved FunctionId (the
+  // proxy layer). `args` may be null for an empty argument list; the same
+  // buffer is shared across retry attempts.
+  void Invoke(const ObjectId& target, FunctionId method,
+              std::shared_ptr<const ByteBuffer> args, Callback done);
 
   // Convenience for tests/examples: drives the simulation until the reply
   // (or terminal failure) arrives and returns it.
   Result<ByteBuffer> InvokeBlocking(const ObjectId& target, std::string method,
                                     ByteBuffer args = {});
+  Result<ByteBuffer> InvokeBlocking(const ObjectId& target, FunctionId method,
+                                    std::shared_ptr<const ByteBuffer> args = {});
 
   sim::NodeId node() const { return node_; }
   BindingCache& cache() { return cache_; }
@@ -54,12 +75,23 @@ class RpcClient {
 
  private:
   struct CallState;
+  // One pooled allocation covering the CallState and its shared_ptr control
+  // block, recycled call-to-call through common::PoolAllocator.
+  static std::shared_ptr<CallState> AcquireCallState();
+  void StartCall(const std::shared_ptr<CallState>& call);
   void Attempt(const std::shared_ptr<CallState>& call);
   void OnTimeout(const std::shared_ptr<CallState>& call);
+  Result<ByteBuffer> DriveToCompletion(std::optional<Result<ByteBuffer>>& out);
 
   RpcTransport& transport_;
   BindingCache cache_;
   sim::NodeId node_;
+  // One-entry memo of the last name->id resolution. The intern table is
+  // append-only and a name's id is immutable, so a positive memo can never
+  // go stale; steady-state callers re-invoking the same method skip the
+  // global table's shared lock and hash probe entirely.
+  std::string last_method_;
+  FunctionId last_method_id_;
   std::uint64_t next_call_id_ = 1;
   std::uint64_t timeouts_ = 0;
   std::uint64_t rebinds_ = 0;

@@ -5,6 +5,25 @@
 
 namespace dcdo::rpc {
 
+FunctionId MethodInvocation::ResolvedId() const {
+  if (!method_id.valid()) return FunctionId::Invalid();
+  // Trust the id only if the local intern table already covers the sender's
+  // epoch; a receiver that has never seen the name (or a forged/corrupt id)
+  // falls back to the string form instead of misresolving.
+  if (name_epoch == 0 || method_id.value >= name_epoch ||
+      name_epoch > FunctionNameTable::Global().size()) {
+    return FunctionId::Invalid();
+  }
+  return method_id;
+}
+
+std::string_view MethodInvocation::method_name() const {
+  if (!method.empty()) return method;
+  FunctionId id = ResolvedId();
+  if (id.valid()) return FunctionNameTable::Global().NameOf(id);
+  return {};
+}
+
 namespace {
 std::vector<ByteBuffer>& Pool() {
   thread_local std::vector<ByteBuffer> pool;

@@ -1,9 +1,37 @@
 #include "rpc/transport.h"
 
+#include <memory>
+
 #include "check/check_context.h"
 #include "common/logging.h"
+#include "common/pool_allocator.h"
 
 namespace dcdo::rpc {
+namespace {
+
+// One call in flight: the invocation and the caller's continuation ride the
+// whole round trip together in a single pooled block. Every closure along
+// the way (delivery, the handler's reply functor, the reply delivery)
+// captures only the owning pointer, so the large payloads are moved into
+// place exactly once and the closures stay within their inline buffers.
+struct InFlight {
+  RpcTransport* transport;
+  sim::NodeId from_node;
+  sim::NodeId to_node;
+  sim::ProcessId to_pid;
+  MethodInvocation invocation;
+  ReplyFn on_reply;
+};
+
+struct InFlightDelete {
+  void operator()(InFlight* call) const noexcept {
+    call->~InFlight();
+    common::PoolFree<sizeof(InFlight)>(call);
+  }
+};
+using InFlightPtr = std::unique_ptr<InFlight, InFlightDelete>;
+
+}  // namespace
 
 void RpcTransport::RegisterEndpoint(sim::NodeId node, sim::ProcessId pid,
                                     std::uint64_t epoch, Handler handler) {
@@ -25,44 +53,52 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
   // Sender-side marshaling happens before the message hits the wire.
   simulation.AdvanceInline(
       cost.rpc_marshal_per_call +
-      sim::SimDuration::Seconds(static_cast<double>(invocation.args.size()) /
+      sim::SimDuration::Seconds(static_cast<double>(invocation.args().size()) /
                                 cost.marshal_bytes_per_sec));
 
   std::size_t wire_bytes = invocation.WireSize();
+  InFlightPtr call(::new (common::PoolAllocate<sizeof(InFlight)>()) InFlight{
+      this, from_node, to_node, to_pid, std::move(invocation),
+      std::move(on_reply)});
   network_.Send(
-      from_node, to_node, wire_bytes,
-      [this, from_node, to_node, to_pid, invocation = std::move(invocation),
-       on_reply = std::move(on_reply)]() mutable {
-        auto it = endpoints_.find({to_node, to_pid});
+      from_node, to_node, wire_bytes, [this, call = std::move(call)]() mutable {
+        auto it = endpoints_.find({call->to_node, call->to_pid});
         if (it == endpoints_.end()) {
           // Dead process: the invocation vanishes; caller's timeout fires.
-          DCDO_LOG(kDebug) << "rpc: no endpoint at node " << to_node << "/pid "
-                           << to_pid << " for " << invocation.method;
+          DCDO_LOG(kDebug) << "rpc: no endpoint at node " << call->to_node
+                           << "/pid " << call->to_pid << " for "
+                           << call->invocation.method_name();
           return;
         }
-        if (invocation.expected_epoch != 0 &&
-            it->second.epoch != invocation.expected_epoch) {
+        if (call->invocation.expected_epoch != 0 &&
+            it->second.epoch != call->invocation.expected_epoch) {
           // Same (node, pid) reused by a newer activation: the old-epoch
           // invocation is silently discarded, exactly like a message to a
           // dead address.
           ++epoch_rejections_;
-          DCDO_LOG(kDebug) << "rpc: epoch mismatch at node " << to_node
-                           << " for " << invocation.method;
+          DCDO_LOG(kDebug) << "rpc: epoch mismatch at node " << call->to_node
+                           << " for " << call->invocation.method_name();
           return;
         }
         ++invocations_delivered_;
-        sim::Simulation& simulation = network_.simulation();
-        simulation.AdvanceInline(cost_model().rpc_dispatch);
-        // Wrap the reply so it travels back over the network to the caller.
-        ReplyFn wire_reply = [this, from_node, to_node,
-                              on_reply = std::move(on_reply)](
-                                 MethodResult result) mutable {
+        network_.simulation().AdvanceInline(cost_model().rpc_dispatch);
+        // Hand the handler a reference into the block and move the block
+        // itself into the reply functor; the reference stays valid for as
+        // long as the handler keeps the functor alive (the documented
+        // contract), and the reply travels back over the network to the
+        // caller when the handler fires it.
+        const MethodInvocation& invocation = call->invocation;
+        ReplyFn wire_reply = [call =
+                                  std::move(call)](MethodResult result) mutable {
+          RpcTransport* transport = call->transport;
+          const sim::NodeId to_node = call->to_node;
+          const sim::NodeId from_node = call->from_node;
           std::size_t reply_bytes = result.WireSize();
-          network_.Send(to_node, from_node, reply_bytes,
-                        [on_reply = std::move(on_reply),
-                         result = std::move(result)]() mutable {
-                          on_reply(std::move(result));
-                        });
+          transport->network_.Send(
+              to_node, from_node, reply_bytes,
+              [call = std::move(call), result = std::move(result)]() mutable {
+                call->on_reply(std::move(result));
+              });
         };
         it->second.handler(invocation, std::move(wire_reply));
       });

@@ -11,9 +11,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <unordered_map>
 #include <utility>
 
+#include "common/move_function.h"
 #include "common/status.h"
 #include "rpc/message.h"
 #include "sim/host.h"
@@ -21,9 +22,15 @@
 
 namespace dcdo::rpc {
 
-// Called by a handler to send its reply (may be deferred).
-using ReplyFn = std::function<void(MethodResult)>;
-// Installed per activation; services one invocation.
+// Called by a handler to send its reply (may be deferred). Move-only: reply
+// closures own the caller's continuation, which is never copied. The buffer
+// fits the client's completion closure (this + call state) inline.
+using ReplyFn = common::MoveFunction<void(MethodResult), 32>;
+// Installed per activation; services one invocation. The MethodInvocation
+// reference stays valid for as long as the handler keeps the ReplyFn alive
+// (the functor owns the in-flight call record backing both) — a handler
+// that parks the reply for a deferred answer may keep reading the
+// invocation, but must not touch it after destroying the functor.
 using Handler = std::function<void(const MethodInvocation&, ReplyFn)>;
 
 class RpcTransport {
@@ -70,9 +77,19 @@ class RpcTransport {
     std::uint64_t epoch;
     Handler handler;
   };
+  struct EndpointKeyHash {
+    std::size_t operator()(
+        const std::pair<sim::NodeId, sim::ProcessId>& key) const noexcept {
+      std::uint64_t mixed = (static_cast<std::uint64_t>(key.first) << 32) ^
+                            static_cast<std::uint64_t>(key.second);
+      return std::hash<std::uint64_t>{}(mixed);
+    }
+  };
 
   sim::SimNetwork& network_;
-  std::map<std::pair<sim::NodeId, sim::ProcessId>, Endpoint> endpoints_;
+  std::unordered_map<std::pair<sim::NodeId, sim::ProcessId>, Endpoint,
+                     EndpointKeyHash>
+      endpoints_;
   std::uint64_t invocations_delivered_ = 0;
   std::uint64_t epoch_rejections_ = 0;
 };

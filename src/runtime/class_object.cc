@@ -81,13 +81,19 @@ void ClassObject::RegisterEndpoint(const ObjectId& instance_id) {
           return;
         }
         const MethodTable& methods = executables_[executable_index].methods;
-        Result<const MethodFn*> method = methods.Find(invocation.method);
+        // By-id wire form: index the FunctionId-keyed table directly, no
+        // string hashing; by-name covers first contact and never-interned
+        // methods.
+        FunctionId id = invocation.ResolvedId();
+        Result<const MethodFn*> method =
+            id.valid() ? methods.Find(id)
+                       : methods.Find(invocation.method_name());
         if (!method.ok()) {
           reply(rpc::MethodResult::Error(method.status()));
           return;
         }
         Result<ByteBuffer> result =
-            (**method)(it->second.state, invocation.args);
+            (**method)(it->second.state, invocation.args());
         if (result.ok()) {
           reply(rpc::MethodResult::Ok(std::move(result).value()));
         } else {

@@ -34,9 +34,9 @@ void SimNetwork::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
 }
 
 bool SimNetwork::Reachable(NodeId from, NodeId to) const {
+  if (from == to) return NodeUp(from);  // no link to partition
   if (!NodeUp(from) || !NodeUp(to)) return false;
-  if (from != to && partitions_.contains(Normalize(from, to))) return false;
-  return true;
+  return !partitions_.contains(Normalize(from, to));
 }
 
 void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
@@ -49,10 +49,30 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
   ++messages_sent_;
   ++messages_in_flight_;
   bytes_sent_ += bytes;
+  if (cost_.send_batch_window > SimDuration::Zero()) {
+    const auto key = std::make_pair(from, to);
+    auto [it, opened] = pending_batches_.try_emplace(key);
+    PendingBatch& batch = it->second;
+    if (opened) {
+      batch.id = next_batch_id_++;
+      simulation_.Schedule(cost_.send_batch_window,
+                           [this, from, to, batch_id = batch.id]() {
+                             FlushBatch(from, to, batch_id);
+                           });
+    } else {
+      ++messages_coalesced_;
+    }
+    batch.bytes += bytes;
+    batch.deliveries.push_back(std::move(on_delivery));
+    if (batch.bytes >= cost_.send_batch_max_bytes) {
+      FlushBatch(from, to, batch.id);  // the armed window flush will no-op
+    }
+    return;
+  }
   if (from == to) {
     // Loopback: no NIC serialization, negligible latency.
     simulation_.Schedule(SimDuration::Micros(5),
-                         [this, fn = std::move(on_delivery)]() {
+                         [this, fn = std::move(on_delivery)]() mutable {
                            --messages_in_flight_;
                            ++messages_delivered_;
                            fn();
@@ -71,7 +91,7 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
   // Re-check reachability at delivery time: a partition that forms while the
   // message is in flight loses the message.
   simulation_.ScheduleAt(
-      delivered, [this, from, to, fn = std::move(on_delivery)]() {
+      delivered, [this, from, to, fn = std::move(on_delivery)]() mutable {
         --messages_in_flight_;
         if (!Reachable(from, to)) {
           ++messages_dropped_;
@@ -81,6 +101,44 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
         ++messages_delivered_;
         fn();
       });
+}
+
+void SimNetwork::FlushBatch(NodeId from, NodeId to, std::uint64_t batch_id) {
+  auto it = pending_batches_.find(std::make_pair(from, to));
+  // A byte-cap flush may have shipped this batch already (and a successor
+  // may have opened since); the stale window event must not touch it.
+  if (it == pending_batches_.end() || it->second.id != batch_id) return;
+  PendingBatch batch = std::move(it->second);
+  pending_batches_.erase(it);
+  DispatchBatch(from, to, batch.bytes, std::move(batch.deliveries));
+}
+
+void SimNetwork::DispatchBatch(NodeId from, NodeId to, std::size_t bytes,
+                               std::vector<Delivery> deliveries) {
+  ++batches_sent_;
+  auto deliver = [this, from, to,
+                  fns = std::move(deliveries)]() mutable {
+    messages_in_flight_ -= fns.size();
+    if (!Reachable(from, to)) {
+      messages_dropped_ += fns.size();
+      messages_dropped_in_flight_ += fns.size();
+      return;
+    }
+    messages_delivered_ += fns.size();
+    for (Delivery& fn : fns) fn();
+  };
+  if (from == to) {
+    simulation_.Schedule(SimDuration::Micros(5), std::move(deliver));
+    return;
+  }
+  SimTime now = simulation_.Now();
+  SimTime& busy_until = nic_busy_until_[from];
+  SimTime start = std::max(now, busy_until);
+  SimDuration wire = SimDuration::Seconds(
+      static_cast<double>(bytes) / cost_.wire_bandwidth_bytes_per_sec);
+  busy_until = start + wire;
+  simulation_.ScheduleAt(busy_until + cost_.network_latency,
+                         std::move(deliver));
 }
 
 void SimNetwork::BulkTransfer(NodeId from, NodeId to, std::size_t bytes,
@@ -96,13 +154,21 @@ void SimNetwork::TimedTransfer(NodeId from, NodeId to, std::size_t bytes,
     ++messages_dropped_;
     return;
   }
+  // Same accounting as Send(): bulk transfers are messages too, and the
+  // message-conservation invariant (sent == delivered + dropped-in-flight +
+  // in-flight) must hold across both traffic classes.
+  ++messages_sent_;
+  ++messages_in_flight_;
   bytes_sent_ += bytes;
   simulation_.Schedule(duration,
-                       [this, from, to, fn = std::move(on_done)]() {
+                       [this, from, to, fn = std::move(on_done)]() mutable {
+                         --messages_in_flight_;
                          if (!Reachable(from, to)) {
                            ++messages_dropped_;
+                           ++messages_dropped_in_flight_;
                            return;
                          }
+                         ++messages_delivered_;
                          fn();
                        });
 }

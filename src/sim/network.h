@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "sim/cost_model.h"
@@ -27,7 +29,12 @@ using NodeId = std::uint32_t;
 
 class SimNetwork {
  public:
-  using Delivery = std::function<void()>;
+  // Move-only. Kept small: delivery closures that carry marshaled
+  // invocations heap-allocate once and relocate by pointer; what matters is
+  // that a Delivery plus the per-event wrapper capture (this + route) fits
+  // the Simulation::Callback buffer, so forwarding a delivery through the
+  // event loop allocates nothing.
+  using Delivery = common::MoveFunction<void(), 32>;
 
   SimNetwork(Simulation* simulation, CostModel cost_model)
       : simulation_(*simulation), cost_(cost_model) {}
@@ -49,6 +56,16 @@ class SimNetwork {
   // Delivers a control message of `bytes` from -> to, then runs `on_delivery`
   // at the destination's sim time. Dropped (never delivered) if unreachable.
   // Messages on the same sender NIC serialize behind each other.
+  //
+  // When CostModel::send_batch_window is non-zero, back-to-back sends to the
+  // same destination are coalesced: the first message opens a batch and arms
+  // a flush at now + window; follow-ups append until the window fires or the
+  // batch reaches send_batch_max_bytes. The whole batch then crosses the NIC
+  // as one transfer (one serialization + one latency), and reachability is
+  // re-checked once at delivery — a partition that forms in flight drops
+  // every message in the batch. Per-message counters are maintained either
+  // way. With a zero window (the default) each message takes the exact
+  // legacy path.
   void Send(NodeId from, NodeId to, std::size_t bytes, Delivery on_delivery);
 
   // Streams `bytes` from -> to through the bulk (file-object) path; `on_done`
@@ -74,14 +91,33 @@ class SimNetwork {
   }
   std::uint64_t messages_in_flight() const { return messages_in_flight_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  // Batching telemetry: NIC transfers that carried a batch, and messages
+  // that rode along in one (i.e. avoided their own transfer).
+  std::uint64_t batches_sent() const { return batches_sent_; }
+  std::uint64_t messages_coalesced() const { return messages_coalesced_; }
 
  private:
+  struct PendingBatch {
+    std::uint64_t id = 0;  // guards the armed flush against early flushes
+    std::size_t bytes = 0;
+    std::vector<Delivery> deliveries;
+  };
+
+  // Ships `deliveries` (already counted as sent/in-flight) as one transfer.
+  void DispatchBatch(NodeId from, NodeId to, std::size_t bytes,
+                     std::vector<Delivery> deliveries);
+  void FlushBatch(NodeId from, NodeId to, std::uint64_t batch_id);
+
   Simulation& simulation_;
   CostModel cost_;
   std::set<NodeId> nodes_;
   std::set<NodeId> down_;
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
   std::unordered_map<NodeId, SimTime> nic_busy_until_;
+  std::map<std::pair<NodeId, NodeId>, PendingBatch> pending_batches_;
+  std::uint64_t next_batch_id_ = 1;
+  std::uint64_t batches_sent_ = 0;
+  std::uint64_t messages_coalesced_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;           // refused at send time

@@ -1,0 +1,140 @@
+// LRU behavior of the bounded BindingCache: eviction order, touch-on-hit,
+// counter accuracy, and list/map consistency across invalidation.
+#include "naming/binding_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "naming/binding_agent.h"
+
+namespace dcdo {
+namespace {
+
+class BindingCacheLruTest : public ::testing::Test {
+ protected:
+  // Binds `count` fresh objects at distinct addresses and returns their ids.
+  std::vector<ObjectId> BindFresh(std::size_t count) {
+    std::vector<ObjectId> ids;
+    for (std::size_t i = 0; i < count; ++i) {
+      ObjectId id = ObjectId::Next(domains::kInstance);
+      agent_.Bind(id, ObjectAddress{static_cast<sim::NodeId>(i + 1), 1, 1});
+      ids.push_back(id);
+    }
+    return ids;
+  }
+
+  BindingAgent agent_;
+};
+
+TEST_F(BindingCacheLruTest, ResolvePopulatesAndHits) {
+  BindingCache cache(&agent_, /*capacity=*/4);
+  std::vector<ObjectId> ids = BindFresh(1);
+  ASSERT_TRUE(cache.Resolve(ids[0]).ok());  // miss: agent lookup + store
+  ASSERT_TRUE(cache.Resolve(ids[0]).ok());  // hit
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(agent_.lookups_served(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(BindingCacheLruTest, EvictsLeastRecentlyUsed) {
+  BindingCache cache(&agent_, /*capacity=*/3);
+  std::vector<ObjectId> ids = BindFresh(4);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(cache.Resolve(ids[i]).ok());
+  ASSERT_TRUE(cache.Resolve(ids[3]).ok());  // evicts ids[0], the coldest
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Cached(ids[0]));
+  EXPECT_TRUE(cache.Cached(ids[1]));
+  EXPECT_TRUE(cache.Cached(ids[3]));
+}
+
+TEST_F(BindingCacheLruTest, HitRefreshesRecency) {
+  BindingCache cache(&agent_, /*capacity=*/3);
+  std::vector<ObjectId> ids = BindFresh(4);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(cache.Resolve(ids[i]).ok());
+  ASSERT_TRUE(cache.Resolve(ids[0]).ok());  // touch: ids[0] is MRU now
+  ASSERT_TRUE(cache.Resolve(ids[3]).ok());  // evicts ids[1] instead
+  EXPECT_TRUE(cache.Cached(ids[0]));
+  EXPECT_FALSE(cache.Cached(ids[1]));
+  EXPECT_TRUE(cache.Cached(ids[2]));
+}
+
+TEST_F(BindingCacheLruTest, CapacityZeroIsUnbounded) {
+  BindingCache cache(&agent_, /*capacity=*/0);
+  std::vector<ObjectId> ids = BindFresh(64);
+  for (const ObjectId& id : ids) ASSERT_TRUE(cache.Resolve(id).ok());
+  EXPECT_EQ(cache.size(), 64u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST_F(BindingCacheLruTest, EvictedEntryIsRefetchedFromAgent) {
+  BindingCache cache(&agent_, /*capacity=*/1);
+  std::vector<ObjectId> ids = BindFresh(2);
+  ASSERT_TRUE(cache.Resolve(ids[0]).ok());
+  ASSERT_TRUE(cache.Resolve(ids[1]).ok());  // evicts ids[0]
+  auto again = cache.Resolve(ids[0]);       // miss: authoritative lookup
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->node, 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(agent_.lookups_served(), 3u);
+}
+
+TEST_F(BindingCacheLruTest, RefreshReplacesWithoutGrowth) {
+  BindingCache cache(&agent_, /*capacity=*/2);
+  std::vector<ObjectId> ids = BindFresh(2);
+  ASSERT_TRUE(cache.Resolve(ids[0]).ok());
+  ASSERT_TRUE(cache.Resolve(ids[1]).ok());
+  agent_.Bind(ids[0], ObjectAddress{9, 9, 2});  // object moved
+  auto fresh = cache.RefreshFromAgent(ids[0]);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->node, 9u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.refreshes(), 1u);
+  EXPECT_EQ(cache.Resolve(ids[0])->node, 9u);
+}
+
+TEST_F(BindingCacheLruTest, FailedRefreshLeavesNoStaleEntry) {
+  BindingCache cache(&agent_, /*capacity=*/4);
+  std::vector<ObjectId> ids = BindFresh(1);
+  ASSERT_TRUE(cache.Resolve(ids[0]).ok());
+  agent_.Unbind(ids[0]);
+  EXPECT_FALSE(cache.RefreshFromAgent(ids[0]).ok());
+  EXPECT_FALSE(cache.Cached(ids[0]));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(BindingCacheLruTest, InvalidateKeepsLruConsistent) {
+  BindingCache cache(&agent_, /*capacity=*/3);
+  std::vector<ObjectId> ids = BindFresh(5);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(cache.Resolve(ids[i]).ok());
+  // Remove the middle entry; the LRU list must shed it too, so subsequent
+  // fills evict the true coldest survivor (ids[0]) and nothing crashes.
+  cache.Invalidate(ids[1]);
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_TRUE(cache.Resolve(ids[3]).ok());  // size 3, at capacity
+  ASSERT_TRUE(cache.Resolve(ids[4]).ok());  // evicts ids[0]
+  EXPECT_FALSE(cache.Cached(ids[0]));
+  EXPECT_TRUE(cache.Cached(ids[2]));
+  EXPECT_TRUE(cache.Cached(ids[3]));
+  EXPECT_TRUE(cache.Cached(ids[4]));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST_F(BindingCacheLruTest, InvalidateAllEmptiesBothStructures) {
+  BindingCache cache(&agent_, /*capacity=*/4);
+  std::vector<ObjectId> ids = BindFresh(3);
+  for (const ObjectId& id : ids) ASSERT_TRUE(cache.Resolve(id).ok());
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);
+  // Refilling past capacity still evicts correctly (list was really cleared).
+  std::vector<ObjectId> more = BindFresh(5);
+  for (const ObjectId& id : more) ASSERT_TRUE(cache.Resolve(id).ok());
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -1,0 +1,232 @@
+// Rebind state-machine coverage: retry -> agent refresh -> success/failure,
+// the late-reply-after-rebind race, a partition forming mid-flight, and the
+// by-id/by-name wire forms the fast path introduced.
+#include <gtest/gtest.h>
+
+#include "rpc/client.h"
+
+namespace dcdo::rpc {
+namespace {
+
+class ClientRebindTest : public ::testing::Test {
+ protected:
+  ClientRebindTest()
+      : network_(&simulation_, sim::CostModel{}),
+        transport_(&network_),
+        client_(&transport_, &agent_, /*node=*/1) {
+    network_.AddNode(1);
+    network_.AddNode(2);
+    network_.AddNode(3);
+    target_ = ObjectId::Next(domains::kInstance);
+  }
+
+  // Registers an echo server for `target_` at (node, pid, epoch), binds it.
+  void ServeEchoAt(sim::NodeId node, sim::ProcessId pid, std::uint64_t epoch) {
+    transport_.RegisterEndpoint(
+        node, pid, epoch, [](const MethodInvocation& inv, ReplyFn reply) {
+          reply(MethodResult::Ok(
+              ByteBuffer::FromString(std::string(inv.method_name()))));
+        });
+    agent_.Bind(target_, ObjectAddress{node, pid, epoch});
+  }
+
+  sim::Simulation simulation_;
+  sim::SimNetwork network_;
+  RpcTransport transport_;
+  BindingAgent agent_;
+  RpcClient client_;
+  ObjectId target_;
+};
+
+// An interned (non-config) method ships by id: no string on the wire, fixed
+// 8-byte method field, and the server resolves it back to the same name.
+TEST_F(ClientRebindTest, InternedMethodShipsById) {
+  FunctionNameTable::Global().Intern("rebindFastpathFn");
+  bool saw_id_form = false;
+  std::size_t wire_size = 0;
+  transport_.RegisterEndpoint(
+      2, 10, 1, [&](const MethodInvocation& inv, ReplyFn reply) {
+        saw_id_form = inv.method.empty() && inv.ResolvedId().valid();
+        wire_size = inv.WireSize();
+        reply(MethodResult::Ok(
+            ByteBuffer::FromString(std::string(inv.method_name()))));
+      });
+  agent_.Bind(target_, ObjectAddress{2, 10, 1});
+
+  auto result = client_.InvokeBlocking(target_, "rebindFastpathFn");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "rebindFastpathFn");
+  EXPECT_TRUE(saw_id_form);
+  EXPECT_EQ(wire_size, kHeaderBytes + kMethodIdWireBytes);
+}
+
+// A name no one ever interned must use the string wire form.
+TEST_F(ClientRebindTest, UnknownNameStaysOnStringPath) {
+  bool saw_string_form = false;
+  transport_.RegisterEndpoint(
+      2, 10, 1, [&](const MethodInvocation& inv, ReplyFn reply) {
+        saw_string_form = !inv.method.empty() && !inv.method_id.valid();
+        reply(MethodResult::Ok());
+      });
+  agent_.Bind(target_, ObjectAddress{2, 10, 1});
+  ASSERT_TRUE(
+      client_.InvokeBlocking(target_, "neverInternedAnywhere987").ok());
+  EXPECT_TRUE(saw_string_form);
+}
+
+// Config methods are gated off the id path even when interned, so the
+// configurable-object layer keeps seeing them by name.
+TEST_F(ClientRebindTest, ConfigMethodsNeverShipById) {
+  FunctionNameTable::Global().Intern("dcdo.getVersion");
+  bool saw_string_form = false;
+  transport_.RegisterEndpoint(
+      2, 10, 1, [&](const MethodInvocation& inv, ReplyFn reply) {
+        saw_string_form = !inv.method.empty() && !inv.method_id.valid();
+        reply(MethodResult::Ok());
+      });
+  agent_.Bind(target_, ObjectAddress{2, 10, 1});
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "dcdo.getVersion").ok());
+  EXPECT_TRUE(saw_string_form);
+}
+
+// A receiver whose intern table has not reached the sender's epoch must fall
+// back to the name rather than misresolve the id.
+TEST_F(ClientRebindTest, ForgedEpochFallsBackToName) {
+  MethodInvocation invocation;
+  invocation.method = "someMethod";
+  invocation.method_id = FunctionId{7};
+  invocation.name_epoch = 0xFFFFFF00u;  // far beyond any real table size
+  EXPECT_FALSE(invocation.ResolvedId().valid());
+  EXPECT_EQ(invocation.method_name(), "someMethod");
+}
+
+// Full recovery sequence with exact counters: 1 initial timeout + 2 retries
+// on the stale binding, one agent refresh, then success on the fresh one.
+TEST_F(ClientRebindTest, RetryThenRebindCountersAreExact) {
+  ServeEchoAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warmup").ok());
+  transport_.UnregisterEndpoint(2, 10);
+  ServeEchoAt(3, 20, 2);  // new activation; client cache still points at 2/10
+
+  auto result = client_.InvokeBlocking(target_, "afterEvolve");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(client_.timeouts(), 3u);
+  EXPECT_EQ(client_.rebinds(), 1u);
+  EXPECT_EQ(client_.calls_started(), 2u);
+  EXPECT_EQ(client_.cache().refreshes(), 1u);
+  // The refreshed binding is cached: the next call is fast and quiet.
+  sim::SimTime start = simulation_.Now();
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "fastAgain").ok());
+  EXPECT_LT((simulation_.Now() - start).ToSeconds(), 0.1);
+  EXPECT_EQ(client_.timeouts(), 3u);
+}
+
+// The late-reply race: the old activation answers *after* the client has
+// already rebound and completed the call elsewhere. The late replies must be
+// discarded; the callback runs exactly once, with the rebind-path result.
+TEST_F(ClientRebindTest, LateReplyAfterRebindRunsCallbackOnce) {
+  ServeEchoAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warmup").ok());
+
+  // Replace the old activation with one that parks every invocation and
+  // replies 35 s later — after the ~31 s retry+rebind sequence completes.
+  transport_.UnregisterEndpoint(2, 10);
+  int old_endpoint_hits = 0;
+  transport_.RegisterEndpoint(
+      2, 10, 1, [&](const MethodInvocation&, ReplyFn reply) {
+        ++old_endpoint_hits;
+        simulation_.Schedule(sim::SimDuration::Seconds(35.0),
+                             [reply = std::move(reply)]() mutable {
+                               reply(MethodResult::Ok(
+                                   ByteBuffer::FromString("tooLate")));
+                             });
+      });
+  // The agent already knows the new activation; the client cache does not.
+  transport_.RegisterEndpoint(
+      3, 20, 2, [](const MethodInvocation& inv, ReplyFn reply) {
+        reply(MethodResult::Ok(
+            ByteBuffer::FromString(std::string(inv.method_name()))));
+      });
+  agent_.Bind(target_, ObjectAddress{3, 20, 2});
+
+  int callback_runs = 0;
+  std::string payload;
+  client_.Invoke(target_, "whoAnswers", {}, [&](Result<ByteBuffer> result) {
+    ++callback_runs;
+    ASSERT_TRUE(result.ok());
+    payload = result->ToString();
+  });
+  simulation_.Run();  // drains the late replies too
+
+  EXPECT_EQ(callback_runs, 1);
+  EXPECT_EQ(payload, "whoAnswers");   // the fresh activation's echo won
+  EXPECT_EQ(old_endpoint_hits, 3);    // initial attempt + 2 retries all parked
+  EXPECT_EQ(client_.rebinds(), 1u);
+}
+
+// A partition that forms while the invocation is in flight: the message is
+// dropped at delivery time (messages_dropped_in_flight), the client times
+// out once, and the retry succeeds after the partition heals.
+TEST_F(ClientRebindTest, PartitionMidFlightDropsThenRetrySucceeds) {
+  ServeEchoAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warmup").ok());
+  std::uint64_t dropped_before = network_.messages_dropped_in_flight();
+
+  int callback_runs = 0;
+  client_.Invoke(target_, "throughPartition", {},
+                 [&](Result<ByteBuffer> result) {
+                   ++callback_runs;
+                   EXPECT_TRUE(result.ok());
+                 });
+  // The invocation is now in flight (delivery is a pending event); cut the
+  // link before it lands, heal it well before the retry.
+  network_.SetPartitioned(1, 2, true);
+  simulation_.Schedule(sim::SimDuration::Seconds(5.0),
+                       [&]() { network_.SetPartitioned(1, 2, false); });
+  simulation_.Run();
+
+  EXPECT_EQ(callback_runs, 1);
+  EXPECT_EQ(network_.messages_dropped_in_flight(), dropped_before + 1);
+  EXPECT_EQ(client_.timeouts(), 1u);
+  EXPECT_EQ(client_.rebinds(), 0u);  // same binding was fine; just lossy
+}
+
+// Rebind failure path: the agent's fresh answer is the same dead address, so
+// the refreshed round times out too and the call fails with kTimeout.
+TEST_F(ClientRebindTest, RefreshedBindingStillDeadTimesOut) {
+  ServeEchoAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warmup").ok());
+  transport_.UnregisterEndpoint(2, 10);  // dead, and agent never updated
+
+  auto result = client_.InvokeBlocking(target_, "noOneHome");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(client_.rebinds(), 1u);
+  EXPECT_EQ(client_.timeouts(), 6u);  // 3 on the stale + 3 on the "fresh"
+}
+
+// Retries and the post-rebind attempt reuse one shared argument buffer; the
+// payload that finally lands must be byte-identical to what was passed in.
+TEST_F(ClientRebindTest, ArgsSurviveRetriesAndRebindIntact) {
+  ServeEchoAt(2, 10, 1);
+  ASSERT_TRUE(client_.InvokeBlocking(target_, "warmup").ok());
+  transport_.UnregisterEndpoint(2, 10);
+  // New activation echoes the *args* back.
+  transport_.RegisterEndpoint(
+      3, 20, 2, [](const MethodInvocation& inv, ReplyFn reply) {
+        reply(MethodResult::Ok(ByteBuffer(inv.args())));
+      });
+  agent_.Bind(target_, ObjectAddress{3, 20, 2});
+
+  std::string blob(2048, 'x');
+  blob[0] = 'y';
+  blob[2047] = 'z';
+  auto result =
+      client_.InvokeBlocking(target_, "echoArgs", ByteBuffer::FromString(blob));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), blob);
+  EXPECT_EQ(client_.timeouts(), 3u);  // the buffer really did cross a rebind
+}
+
+}  // namespace
+}  // namespace dcdo::rpc

@@ -21,7 +21,8 @@ class ClientTest : public ::testing::Test {
   void ServeAt(sim::NodeId node, sim::ProcessId pid, std::uint64_t epoch) {
     transport_.RegisterEndpoint(
         node, pid, epoch, [](const MethodInvocation& inv, ReplyFn reply) {
-          reply(MethodResult::Ok(ByteBuffer::FromString(inv.method)));
+          reply(MethodResult::Ok(
+              ByteBuffer::FromString(std::string(inv.method_name()))));
         });
     agent_.Bind(target_, ObjectAddress{node, pid, epoch});
   }

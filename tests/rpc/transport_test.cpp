@@ -103,7 +103,7 @@ TEST_F(TransportTest, HandlerMayDeferReply) {
   transport_.RegisterEndpoint(
       2, 10, 1, [this](const MethodInvocation&, ReplyFn reply) {
         simulation_.Schedule(sim::SimDuration::Seconds(2.0),
-                             [reply = std::move(reply)]() {
+                             [reply = std::move(reply)]() mutable {
                                reply(MethodResult::Ok());
                              });
       });
@@ -130,7 +130,7 @@ TEST_F(TransportTest, ErrorStatusTravelsBack) {
 
 TEST_F(TransportTest, WireSizeIncludesHeaderMethodAndArgs) {
   MethodInvocation invocation = MakeCall("doWork");
-  invocation.args = ByteBuffer::Opaque(100);
+  invocation.SetArgs(ByteBuffer::Opaque(100));
   EXPECT_EQ(invocation.WireSize(), kHeaderBytes + 6 + 100);
   MethodResult result = MethodResult::Ok(ByteBuffer::Opaque(32));
   EXPECT_EQ(result.WireSize(), kHeaderBytes + 32);

@@ -125,5 +125,147 @@ TEST_F(NetworkTest, CountersTrackTraffic) {
   EXPECT_EQ(network_.bytes_sent(), 300u);
 }
 
+// TimedTransfer accounting must mirror Send: a successful transfer is one
+// sent + one delivered message with zero residual in-flight.
+TEST_F(NetworkTest, TimedTransferCountsLikeSend) {
+  bool done = false;
+  network_.TimedTransfer(1, 2, 4096, SimDuration::Millis(20),
+                         [&] { done = true; });
+  EXPECT_EQ(network_.messages_sent(), 1u);
+  EXPECT_EQ(network_.messages_in_flight(), 1u);
+  simulation_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(network_.messages_delivered(), 1u);
+  EXPECT_EQ(network_.messages_in_flight(), 0u);
+  EXPECT_EQ(network_.bytes_sent(), 4096u);
+}
+
+// A transfer cut off mid-flight is accounted as dropped-in-flight, keeping
+// sent == delivered + dropped-in-flight + in-flight.
+TEST_F(NetworkTest, TimedTransferDropInFlightIsCounted) {
+  bool done = false;
+  network_.TimedTransfer(1, 2, 4096, SimDuration::Millis(20),
+                         [&] { done = true; });
+  simulation_.Schedule(SimDuration::Millis(1),
+                       [&] { network_.SetPartitioned(1, 2, true); });
+  simulation_.Run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(network_.messages_sent(), 1u);
+  EXPECT_EQ(network_.messages_delivered(), 0u);
+  EXPECT_EQ(network_.messages_dropped_in_flight(), 1u);
+  EXPECT_EQ(network_.messages_in_flight(), 0u);
+}
+
+TEST_F(NetworkTest, TimedTransferRefusedAtSendIsOnlyDropped) {
+  network_.SetNodeUp(2, false);
+  network_.TimedTransfer(1, 2, 4096, SimDuration::Millis(20), [] {});
+  simulation_.Run();
+  EXPECT_EQ(network_.messages_sent(), 0u);
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+}
+
+class BatchingNetworkTest : public ::testing::Test {
+ protected:
+  static CostModel BatchingCost() {
+    CostModel cost;
+    cost.send_batch_window = SimDuration::Millis(1);
+    cost.send_batch_max_bytes = 4096;
+    return cost;
+  }
+  BatchingNetworkTest() : network_(&simulation_, BatchingCost()) {
+    network_.AddNode(1);
+    network_.AddNode(2);
+    network_.AddNode(3);
+  }
+  Simulation simulation_;
+  SimNetwork network_;
+};
+
+// Back-to-back sends to one destination within the window coalesce into one
+// NIC transfer and are delivered together, in FIFO order.
+TEST_F(BatchingNetworkTest, CoalescesBackToBackSendsToOneDestination) {
+  std::vector<int> order;
+  network_.Send(1, 2, 200, [&] { order.push_back(1); });
+  network_.Send(1, 2, 200, [&] { order.push_back(2); });
+  network_.Send(1, 2, 200, [&] { order.push_back(3); });
+  simulation_.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(network_.batches_sent(), 1u);
+  EXPECT_EQ(network_.messages_coalesced(), 2u);
+  EXPECT_EQ(network_.messages_sent(), 3u);
+  EXPECT_EQ(network_.messages_delivered(), 3u);
+  EXPECT_EQ(network_.messages_in_flight(), 0u);
+  // One flush window + one wire serialization of 600 B + one latency: well
+  // under three separate latency charges plus windows.
+  double micros = simulation_.Now().ToSeconds() * 1e6;
+  EXPECT_GT(micros, 1300.0);  // window (1000) + latency (300)
+  EXPECT_LT(micros, 1500.0);
+}
+
+TEST_F(BatchingNetworkTest, DistinctDestinationsBatchIndependently) {
+  int delivered = 0;
+  network_.Send(1, 2, 100, [&] { ++delivered; });
+  network_.Send(1, 3, 100, [&] { ++delivered; });
+  simulation_.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(network_.batches_sent(), 2u);
+  EXPECT_EQ(network_.messages_coalesced(), 0u);
+}
+
+// Hitting send_batch_max_bytes flushes immediately; the armed window event
+// later finds nothing (and must not flush a successor batch early).
+TEST_F(BatchingNetworkTest, ByteCapFlushesEarly) {
+  int delivered = 0;
+  network_.Send(1, 2, 3000, [&] { ++delivered; });
+  network_.Send(1, 2, 3000, [&] { ++delivered; });  // 6000 >= 4096: flush now
+  // Opens a fresh batch that must ride its own window, not the stale event.
+  network_.Send(1, 2, 100, [&] { ++delivered; });
+  simulation_.Run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(network_.batches_sent(), 2u);
+  EXPECT_EQ(network_.messages_coalesced(), 1u);
+}
+
+// A partition that forms while a batch is in flight loses every message in
+// it, and the accounting records each one.
+TEST_F(BatchingNetworkTest, PartitionInFlightDropsWholeBatch) {
+  int delivered = 0;
+  network_.Send(1, 2, 100, [&] { ++delivered; });
+  network_.Send(1, 2, 100, [&] { ++delivered; });
+  // Cut the link after the window fires (batch in flight) but before the
+  // 300 us latency elapses.
+  simulation_.Schedule(SimDuration::Micros(1100),
+                       [&] { network_.SetPartitioned(1, 2, true); });
+  simulation_.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(network_.messages_sent(), 2u);
+  EXPECT_EQ(network_.messages_dropped_in_flight(), 2u);
+  EXPECT_EQ(network_.messages_in_flight(), 0u);
+}
+
+TEST_F(BatchingNetworkTest, LoopbackBatchesToo) {
+  int delivered = 0;
+  network_.Send(1, 1, 100, [&] { ++delivered; });
+  network_.Send(1, 1, 100, [&] { ++delivered; });
+  simulation_.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(network_.batches_sent(), 1u);
+  EXPECT_EQ(network_.messages_coalesced(), 1u);
+}
+
+// With the window at zero (the calibrated default) the batching layer is
+// bypassed entirely: same event shape and timing as the legacy path.
+TEST_F(NetworkTest, ZeroWindowMatchesLegacyTiming) {
+  bool delivered = false;
+  network_.Send(1, 2, 1024, [&] { delivered = true; });
+  simulation_.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(network_.batches_sent(), 0u);
+  EXPECT_EQ(network_.messages_coalesced(), 0u);
+  // 1 KB at 12.5 MB/s = 81.92 us wire + 300 us latency; no window delay.
+  EXPECT_GE(simulation_.Now().nanos(), 381'000);
+  EXPECT_LE(simulation_.Now().nanos(), 382'000);
+}
+
 }  // namespace
 }  // namespace dcdo::sim

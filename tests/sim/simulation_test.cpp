@@ -162,6 +162,107 @@ TEST(SimulationTest, NegativeDelayClampsToNow) {
   EXPECT_EQ(simulation.Now(), SimTime::Zero() + SimDuration::Millis(5));
 }
 
+// --- Timer-wheel coverage. Short-horizon events live in the hierarchical
+// wheel, long-horizon ones in the priority queue; ordering and cancellation
+// must be indistinguishable between the two homes.
+
+TEST(SimulationTest, MixedHorizonsFireInTimeOrder) {
+  Simulation simulation;
+  std::vector<int> order;
+  // Spread across every wheel level and beyond its ~18 min span (-> queue):
+  // 10 us and 1 ms (level 0/1), 200 ms (level 2), 60 s (level 3), 30 min
+  // (queue), plus a 0-delay event (immediately due -> queue).
+  simulation.Schedule(SimDuration::Seconds(1800.0), [&] { order.push_back(6); });
+  simulation.Schedule(SimDuration::Seconds(60.0), [&] { order.push_back(5); });
+  simulation.Schedule(SimDuration::Millis(200), [&] { order.push_back(4); });
+  simulation.Schedule(SimDuration::Millis(1), [&] { order.push_back(3); });
+  simulation.Schedule(SimDuration::Micros(10), [&] { order.push_back(2); });
+  simulation.Schedule(SimDuration::Zero(), [&] { order.push_back(1); });
+  EXPECT_EQ(simulation.Run(), 6u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(simulation.Now(),
+            SimTime::Zero() + SimDuration::Seconds(1800.0));
+  EXPECT_TRUE(simulation.Idle());
+}
+
+// Two events with the same `when` keep submission order even when one sits
+// in the wheel and the other went straight to the queue (scheduled later,
+// from a time at which the shared deadline no longer fits a wheel slot).
+TEST(SimulationTest, SameWhenAcrossWheelAndQueueKeepsFifo) {
+  Simulation simulation;
+  std::vector<int> order;
+  SimTime when = SimTime::Zero() + SimDuration::Millis(10);
+  simulation.ScheduleAt(when, [&] { order.push_back(1); });  // wheel-resident
+  simulation.Schedule(SimDuration::Millis(10) - SimDuration::Nanos(1),
+                      [&] {
+                        // 1 ns before `when`: the deadline is inside the
+                        // current tick, so this lands in the queue.
+                        simulation.ScheduleAt(when, [&] { order.push_back(2); });
+                      });
+  simulation.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulationTest, RunUntilDeadlineBetweenWheelSlots) {
+  Simulation simulation;
+  int fired = 0;
+  simulation.Schedule(SimDuration::Millis(10), [&] { ++fired; });
+  simulation.Schedule(SimDuration::Millis(30), [&] { ++fired; });
+  // A deadline that is not aligned to any slot boundary and has no event of
+  // its own: only the earlier timer fires, and the clock lands exactly on it.
+  simulation.RunUntil(SimTime::Zero() + SimDuration::Micros(20'500));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulation.Now(), SimTime::Zero() + SimDuration::Micros(20'500));
+  EXPECT_EQ(simulation.pending_events(), 1u);
+  simulation.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(simulation.Idle());
+}
+
+// The RPC hot pattern: arm a timeout, cancel it moments later, thousands of
+// times, across horizons that hit different wheel levels. Nothing leaks and
+// the surviving timers fire in order.
+TEST(SimulationTest, ArmCancelChurnAcrossLevels) {
+  Simulation simulation;
+  int fired = 0;
+  std::vector<int> horizons_us = {50, 900, 7'000, 120'000, 3'000'000};
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint64_t> ids;
+    for (int h : horizons_us) {
+      ids.push_back(
+          simulation.Schedule(SimDuration::Micros(h), [&] { ++fired; }));
+    }
+    for (std::uint64_t id : ids) simulation.Cancel(id);
+    // One survivor per round.
+    simulation.Schedule(SimDuration::Micros(100 + round), [&] { ++fired; });
+  }
+  // Cancellation reclaims the slab slot eagerly wherever the event lives, so
+  // exactly the survivors remain pending.
+  EXPECT_EQ(simulation.pending_events(), 200u);
+  simulation.Run();
+  EXPECT_EQ(fired, 200);
+  EXPECT_TRUE(simulation.Idle());
+  EXPECT_EQ(simulation.pending_events(), 0u);
+}
+
+// Cancelling a wheel-resident event after the clock has moved past its slot's
+// level boundary (forcing a cascade in between) must still work.
+TEST(SimulationTest, CancelSurvivesCascade) {
+  Simulation simulation;
+  bool fired = false;
+  // 300 ms out: starts on an upper wheel level. Firing the 285 ms helper
+  // flushes their shared coarse slot, cascading the target to a finer level
+  // before the cancel lands.
+  std::uint64_t id =
+      simulation.Schedule(SimDuration::Millis(300), [&] { fired = true; });
+  simulation.Schedule(SimDuration::Millis(285), [&] {
+    simulation.Cancel(id);  // cancel mid-flight, post-cascade
+  });
+  simulation.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(simulation.Idle());
+}
+
 TEST(SimTimeTest, DurationArithmetic) {
   EXPECT_EQ(SimDuration::Seconds(1.5).nanos(), 1'500'000'000);
   EXPECT_EQ((SimDuration::Millis(2) + SimDuration::Micros(500)).ToMillis(),
