@@ -12,6 +12,8 @@
 #define DCDO_COMMON_MOVE_FUNCTION_H_
 
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -43,10 +45,17 @@ class MoveFunction<R(Args...), kInlineBytes> {
     } else if constexpr (alignof(D) <= alignof(std::max_align_t)) {
       // Spilled closures are one-shot and clustered in size (a marshaled
       // invocation, a reply continuation), so they recycle through the
-      // thread-local block pools instead of malloc.
+      // thread-local block pools instead of malloc. The block must go back
+      // to the pool if the capture's move/copy constructor throws.
       void* block = PoolAllocate<sizeof(D)>();
-      ::new (static_cast<void*>(storage_))
-          D*(::new (block) D(std::forward<F>(f)));
+      D* d;
+      try {
+        d = ::new (block) D(std::forward<F>(f));
+      } catch (...) {
+        PoolFree<sizeof(D)>(block);
+        throw;
+      }
+      ::new (static_cast<void*>(storage_)) D*(d);
       ops_ = &kPooledHeapOps<D>;
     } else {
       ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
@@ -76,7 +85,15 @@ class MoveFunction<R(Args...), kInlineBytes> {
 
   explicit operator bool() const { return ops_ != nullptr; }
 
+  // Invoking an empty (default-constructed, moved-from, or nulled)
+  // MoveFunction is a programming error — the std::function these replaced
+  // threw bad_function_call. Fail loudly in every build mode rather than
+  // dereferencing a null ops_.
   R operator()(Args... args) {
+    if (ops_ == nullptr) {
+      std::fputs("MoveFunction: invoked while empty\n", stderr);
+      std::abort();
+    }
     return ops_->invoke(storage_, std::forward<Args>(args)...);
   }
 

@@ -26,10 +26,20 @@ namespace pool_internal {
 
 inline constexpr std::size_t kMaxFreeBlocks = 256;
 
+// Holds the free list and returns retained blocks to the global allocator
+// when the owning thread exits — without this, every block parked in an
+// exiting thread's bucket would leak (LeakSanitizer flags it).
+struct BucketStore {
+  std::vector<void*> blocks;
+  ~BucketStore() {
+    for (void* block : blocks) ::operator delete(block);
+  }
+};
+
 template <std::size_t kClassBytes>
 inline std::vector<void*>& Bucket() {
-  thread_local std::vector<void*> bucket;
-  return bucket;
+  thread_local BucketStore bucket;
+  return bucket.blocks;
 }
 
 constexpr std::size_t SizeClass(std::size_t bytes) {

@@ -65,9 +65,15 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
                            " step(s) begins"));
 
   // Roll back steps [0, upto) in reverse, then report `failure`.
+  // Both loop closures below capture themselves weakly — a strong
+  // self-capture is a shared_ptr cycle that leaks the closure chain (and the
+  // caller's `done`) after every batch. The strong reference rides in each
+  // pending EvolveInstanceTo continuation instead.
   auto rollback = std::make_shared<std::function<void(std::size_t, Status)>>();
-  *rollback = [outcome, prior, shared_steps, shared_done, rollback](
-                  std::size_t upto, Status failure) {
+  *rollback = [outcome, prior, shared_steps, shared_done,
+               weak_rollback =
+                   std::weak_ptr<std::function<void(std::size_t, Status)>>(
+                       rollback)](std::size_t upto, Status failure) {
     if (upto == 0) {
       outcome->status = failure;
       DCDO_CHECK_HOOK(Note("coordinated-update",
@@ -81,7 +87,8 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
     const Step& step = (*shared_steps)[index];
     step.manager->EvolveInstanceTo(
         step.instance, (*prior)[index],
-        [outcome, rollback, index, failure](Status status) {
+        [outcome, next_rb = weak_rollback.lock(), index,
+         failure](Status status) {
           if (status.ok()) {
             ++outcome->rolled_back;
             --outcome->applied;
@@ -90,13 +97,16 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
                                      std::to_string(index) +
                                      " refused: " + status.ToString());
           }
-          (*rollback)(index, failure);
+          (*next_rb)(index, failure);
         });
   };
 
+  // `apply` holding `rollback` strongly is fine (rollback never references
+  // apply); only the self-capture must be weak.
   auto apply = std::make_shared<std::function<void(std::size_t)>>();
-  *apply = [outcome, shared_steps, shared_done, apply, rollback](
-               std::size_t index) {
+  *apply = [outcome, shared_steps, shared_done,
+            weak_apply = std::weak_ptr<std::function<void(std::size_t)>>(apply),
+            rollback](std::size_t index) {
     if (index == shared_steps->size()) {
       outcome->status = Status::Ok();
       DCDO_CHECK_HOOK(Note("coordinated-update",
@@ -109,7 +119,8 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
     const Step& step = (*shared_steps)[index];
     step.manager->EvolveInstanceTo(
         step.instance, step.target,
-        [outcome, apply, rollback, index](Status status) {
+        [outcome, next_ap = weak_apply.lock(), rollback,
+         index](Status status) {
           if (!status.ok()) {
             DCDO_LOG(kWarning) << "coordinated update: step " << index
                                << " failed (" << status.ToString()
@@ -121,7 +132,7 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
             return;
           }
           ++outcome->applied;
-          (*apply)(index + 1);
+          (*next_ap)(index + 1);
         });
   };
   (*apply)(0);

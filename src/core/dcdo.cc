@@ -237,8 +237,14 @@ void Dcdo::RemoveComponentWithPolicy(const ObjectId& component_id,
       // the operation after some time-out period").
       sim::SimTime deadline = simulation().Now() + policy.timeout;
       bool has_deadline = policy.kind == RemovalPolicy::Kind::kTimeout;
+      // The poll closure holds only a weak reference to itself — a strong
+      // self-capture would form an unbreakable shared_ptr cycle and leak the
+      // closure (and `done`). Each scheduled wrapper carries the strong
+      // reference across the hop; when the chain ends (or the event is
+      // cancelled) the last wrapper's destruction frees everything.
       auto poll = std::make_shared<std::function<void()>>();
-      *poll = [this, component_id, policy, deadline, has_deadline, poll,
+      *poll = [this, component_id, policy, deadline, has_deadline,
+               weak_poll = std::weak_ptr<std::function<void()>>(poll),
                done = std::move(done)]() {
         Status attempt =
             mapper_.RemoveComponent(component_id, ActiveThreadPolicy::kError);
@@ -251,9 +257,10 @@ void Dcdo::RemoveComponentWithPolicy(const ObjectId& component_id,
                                        ActiveThreadPolicy::kForce));
           return;
         }
-        simulation().Schedule(policy.poll, *poll);
+        simulation().Schedule(policy.poll,
+                              [poll = weak_poll.lock()] { (*poll)(); });
       };
-      simulation().Schedule(policy.poll, *poll);
+      simulation().Schedule(policy.poll, [poll] { (*poll)(); });
       return;
     }
   }
@@ -355,9 +362,14 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
       stage3_finish(adopted);
       return;
     }
-    // Removals, sequentially under the policy.
+    // Removals, sequentially under the policy. Weak self-capture: the
+    // pending removal's continuation holds the strong reference, so the
+    // loop closure dies with its last continuation instead of leaking in a
+    // shared_ptr cycle.
     auto remove_next = std::make_shared<std::function<void()>>();
-    *remove_next = [this, remove_queue, removal, remove_next,
+    *remove_next = [this, remove_queue, removal,
+                    weak_next =
+                        std::weak_ptr<std::function<void()>>(remove_next),
                     stage3_finish]() {
       if (remove_queue->empty()) {
         stage3_finish(Status::Ok());
@@ -365,20 +377,28 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
       }
       ObjectId next = remove_queue->back();
       remove_queue->pop_back();
-      RemoveComponentWithPolicy(next, removal,
-                                [remove_next, stage3_finish](Status status) {
-                                  if (!status.ok()) {
-                                    stage3_finish(status);
-                                    return;
-                                  }
-                                  (*remove_next)();
-                                });
+      RemoveComponentWithPolicy(
+          next, removal,
+          [next_fn = weak_next.lock(), stage3_finish](Status status) {
+            if (!status.ok()) {
+              stage3_finish(status);
+              return;
+            }
+            (*next_fn)();
+          });
     };
     (*remove_next)();
   };
 
+  // Weak self-capture (see remove_next above): a strong one would cycle and
+  // leak the whole evolution continuation chain. Strong references live in
+  // the caller during synchronous hops and in the FetchTo continuation
+  // across asynchronous ones.
   auto incorporate_next = std::make_shared<std::function<void()>>();
-  *incorporate_next = [this, incorporate_queue, incorporate_next, stage2]() {
+  *incorporate_next = [this, incorporate_queue,
+                       weak_next = std::weak_ptr<std::function<void()>>(
+                           incorporate_next),
+                       stage2]() {
     if (incorporate_queue->empty()) {
       (*stage2)(Status::Ok());
       return;
@@ -399,10 +419,10 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
         (*stage2)(incorporated);
         return;
       }
-      (*incorporate_next)();
+      (*weak_next.lock())();
       return;
     }
-    (*ico)->FetchTo(host_, [this, next, incorporate_next,
+    (*ico)->FetchTo(host_, [this, next, next_fn = weak_next.lock(),
                             stage2](Status status) {
       if (!status.ok()) {
         (*stage2)(status);
@@ -414,7 +434,7 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
         (*stage2)(incorporated);
         return;
       }
-      (*incorporate_next)();
+      (*next_fn)();
     });
   };
   (*incorporate_next)();

@@ -395,7 +395,15 @@ void DcdoManager::MigrateInstance(const ObjectId& instance,
           auto components = std::make_shared<std::vector<ObjectId>>(
               object->GetComponents());
           auto fetch_next = std::make_shared<std::function<void()>>();
-          *fetch_next = [this, instance, dest, components, fetch_next,
+          // The loop closure must not strongly capture its own owner: that
+          // cycle is never broken (no path clears *fetch_next), leaking the
+          // closure and everything `done` drags along. Instead each pending
+          // FetchTo callback holds the strong reference that keeps the loop
+          // alive across the async hop, and the closure re-locks its weak
+          // self-reference only while it is being kept alive by a caller.
+          *fetch_next = [this, instance, dest, components,
+                         weak_next = std::weak_ptr<std::function<void()>>(
+                             fetch_next),
                          done = std::move(done)]() mutable {
             auto it = instances_.find(instance);
             if (it == instances_.end()) {
@@ -444,12 +452,12 @@ void DcdoManager::MigrateInstance(const ObjectId& instance,
               done(ico.status());
               return;
             }
-            (*ico)->FetchTo(dest, [fetch_next](Status status) {
+            (*ico)->FetchTo(dest, [next = weak_next.lock()](Status status) {
               if (!status.ok()) {
                 DCDO_LOG(kWarning) << "component fetch during migration "
                                    << "failed: " << status.ToString();
               }
-              (*fetch_next)();
+              (*next)();
             });
           };
           (*fetch_next)();

@@ -10,6 +10,15 @@ FunctionId MethodInvocation::ResolvedId() const {
   // Trust the id only if the local intern table already covers the sender's
   // epoch; a receiver that has never seen the name (or a forged/corrupt id)
   // falls back to the string form instead of misresolving.
+  //
+  // Soundness caveat: "table long enough" implies "identical id->name
+  // mapping" ONLY because FunctionNameTable::Global() is one process-global,
+  // append-only table that every simulated node reads — covering the
+  // sender's epoch means both sides see the very same prefix. If per-node
+  // intern tables are ever modeled (the real first-contact negotiation this
+  // epoch stands in for), equal length would no longer imply equal content,
+  // and the wire form must carry a content check — e.g. a hash of the
+  // method name alongside the id — validated here before the id is trusted.
   if (name_epoch == 0 || method_id.value >= name_epoch ||
       name_epoch > FunctionNameTable::Global().size()) {
     return FunctionId::Invalid();

@@ -57,9 +57,18 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
                                 cost.marshal_bytes_per_sec));
 
   std::size_t wire_bytes = invocation.WireSize();
-  InFlightPtr call(::new (common::PoolAllocate<sizeof(InFlight)>()) InFlight{
-      this, from_node, to_node, to_pid, std::move(invocation),
-      std::move(on_reply)});
+  // Return the block to the pool if a member's move constructor throws
+  // (mirrors the spill path in MoveFunction).
+  void* block = common::PoolAllocate<sizeof(InFlight)>();
+  InFlightPtr call;
+  try {
+    call = InFlightPtr(::new (block) InFlight{this, from_node, to_node, to_pid,
+                                              std::move(invocation),
+                                              std::move(on_reply)});
+  } catch (...) {
+    common::PoolFree<sizeof(InFlight)>(block);
+    throw;
+  }
   network_.Send(
       from_node, to_node, wire_bytes, [this, call = std::move(call)]() mutable {
         auto it = endpoints_.find({call->to_node, call->to_pid});

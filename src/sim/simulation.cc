@@ -104,12 +104,18 @@ std::optional<Simulation::SlotRef> Simulation::EarliestWheelSlot() const {
     if (occupied == 0) continue;
     const int shift = LevelShift(level);
     const std::int64_t cursor_tick = cursor_ns_ >> shift;
-    // Occupied slots hold ticks in (cursor_tick, cursor_tick + 64); rotate
-    // the bitmap so the earliest candidate tick sits at bit 0 and take the
-    // lowest set bit.
-    const int base = static_cast<int>((cursor_tick + 1) & (kSlotsPerLevel - 1));
+    // Occupied slots hold ticks in [cursor_tick, cursor_tick + 64). Inserts
+    // always land strictly after the cursor, but flushing a finer-level slot
+    // whose start is aligned on a coarser boundary advances the cursor onto
+    // the coarser slot's own tick — that slot is due now, so the window must
+    // include cursor_tick or its tick would read as cursor_tick + 64, one
+    // full revolution late. The aliasing is unambiguous: inserts require
+    // delta <= 63, so the bit at cursor_tick's position can never mean
+    // cursor_tick + 64. Rotate the bitmap so cursor_tick sits at bit 0 and
+    // take the lowest set bit.
+    const int base = static_cast<int>(cursor_tick & (kSlotsPerLevel - 1));
     const std::uint64_t rotated = std::rotr(occupied, base);
-    const std::int64_t tick = cursor_tick + 1 + std::countr_zero(rotated);
+    const std::int64_t tick = cursor_tick + std::countr_zero(rotated);
     const std::int64_t start_ns = tick << shift;
     if (!best || start_ns < best->start_ns) {
       best = SlotRef{level, static_cast<int>(tick & (kSlotsPerLevel - 1)),
@@ -127,7 +133,9 @@ void Simulation::FlushWheelSlot(const SlotRef& ref) {
   WheelLevel& wl = wheel_[ref.level];
   wl.occupied &= ~(std::uint64_t{1} << ref.slot);
   earliest_valid_ = false;
-  cursor_ns_ = ref.start_ns;
+  // Monotone advance: when this slot ties an already-flushed finer slot's
+  // aligned start (see EarliestWheelSlot), the cursor is already there.
+  if (ref.start_ns > cursor_ns_) cursor_ns_ = ref.start_ns;
   std::vector<std::uint32_t>& slots = wl.slots[ref.slot];
   // Re-dispatching never targets this same slot: every event here lies
   // within one level-`ref.level` tick of the new cursor, so it lands at a

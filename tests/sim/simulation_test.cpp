@@ -263,6 +263,53 @@ TEST(SimulationTest, CancelSurvivesCascade) {
   EXPECT_TRUE(simulation.Idle());
 }
 
+// Regression: a level-1 slot and a level-2 slot sharing the same aligned
+// start_ns. Flushing the finer slot advances the wheel cursor exactly onto
+// the coarser slot's tick, and that slot must still be treated as due —
+// reading it as one full revolution (~17 s) later fires its events after
+// later-scheduled ones and drives the clock backwards.
+TEST(SimulationTest, AlignedSlotsAcrossLevelsFlushTogether) {
+  Simulation simulation;
+  // 2^28 ns is simultaneously a level-2 and a level-1 tick boundary
+  // (tick widths 2^28 ns and 2^22 ns).
+  constexpr std::int64_t kAlignedNs = std::int64_t{1} << 28;
+  constexpr std::int64_t kLevel1TickNs = std::int64_t{1} << 22;
+  std::vector<int> order;
+  std::vector<std::int64_t> times;
+  auto record = [&](int label) {
+    order.push_back(label);
+    times.push_back(simulation.Now().nanos());
+  };
+  // Scheduled from time 0 the boundary is 64 level-1 ticks out — one past
+  // the level-1 span — so this lands in the level-2 slot covering
+  // [2^28, 2^29).
+  simulation.ScheduleAt(SimTime::FromNanos(kAlignedNs), [&] { record(2); });
+  // A helper fires at one level-1 tick, putting the cursor at 2^22 ns when
+  // the events below are scheduled.
+  simulation.ScheduleAt(SimTime::FromNanos(kLevel1TickNs), [&] {
+    record(0);
+    // Now only 63 level-1 ticks away: lands in the level-1 slot whose start
+    // is also exactly 2^28 — tied with the level-2 slot above.
+    simulation.ScheduleAt(SimTime::FromNanos(kAlignedNs), [&] { record(1); });
+    // Rides the same level-1 slot; a witness that fires between the two
+    // flush points if the level-2 slot is misplaced a revolution late.
+    simulation.ScheduleAt(SimTime::FromNanos(kAlignedNs + 1000),
+                          [&] { record(3); });
+    // Arm-and-cancel a lone wheel event so the cached earliest-slot hint is
+    // dropped and the next lookup rescans both tied slots (the scan prefers
+    // the finer level, forcing the finer-flushes-first order under test).
+    simulation.Cancel(
+        simulation.ScheduleAt(SimTime::FromNanos(5 * kLevel1TickNs), [] {}));
+  });
+  simulation.Run();
+  // Same-time events keep schedule order: 2 was scheduled before 1.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1, 3}));
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]) << "clock ran backwards at event " << i;
+  }
+  EXPECT_EQ(simulation.Now().nanos(), kAlignedNs + 1000);
+}
+
 TEST(SimTimeTest, DurationArithmetic) {
   EXPECT_EQ(SimDuration::Seconds(1.5).nanos(), 1'500'000'000);
   EXPECT_EQ((SimDuration::Millis(2) + SimDuration::Micros(500)).ToMillis(),
