@@ -12,30 +12,50 @@
 #                                    # flag Wall_* regressions > 20% and any
 #                                    # SimTime_* drift between two results
 #                                    # files; exits 1 if anything is flagged
+#   scripts/bench.sh --trace-overhead BASE.json TRACED.json
+#                                    # compare a DCDO_TRACING=OFF run against
+#                                    # a tracing-compiled-but-disabled run:
+#                                    # report Wall_* overhead > 5% and any
+#                                    # SimTime_* drift. Report-only — always
+#                                    # exits 0 when both files are readable
+#                                    # (wall numbers are too host-noisy to
+#                                    # gate CI on a 5% band)
 #
 # Environment:
-#   DCDO_BENCH_JSON  output file (default: BENCH_dcdo.json at the repo root
-#                    for full runs; unset for --smoke so CI runs do not
-#                    produce machine-dependent diffs)
+#   DCDO_BENCH_JSON    output file (default: BENCH_dcdo.json at the repo root
+#                      for full runs; unset for --smoke so CI runs do not
+#                      produce machine-dependent diffs)
+#   DCDO_BENCH_PRESET  configure/build preset to run benches from (default:
+#                      nocheck; use notrace for the tracing-overhead baseline)
 set -u
 
 cd "$(dirname "$0")/.." || exit 1
 
-if [ "${1:-}" = "--compare" ]; then
+if [ "${1:-}" = "--compare" ] || [ "${1:-}" = "--trace-overhead" ]; then
+  MODE=$1
   OLD_JSON=${2:-}
   NEW_JSON=${3:-}
   if [ -z "$OLD_JSON" ] || [ -z "$NEW_JSON" ]; then
-    echo "usage: $0 --compare OLD.json NEW.json" >&2
+    echo "usage: $0 $MODE OLD.json NEW.json" >&2
     exit 2
   fi
-  exec python3 - "$OLD_JSON" "$NEW_JSON" <<'PYEOF'
+  exec python3 - "$MODE" "$OLD_JSON" "$NEW_JSON" <<'PYEOF'
 import json
 import sys
 
-# Wall_* numbers are host time: noisy, so only a > 20% slowdown is flagged.
-# SimTime_* numbers are simulated time: deterministic by design, so ANY drift
-# is flagged — an unintended change to the cost model or event ordering.
-WALL_REGRESSION_RATIO = 1.20
+# --compare: Wall_* numbers are host time: noisy, so only a > 20% slowdown is
+# flagged (exit 1). SimTime_* numbers are simulated time: deterministic by
+# design, so ANY drift is flagged — an unintended change to the cost model or
+# event ordering.
+#
+# --trace-overhead: OLD is a DCDO_TRACING=OFF build, NEW has tracing compiled
+# in but no context installed. The acceptance band is 5% on Wall_*; SimTime_*
+# must not move at all (the tracing layer schedules no events). Report-only:
+# wall numbers on shared CI hosts are too noisy to hard-gate a 5% band, so
+# overhead is printed but never fails the run.
+mode = sys.argv.pop(1)
+WALL_REGRESSION_RATIO = 1.05 if mode == "--trace-overhead" else 1.20
+REPORT_ONLY = mode == "--trace-overhead"
 
 old_path, new_path = sys.argv[1], sys.argv[2]
 try:
@@ -63,8 +83,9 @@ for name in common:
     if base.startswith("Wall_"):
         compared += 1
         if old_ns > 0 and new_ns / old_ns > WALL_REGRESSION_RATIO:
+            label = "WALL OVERHEAD  " if REPORT_ONLY else "WALL REGRESSION"
             flagged.append(
-                f"  WALL REGRESSION {name}: {old_ns:g} ns -> {new_ns:g} ns "
+                f"  {label} {name}: {old_ns:g} ns -> {new_ns:g} ns "
                 f"({new_ns / old_ns:.2f}x)"
             )
     elif base.startswith("SimTime_"):
@@ -77,8 +98,16 @@ for name in common:
 print(f"bench-compare: {compared} entries compared ({old_path} -> {new_path})")
 if flagged:
     print("\n".join(flagged))
+    if REPORT_ONLY:
+        print(
+            f"bench-compare: tracing overhead above "
+            f"{(WALL_REGRESSION_RATIO - 1) * 100:.0f}% on the entries above "
+            "(report-only; not failing the run)"
+        )
+        sys.exit(0)
     sys.exit(1)
-print("bench-compare: no Wall_* regressions > 20%, no SimTime_* drift")
+threshold = f"{(WALL_REGRESSION_RATIO - 1) * 100:.0f}%"
+print(f"bench-compare: no Wall_* slowdowns > {threshold}, no SimTime_* drift")
 PYEOF
 fi
 
@@ -92,9 +121,12 @@ for arg in "$@"; do
   esac
 done
 
-# Build (RelWithDebInfo, DCDO_CHECKING=OFF).
-cmake --preset nocheck >/dev/null || exit 1
-cmake --build build-nocheck -j "$(nproc)" || exit 1
+# Build (RelWithDebInfo, DCDO_CHECKING=OFF; preset overridable for the
+# tracing-overhead baseline).
+PRESET=${DCDO_BENCH_PRESET:-nocheck}
+BUILD_DIR="build-$PRESET"
+cmake --preset "$PRESET" >/dev/null || exit 1
+cmake --build "$BUILD_DIR" -j "$(nproc)" || exit 1
 
 if [ "$SMOKE" = 1 ]; then
   # Smoke mode: prove every bench still runs, not collect stable numbers.
@@ -110,7 +142,7 @@ if [ -n "$FILTER" ]; then
 fi
 
 FAILED=0
-for bench in build-nocheck/bench/bench_*; do
+for bench in "$BUILD_DIR"/bench/bench_*; do
   [ -f "$bench" ] && [ -x "$bench" ] || continue
   echo "== $(basename "$bench") =="
   # shellcheck disable=SC2086

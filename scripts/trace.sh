@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# Trace driver: builds the default preset (tracing is compiled in by
+# default), runs the traced example, and summarizes the exported
+# Chrome-trace JSON. Load the file itself in chrome://tracing or
+# https://ui.perfetto.dev for the visual timeline.
+#
+# Usage:
+#   scripts/trace.sh                   # run, write trace_evolution.json
+#   scripts/trace.sh OUT.json          # run, write OUT.json
+#   scripts/trace.sh --summarize F.json  # summarize an existing trace only
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+summarize() {
+  python3 - "$1" <<'PYEOF'
+import json
+import sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        trace = json.load(f)
+except (OSError, json.JSONDecodeError) as err:
+    print(f"trace: cannot read {path}: {err}", file=sys.stderr)
+    sys.exit(2)
+
+events = trace.get("traceEvents", [])
+by_name = {}
+roots = set()
+for event in events:
+    by_name.setdefault(event["name"], []).append(event)
+    args = event.get("args", {})
+    if args.get("root"):
+        roots.add(args["root"])
+
+print(f"trace: {path}: {len(events)} events, {len(roots)} causal trees")
+for name in sorted(by_name):
+    spans = by_name[name]
+    durs = [e["dur"] for e in spans if "dur" in e]
+    if durs:
+        span_ms = sum(durs) / 1000.0
+        print(f"  {name:<14} x{len(spans):<4} total {span_ms:.3f} ms (sim)")
+    else:
+        print(f"  {name:<14} x{len(spans):<4} (instant)")
+
+metrics = trace.get("dcdoMetrics", {})
+counters = metrics.get("counters", {})
+if counters:
+    print("counters:")
+    for name in sorted(counters):
+        print(f"  {name} = {counters[name]}")
+histograms = metrics.get("histograms", {})
+if histograms:
+    print("histograms (sim time):")
+    for name in sorted(histograms):
+        h = histograms[name]
+        print(
+            f"  {name}: n={h['count']} mean={h['mean_ns'] / 1e6:.3f} ms "
+            f"min={h['min_ns'] / 1e6:.3f} ms max={h['max_ns'] / 1e6:.3f} ms"
+        )
+PYEOF
+}
+
+if [ "${1:-}" = "--summarize" ]; then
+  [ -n "${2:-}" ] || { echo "usage: $0 --summarize TRACE.json" >&2; exit 2; }
+  summarize "$2"
+  exit $?
+fi
+
+case "${1:-}" in
+  --*) echo "usage: $0 [OUT.json] | --summarize TRACE.json" >&2; exit 2 ;;
+esac
+OUT=${1:-trace_evolution.json}
+
+cmake --preset default >/dev/null || exit 1
+cmake --build build -j "$(nproc)" --target traced_evolution || exit 1
+./build/examples/traced_evolution "$OUT" || exit 1
+summarize "$OUT"

@@ -4,6 +4,7 @@
 
 #include "check/check_context.h"
 #include "common/logging.h"
+#include "trace/trace_context.h"
 
 namespace dcdo {
 
@@ -63,6 +64,11 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
   DCDO_CHECK_HOOK(Note("coordinated-update",
                        "batch of " + std::to_string(shared_steps->size()) +
                            " step(s) begins"));
+  if (auto* tr = trace::ActiveContext()) {
+    std::uint64_t mark = tr->Instant("update.batch", {.category = "evolve"});
+    tr->Annotate(mark, "steps", std::to_string(shared_steps->size()));
+    tr->metrics().GetCounter("update.batches").Increment();
+  }
 
   // Roll back steps [0, upto) in reverse, then report `failure`.
   // Both loop closures below capture themselves weakly — a strong
@@ -80,6 +86,12 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
                            "batch rolled back (" +
                                std::to_string(outcome->rolled_back) +
                                " step(s) undone): " + failure.ToString()));
+      if (auto* tr = trace::ActiveContext()) {
+        std::uint64_t mark =
+            tr->Instant("update.rollback", {.category = "evolve"});
+        tr->Annotate(mark, "cause", failure.ToString());
+        tr->metrics().GetCounter("update.rollbacks").Increment();
+      }
       (*shared_done)(std::move(*outcome));
       return;
     }
@@ -113,6 +125,9 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
                            "batch applied (" +
                                std::to_string(outcome->applied) +
                                " step(s))"));
+      if (auto* tr = trace::ActiveContext()) {
+        tr->Instant("update.applied", {.category = "evolve"});
+      }
       (*shared_done)(std::move(*outcome));
       return;
     }

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "dfm/descriptor_wire.h"
+#include "trace/trace_context.h"
 
 namespace dcdo {
 
@@ -120,6 +121,11 @@ Result<ByteBuffer> Dcdo::Call(const std::string& function,
   }
   if (pre_call_hook_) pre_call_hook_();
   ++user_calls_;
+  // dfm.call covers the DFM indirection + acquire + the body itself; when
+  // the call arrived remotely it nests under the transport's rpc.dispatch
+  // span via the scope stack.
+  trace::SpanScope span("dfm.call", {.category = "dfm", .node = address_.node});
+  if (span) span.Annotate("function", function);
   // The paper's measured DFM indirection: every dynamic call pays it.
   simulation().AdvanceInline(cost().dfm_lookup);
   DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
@@ -134,6 +140,8 @@ Result<ByteBuffer> Dcdo::Call(FunctionId function, const ByteBuffer& args) {
   }
   if (pre_call_hook_) pre_call_hook_();
   ++user_calls_;
+  trace::SpanScope span("dfm.call", {.category = "dfm", .node = address_.node});
+  if (span) span.Annotate("function", FunctionNameTable::Global().NameOf(function));
   simulation().AdvanceInline(cost().dfm_lookup);
   DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
                         mapper_.Acquire(function, CallOrigin::kExternal));
@@ -144,6 +152,8 @@ Result<ByteBuffer> Dcdo::CallInternal(const std::string& function,
                                       const ByteBuffer& args) {
   // Intra-object calls go through the DFM too — same indirection cost for
   // self-calls, intra-component, and inter-component calls alike.
+  trace::SpanScope span("dfm.call", {.category = "dfm", .node = address_.node});
+  if (span) span.Annotate("function", function);
   simulation().AdvanceInline(cost().dfm_lookup);
   DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
                         mapper_.Acquire(std::string_view(function),
@@ -153,6 +163,8 @@ Result<ByteBuffer> Dcdo::CallInternal(const std::string& function,
 
 Result<ByteBuffer> Dcdo::CallInternal(FunctionId function,
                                       const ByteBuffer& args) {
+  trace::SpanScope span("dfm.call", {.category = "dfm", .node = address_.node});
+  if (span) span.Annotate("function", FunctionNameTable::Global().NameOf(function));
   simulation().AdvanceInline(cost().dfm_lookup);
   DCDO_ASSIGN_OR_RETURN(DynamicFunctionMapper::CallGuard guard,
                         mapper_.Acquire(function, CallOrigin::kInternal));
@@ -320,6 +332,19 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
                    << " steps, " << plan.incorporate.size()
                    << " new components)";
   DCDO_CHECK_HOOK(OnEvolveBegin(id_, version_, target.version()));
+  // The evolution span is carried through the continuation chain by value
+  // (id + begin time) and closed in stage3_finish — the same place the
+  // checker learns the outcome.
+  std::uint64_t evolve_span = 0;
+  sim::SimTime evolve_begin = simulation().Now();
+  if (auto* tr = trace::ActiveContext()) {
+    evolve_span = tr->BeginSpan(
+        "evolve", {.category = "evolve", .node = address_.node});
+    tr->Annotate(evolve_span, "object", name_);
+    tr->Annotate(evolve_span, "from", version_.ToString());
+    tr->Annotate(evolve_span, "to", target.version().ToString());
+    tr->metrics().GetCounter("evolve.begun").Increment();
+  }
 
   // The evolution runs asynchronously; snapshot the target so the caller's
   // descriptor need not outlive the operation.
@@ -331,10 +356,14 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
   auto remove_queue = std::make_shared<std::vector<ObjectId>>(plan.remove);
   std::size_t flip_count = plan.enable.size() + plan.disable.size();
 
-  auto stage3_finish = [this, target_version = target.version(),
-                        done](Status status) {
+  auto stage3_finish = [this, target_version = target.version(), done,
+                        evolve_span, evolve_begin](Status status) {
     if (!status.ok()) {
       DCDO_CHECK_HOOK(OnEvolveEnd(id_, /*ok=*/false));
+      if (auto* tr = trace::ActiveContext()) {
+        tr->metrics().GetCounter("evolve.failed").Increment();
+        tr->EndSpan(evolve_span, "outcome", status.ToString());
+      }
       done(status);
       return;
     }
@@ -342,6 +371,12 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
     version_ = target_version;
     DCDO_CHECK_HOOK(OnVersionChanged(id_, previous, target_version));
     DCDO_CHECK_HOOK(OnEvolveEnd(id_, /*ok=*/true));
+    if (auto* tr = trace::ActiveContext()) {
+      tr->metrics().GetCounter("evolve.committed").Increment();
+      tr->metrics().GetHistogram("evolve.latency").Record(simulation().Now() -
+                                                          evolve_begin);
+      tr->EndSpan(evolve_span, "outcome", "committed");
+    }
     done(Status::Ok());
   };
 

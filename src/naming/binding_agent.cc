@@ -1,5 +1,7 @@
 #include "naming/binding_agent.h"
 
+#include "trace/trace_context.h"
+
 namespace dcdo {
 
 void BindingAgent::Bind(const ObjectId& id, const ObjectAddress& address) {
@@ -9,7 +11,8 @@ void BindingAgent::Bind(const ObjectId& id, const ObjectAddress& address) {
 void BindingAgent::Unbind(const ObjectId& id) { bindings_.erase(id); }
 
 Result<ObjectAddress> BindingAgent::Lookup(const ObjectId& id) const {
-  ++lookups_served_;
+  lookups_served_.Increment();
+  DCDO_TRACE_HOOK(metrics().GetCounter("naming.lookups_served").Increment());
   auto it = bindings_.find(id);
   if (it == bindings_.end()) {
     return NotFoundError("no binding for object " + id.ToString());

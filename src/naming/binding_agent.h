@@ -14,6 +14,7 @@
 #include "common/object_id.h"
 #include "common/status.h"
 #include "naming/address.h"
+#include "trace/metrics.h"
 
 namespace dcdo {
 
@@ -32,11 +33,13 @@ class BindingAgent {
   std::size_t size() const { return bindings_.size(); }
 
   // Number of Lookup calls served; benches report agent load per policy.
-  std::uint64_t lookups_served() const { return lookups_served_; }
+  std::uint64_t lookups_served() const { return lookups_served_.value(); }
 
  private:
   std::unordered_map<ObjectId, ObjectAddress, ObjectIdHash> bindings_;
-  mutable std::uint64_t lookups_served_ = 0;
+  // Atomic (trace::Counter): Lookup is const and callers probe agents from
+  // concurrent test threads — a plain mutable increment here was a data race.
+  mutable trace::Counter lookups_served_;
 };
 
 }  // namespace dcdo

@@ -1,6 +1,7 @@
 #include "naming/binding_cache.h"
 
 #include "check/check_context.h"
+#include "trace/trace_context.h"
 
 namespace dcdo {
 
@@ -46,7 +47,8 @@ void BindingCache::Store(const ObjectId& id, const ObjectAddress& address) {
     const ObjectId& victim = lru_.back();
     cache_.erase(victim);
     lru_.pop_back();
-    ++evictions_;
+    evictions_.Increment();
+    DCDO_TRACE_HOOK(metrics().GetCounter("naming.cache_evictions").Increment());
   }
 }
 
@@ -65,18 +67,19 @@ void BindingCache::InvalidateAll() {
 Result<ObjectAddress> BindingCache::Resolve(const ObjectId& id) {
   auto it = cache_.find(id);
   if (it != cache_.end()) {
-    ++hits_;
+    hits_.Increment();
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return it->second.address;
   }
-  ++misses_;
+  misses_.Increment();
   DCDO_ASSIGN_OR_RETURN(ObjectAddress address, agent_.Lookup(id));
   Store(id, address);
   return address;
 }
 
 Result<ObjectAddress> BindingCache::RefreshFromAgent(const ObjectId& id) {
-  ++refreshes_;
+  refreshes_.Increment();
+  DCDO_TRACE_HOOK(metrics().GetCounter("naming.refreshes").Increment());
   Invalidate(id);  // a failed lookup must not leave the stale entry behind
   DCDO_ASSIGN_OR_RETURN(ObjectAddress address, agent_.Lookup(id));
   Store(id, address);

@@ -26,6 +26,7 @@
 #include "naming/address.h"
 #include "naming/binding_agent.h"
 #include "sim/simulation.h"
+#include "trace/metrics.h"
 
 namespace dcdo {
 
@@ -55,10 +56,10 @@ class BindingCache {
   std::size_t size() const { return cache_.size(); }
   std::size_t capacity() const { return capacity_; }
 
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t refreshes() const { return refreshes_; }
-  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
+  std::uint64_t refreshes() const { return refreshes_.value(); }
+  std::uint64_t evictions() const { return evictions_.value(); }
 
  private:
   struct Entry {
@@ -74,10 +75,12 @@ class BindingCache {
   std::size_t capacity_;
   std::list<ObjectId> lru_;  // front = most recently used
   std::unordered_map<ObjectId, Entry, ObjectIdHash> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t refreshes_ = 0;
-  std::uint64_t evictions_ = 0;
+  // trace::Counter (atomic): stats siblings of BindingAgent::lookups_served_,
+  // readable race-free from concurrent test threads.
+  trace::Counter hits_;
+  trace::Counter misses_;
+  trace::Counter refreshes_;
+  trace::Counter evictions_;
   std::uint64_t check_handle_ = 0;  // binding-coherence probe registration
 };
 

@@ -1,12 +1,31 @@
 #include "rpc/client.h"
 
+#include <atomic>
 #include <optional>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/pool_allocator.h"
+#include "trace/trace_context.h"
 
 namespace dcdo::rpc {
+namespace {
+
+// Process-global call-id allocator. The server's at-most-once window keys on
+// (origin node, call_id); a per-client counter would collide the moment two
+// clients share a node. Atomic: threaded stress tests drive clients from
+// several OS threads.
+std::atomic<std::uint64_t> g_next_call_id{1};
+
+// Records the per-method latency histogram name without allocating in the
+// common case of short method names.
+std::string LatencyMetricName(std::string_view method) {
+  std::string name = "rpc.latency.";
+  name.append(method);
+  return name;
+}
+
+}  // namespace
 
 struct RpcClient::CallState {
   ObjectId target;
@@ -20,6 +39,12 @@ struct RpcClient::CallState {
   bool finished = false;
   std::uint64_t call_id = 0;
   std::uint64_t timer_id = 0;
+  // Trace carriage (0 = untraced): the whole-call span, the span of the
+  // attempt currently on the wire, and the call's sim start for the
+  // per-method latency histogram.
+  std::uint64_t span = 0;
+  std::uint64_t attempt_span = 0;
+  sim::SimTime started_at;
 
   std::string_view method_name() const {
     if (!method.empty()) return method;
@@ -81,10 +106,24 @@ void RpcClient::Invoke(const ObjectId& target, FunctionId method,
 }
 
 void RpcClient::StartCall(const std::shared_ptr<CallState>& call) {
-  ++calls_started_;
-  call->call_id = next_call_id_++;
+  calls_started_.Increment();
+  call->call_id = g_next_call_id.fetch_add(1, std::memory_order_relaxed);
+  if (auto* tr = trace::ActiveContext()) {
+    // The whole-call span, keyed (origin node, call_id). Parent: whatever
+    // scope is active — a call issued from inside a server handler (an
+    // outcall) nests under that handler's dispatch span.
+    call->span = tr->BeginSpan("rpc.call",
+                               {.category = "client",
+                                .node = static_cast<std::uint32_t>(node_),
+                                .call_id = call->call_id});
+    tr->Annotate(call->span, "method", call->method_name());
+    tr->Annotate(call->span, "target", call->target.ToString());
+    tr->metrics().GetCounter("rpc.calls_started").Increment();
+    call->started_at = transport_.simulation().Now();
+  }
   Result<ObjectAddress> address = cache_.Resolve(call->target);
   if (!address.ok()) {
+    DCDO_TRACE_HOOK(EndSpan(call->span, "outcome", "unresolved"));
     call->done(address.status());
     return;
   }
@@ -95,6 +134,18 @@ void RpcClient::StartCall(const std::shared_ptr<CallState>& call) {
 void RpcClient::Attempt(const std::shared_ptr<CallState>& call) {
   sim::Simulation& simulation = transport_.simulation();
   ++call->attempts_this_binding;
+
+  auto* tr = trace::ActiveContext();
+  if (tr != nullptr) {
+    call->attempt_span =
+        tr->BeginSpan("rpc.attempt",
+                      {.category = "client",
+                       .parent = call->span,
+                       .node = static_cast<std::uint32_t>(node_),
+                       .call_id = call->call_id,
+                       .attempt = call->attempts_this_binding});
+    if (call->refreshed) tr->Annotate(call->attempt_span, "binding", "rebound");
+  }
 
   MethodInvocation invocation;
   invocation.target = call->target;
@@ -114,24 +165,48 @@ void RpcClient::Attempt(const std::shared_ptr<CallState>& call) {
       transport_.cost_model().invocation_timeout,
       [this, call]() { OnTimeout(call); });
 
+  // The attempt span is the scope while the transport marshals and hands the
+  // message to the network, so rpc.send / net.xfer nest beneath it.
+  if (tr != nullptr) tr->PushScope(call->attempt_span);
   transport_.Invoke(
       node_, call->address.node, call->address.pid, std::move(invocation),
       [this, call](MethodResult result) {
         if (call->finished) return;  // a late reply after we gave up
         call->finished = true;
         transport_.simulation().Cancel(call->timer_id);
+        if (auto* tr2 = trace::ActiveContext()) {
+          tr2->EndSpan(call->attempt_span, "outcome",
+                       result.status.ok() ? "reply" : "error");
+          if (call->span != 0) {
+            tr2->metrics()
+                .GetHistogram(LatencyMetricName(call->method_name()))
+                .Record(transport_.simulation().Now() - call->started_at);
+          }
+          tr2->metrics().GetCounter("rpc.replies").Increment();
+          tr2->EndSpan(call->span);
+        }
         if (result.status.ok()) {
           call->done(std::move(result.payload));
         } else {
           call->done(std::move(result.status));
         }
       });
+  if (tr != nullptr) tr->PopScope();
 }
 
 void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
   if (call->finished) return;
-  ++timeouts_;
+  timeouts_.Increment();
   const sim::CostModel& cost = transport_.cost_model();
+  if (auto* tr = trace::ActiveContext()) {
+    tr->Instant("rpc.timeout", {.category = "client",
+                                .parent = call->attempt_span,
+                                .node = static_cast<std::uint32_t>(node_),
+                                .call_id = call->call_id,
+                                .attempt = call->attempts_this_binding});
+    tr->EndSpan(call->attempt_span, "outcome", "timeout");
+    tr->metrics().GetCounter("rpc.timeouts").Increment();
+  }
 
   if (call->attempts_this_binding <= cost.stale_retry_count) {
     DCDO_LOG(kDebug) << "rpc: timeout on " << call->method_name() << ", retry "
@@ -145,19 +220,35 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
     // and consult the binding agent (paying the rebind query cost).
     call->refreshed = true;
     call->attempts_this_binding = 0;
-    ++rebinds_;
+    rebinds_.Increment();
+    std::uint64_t rebind_span = 0;
+    if (auto* tr = trace::ActiveContext()) {
+      rebind_span =
+          tr->BeginSpan("rpc.rebind", {.category = "client",
+                                       .parent = call->span,
+                                       .node = static_cast<std::uint32_t>(node_),
+                                       .call_id = call->call_id});
+      tr->metrics().GetCounter("rpc.rebinds").Increment();
+    }
     sim::Simulation& simulation = transport_.simulation();
-    simulation.Schedule(cost.rebind_query, [this, call]() {
+    simulation.Schedule(cost.rebind_query, [this, call, rebind_span]() {
       if (call->finished) return;
       Result<ObjectAddress> fresh = cache_.RefreshFromAgent(call->target);
       if (!fresh.ok()) {
         call->finished = true;
+        if (auto* tr = trace::ActiveContext()) {
+          tr->EndSpan(rebind_span, "outcome", "unbound");
+          tr->EndSpan(call->span, "outcome", "unavailable");
+        }
         call->done(UnavailableError("object " + call->target.ToString() +
                                     " has no current binding"));
         return;
       }
       DCDO_LOG(kDebug) << "rpc: rebound " << call->target << " to "
                        << fresh->ToString();
+      if (auto* tr = trace::ActiveContext()) {
+        tr->EndSpan(rebind_span, "address", fresh->ToString());
+      }
       call->address = *fresh;
       Attempt(call);
     });
@@ -165,6 +256,7 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
   }
 
   call->finished = true;
+  DCDO_TRACE_HOOK(EndSpan(call->span, "outcome", "timeout"));
   call->done(TimeoutError("invocation of " +
                           std::string(call->method_name()) + " on " +
                           call->target.ToString() + " timed out after rebind"));

@@ -35,6 +35,7 @@
 #include "dfm/function_id.h"
 #include "naming/binding_cache.h"
 #include "rpc/transport.h"
+#include "trace/metrics.h"
 
 namespace dcdo::rpc {
 
@@ -69,9 +70,9 @@ class RpcClient {
   sim::NodeId node() const { return node_; }
   BindingCache& cache() { return cache_; }
 
-  std::uint64_t timeouts() const { return timeouts_; }
-  std::uint64_t rebinds() const { return rebinds_; }
-  std::uint64_t calls_started() const { return calls_started_; }
+  std::uint64_t timeouts() const { return timeouts_.value(); }
+  std::uint64_t rebinds() const { return rebinds_.value(); }
+  std::uint64_t calls_started() const { return calls_started_.value(); }
 
  private:
   struct CallState;
@@ -92,10 +93,12 @@ class RpcClient {
   // global table's shared lock and hash probe entirely.
   std::string last_method_;
   FunctionId last_method_id_;
-  std::uint64_t next_call_id_ = 1;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t rebinds_ = 0;
-  std::uint64_t calls_started_ = 0;
+  // Call ids are allocated from a process-global atomic (client.cc): the
+  // server's dedup window keys on (origin node, call_id), and two clients on
+  // one node each counting from 1 would collide.
+  trace::Counter timeouts_;
+  trace::Counter rebinds_;
+  trace::Counter calls_started_;
 };
 
 }  // namespace dcdo::rpc

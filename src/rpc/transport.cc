@@ -1,13 +1,80 @@
 #include "rpc/transport.h"
 
+#include <deque>
 #include <memory>
+#include <string>
 
 #include "check/check_context.h"
 #include "common/logging.h"
 #include "common/pool_allocator.h"
+#include "trace/trace_context.h"
 
 namespace dcdo::rpc {
+
+// Per-endpoint at-most-once state: one entry per (origin node, call_id) seen
+// by this activation. An entry is "in flight" until the handler produces its
+// reply, then caches that reply for replay. Entries never re-arm, so the
+// insertion-order deque IS the expiry order and the TTL sweep is a lazy
+// front-pop on each delivery — no simulator events, so a traced or untraced
+// run's event count and quiescence time are untouched.
+class DedupWindow {
+ public:
+  struct Entry {
+    bool completed = false;
+    MethodResult reply;  // valid once completed
+  };
+  using Key = std::pair<sim::NodeId, std::uint64_t>;  // (origin, call_id)
+
+  // Null when absent or already retired.
+  Entry* Find(const Key& key) {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  Entry& Insert(const Key& key, sim::SimTime expires_at) {
+    order_.push_back({key, expires_at});
+    return entries_[key];
+  }
+
+  // Retires entries whose TTL has passed; returns how many.
+  std::size_t PurgeExpired(sim::SimTime now) {
+    std::size_t purged = 0;
+    while (!order_.empty() && order_.front().expires_at <= now) {
+      entries_.erase(order_.front().key);
+      order_.pop_front();
+      ++purged;
+    }
+    return purged;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t mixed = (static_cast<std::uint64_t>(key.first) << 32) ^
+                            (key.second * 0x9e3779b97f4a7c15ull);
+      return std::hash<std::uint64_t>{}(mixed);
+    }
+  };
+  struct Order {
+    Key key;
+    sim::SimTime expires_at;
+  };
+
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::deque<Order> order_;  // insertion order == expiry order
+};
+
 namespace {
+
+// How long an entry must survive: the client can still retry a call until
+// every timeout of the original binding round plus the rebound round has
+// fired, so the window outlives the whole retry schedule.
+sim::SimDuration DedupTtl(const sim::CostModel& cost) {
+  return cost.invocation_timeout *
+         static_cast<std::int64_t>(2 + cost.stale_retry_count);
+}
 
 // One call in flight: the invocation and the caller's continuation ride the
 // whole round trip together in a single pooled block. Every closure along
@@ -21,6 +88,12 @@ struct InFlight {
   sim::ProcessId to_pid;
   MethodInvocation invocation;
   ReplyFn on_reply;
+  // Set at delivery: the receiving endpoint's dedup window, so the reply
+  // functor can cache the handler's answer for replay.
+  std::shared_ptr<DedupWindow> window;
+  // Trace carriage across the async hops (0 = untraced).
+  std::uint64_t send_span = 0;
+  std::uint64_t dispatch_span = 0;
 };
 
 struct InFlightDelete {
@@ -35,7 +108,8 @@ using InFlightPtr = std::unique_ptr<InFlight, InFlightDelete>;
 
 void RpcTransport::RegisterEndpoint(sim::NodeId node, sim::ProcessId pid,
                                     std::uint64_t epoch, Handler handler) {
-  endpoints_[{node, pid}] = Endpoint{epoch, std::move(handler)};
+  endpoints_[{node, pid}] =
+      Endpoint{epoch, std::move(handler), std::make_shared<DedupWindow>()};
   DCDO_CHECK_HOOK(OnEndpointOpened(node, pid, epoch));
 }
 
@@ -49,6 +123,19 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
                           ReplyFn on_reply) {
   const sim::CostModel& cost = cost_model();
   sim::Simulation& simulation = network_.simulation();
+
+  // The send span covers marshaling and the hand-off to the network; the
+  // net.xfer span begun inside network_.Send nests under it via the scope
+  // stack. Its id travels in the InFlight block so the server-side dispatch
+  // span can name it as parent — the cross-node causal edge.
+  std::uint64_t send_span = 0;
+  if (auto* tr = trace::ActiveContext()) {
+    send_span = tr->BeginSpan(
+        "rpc.send", {.category = "transport",
+                     .node = static_cast<std::uint32_t>(from_node),
+                     .call_id = invocation.call_id});
+    tr->PushScope(send_span);
+  }
 
   // Sender-side marshaling happens before the message hits the wire.
   simulation.AdvanceInline(
@@ -64,11 +151,17 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
   try {
     call = InFlightPtr(::new (block) InFlight{this, from_node, to_node, to_pid,
                                               std::move(invocation),
-                                              std::move(on_reply)});
+                                              std::move(on_reply), nullptr, 0,
+                                              0});
   } catch (...) {
     common::PoolFree<sizeof(InFlight)>(block);
+    if (auto* tr = trace::ActiveContext()) {
+      tr->PopScope();
+      tr->EndSpan(send_span, "outcome", "marshal-failed");
+    }
     throw;
   }
+  call->send_span = send_span;
   network_.Send(
       from_node, to_node, wire_bytes, [this, call = std::move(call)]() mutable {
         auto it = endpoints_.find({call->to_node, call->to_pid});
@@ -84,13 +177,85 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
           // Same (node, pid) reused by a newer activation: the old-epoch
           // invocation is silently discarded, exactly like a message to a
           // dead address.
-          ++epoch_rejections_;
+          epoch_rejections_.Increment();
+          DCDO_TRACE_HOOK(metrics()
+                              .GetCounter("rpc.epoch_rejections")
+                              .Increment());
           DCDO_LOG(kDebug) << "rpc: epoch mismatch at node " << call->to_node
                            << " for " << call->invocation.method_name();
           return;
         }
-        ++invocations_delivered_;
+
+        // At-most-once: consult the endpoint's dedup window before the
+        // handler sees anything. Past the epoch check, (origin, call_id)
+        // uniquely names a logical call at this activation.
+        const std::uint64_t call_id = call->invocation.call_id;
+        if (call_id != 0) {
+          DedupWindow& window = *it->second.dedup;
+          sim::SimTime now = network_.simulation().Now();
+          std::size_t purged = window.PurgeExpired(now);
+          if (purged != 0) {
+            dedup_evictions_.Increment(purged);
+            DCDO_TRACE_HOOK(metrics()
+                                .GetCounter("rpc.dedup_evictions")
+                                .Increment(purged));
+          }
+          DedupWindow::Key key{call->from_node, call_id};
+          if (DedupWindow::Entry* seen = window.Find(key)) {
+            dedup_hits_.Increment();
+            if (auto* tr = trace::ActiveContext()) {
+              tr->metrics().GetCounter("rpc.dedup_hits").Increment();
+              tr->Instant("rpc.dedup",
+                          {.category = "server",
+                           .parent = call->send_span,
+                           .node = static_cast<std::uint32_t>(call->to_node),
+                           .call_id = call_id});
+            }
+            if (!seen->completed) {
+              // The original attempt is still executing (the handler parked
+              // its reply); its answer will reach the client. Dropping the
+              // duplicate here is what makes the method body run once.
+              DCDO_LOG(kDebug)
+                  << "rpc: duplicate of in-flight call " << call_id
+                  << " from node " << call->from_node << " dropped";
+              return;
+            }
+            // The original already answered — replay the cached reply
+            // without re-running the body. Charge the dispatch cost (the
+            // server did look the call up) and ship the copy back.
+            network_.simulation().AdvanceInline(cost_model().rpc_dispatch);
+            MethodResult replay = seen->reply;
+            const sim::NodeId to_node = call->to_node;
+            const sim::NodeId from_node = call->from_node;
+            std::size_t reply_bytes = replay.WireSize();
+            network_.Send(to_node, from_node, reply_bytes,
+                          [call = std::move(call),
+                           replay = std::move(replay)]() mutable {
+                            call->on_reply(std::move(replay));
+                          });
+            return;
+          }
+          window.Insert(key, now + DedupTtl(cost_model()));
+          call->window = it->second.dedup;
+        }
+
+        invocations_delivered_.Increment();
         network_.simulation().AdvanceInline(cost_model().rpc_dispatch);
+        std::uint64_t dispatch_span = 0;
+        auto* tr = trace::ActiveContext();
+        if (tr != nullptr) {
+          dispatch_span = tr->BeginSpan(
+              "rpc.dispatch",
+              {.category = "server",
+               .parent = call->send_span,
+               .node = static_cast<std::uint32_t>(call->to_node),
+               .call_id = call_id});
+          tr->Annotate(dispatch_span, "method",
+                       call->invocation.method_name());
+          call->dispatch_span = dispatch_span;
+          // Handler-internal spans (dfm.call, nested outcalls) nest here.
+          tr->PushScope(dispatch_span);
+        }
         // Hand the handler a reference into the block and move the block
         // itself into the reply functor; the reference stays valid for as
         // long as the handler keeps the functor alive (the documented
@@ -99,6 +264,20 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
         const MethodInvocation& invocation = call->invocation;
         ReplyFn wire_reply = [call =
                                   std::move(call)](MethodResult result) mutable {
+          if (call->window != nullptr) {
+            // Record the outcome for replay — even if the reply message is
+            // about to be lost on the wire, the *execution* happened, and a
+            // retry must get this answer instead of a second execution.
+            if (DedupWindow::Entry* entry = call->window->Find(
+                    {call->from_node, call->invocation.call_id})) {
+              entry->completed = true;
+              entry->reply = result;
+            }
+          }
+          if (auto* tr2 = trace::ActiveContext()) {
+            tr2->EndSpan(call->dispatch_span, "status",
+                         result.status.ok() ? "ok" : result.status.ToString());
+          }
           RpcTransport* transport = call->transport;
           const sim::NodeId to_node = call->to_node;
           const sim::NodeId from_node = call->from_node;
@@ -110,7 +289,12 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
               });
         };
         it->second.handler(invocation, std::move(wire_reply));
+        if (tr != nullptr) tr->PopScope();
       });
+  if (auto* tr = trace::ActiveContext()) {
+    tr->PopScope();
+    tr->EndSpan(send_span);
+  }
 }
 
 }  // namespace dcdo::rpc

@@ -7,10 +7,22 @@
 //   * otherwise the handler runs after the dispatch cost and replies
 //     asynchronously (an object may park a call while it makes an outcall —
 //     the situation behind the paper's disappearing-function problems).
+//
+// At-most-once dispatch: each endpoint keeps a dedup window keyed by
+// (origin node, call_id). A client timeout does not mean the attempt was
+// lost — a slow first attempt plus its retry can BOTH arrive, and without
+// dedup both execute the method body (disastrous for non-idempotent
+// dcdo.*/mgr.* configuration calls). The window drops a duplicate whose
+// original is still executing and replays the cached reply for one whose
+// original already answered; entries retire after
+// invocation_timeout * (2 + stale_retry_count) — beyond the point where the
+// client protocol can still retry them (see DESIGN.md §9). call_id 0 (a
+// hand-rolled invocation that never set one) bypasses the window.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
@@ -19,8 +31,11 @@
 #include "rpc/message.h"
 #include "sim/host.h"
 #include "sim/network.h"
+#include "trace/metrics.h"
 
 namespace dcdo::rpc {
+
+class DedupWindow;  // transport.cc; per-endpoint at-most-once state
 
 // Called by a handler to send its reply (may be deferred). Move-only: reply
 // closures own the caller's continuation, which is never copied. The buffer
@@ -67,15 +82,25 @@ class RpcTransport {
   sim::Simulation& simulation() { return network_.simulation(); }
   const sim::CostModel& cost_model() const { return network_.cost_model(); }
 
+  // Invocations handed to a handler (duplicates suppressed by the dedup
+  // window are NOT counted here — the method body never ran again).
   std::uint64_t invocations_delivered() const {
-    return invocations_delivered_;
+    return invocations_delivered_.value();
   }
-  std::uint64_t epoch_rejections() const { return epoch_rejections_; }
+  std::uint64_t epoch_rejections() const { return epoch_rejections_.value(); }
+  // Duplicate deliveries absorbed by the window (in-flight drops + replays)
+  // and window entries retired by the TTL sweep.
+  std::uint64_t dedup_hits() const { return dedup_hits_.value(); }
+  std::uint64_t dedup_evictions() const { return dedup_evictions_.value(); }
 
  private:
   struct Endpoint {
     std::uint64_t epoch;
     Handler handler;
+    // Shared with in-flight reply functors, so a reply that completes after
+    // the activation re-registered still lands in *its* window (harmlessly
+    // orphaned) instead of poisoning the successor's.
+    std::shared_ptr<DedupWindow> dedup;
   };
   struct EndpointKeyHash {
     std::size_t operator()(
@@ -90,8 +115,10 @@ class RpcTransport {
   std::unordered_map<std::pair<sim::NodeId, sim::ProcessId>, Endpoint,
                      EndpointKeyHash>
       endpoints_;
-  std::uint64_t invocations_delivered_ = 0;
-  std::uint64_t epoch_rejections_ = 0;
+  trace::Counter invocations_delivered_;
+  trace::Counter epoch_rejections_;
+  trace::Counter dedup_hits_;
+  trace::Counter dedup_evictions_;
 };
 
 }  // namespace dcdo::rpc

@@ -1,5 +1,7 @@
 #include "runtime/testbed.h"
 
+#include "trace/chrome_trace.h"
+
 namespace dcdo {
 
 Testbed::Testbed(const Options& options) {
@@ -10,6 +12,14 @@ Testbed::Testbed(const Options& options) {
     checker_ = std::make_unique<check::CheckContext>(options.check_options);
     checker_->Install();
     checker_->AttachSimulation(&simulation_);
+  }
+#endif
+#if defined(DCDO_TRACE_ENABLED)
+  if (options.tracing) {
+    // Before the network exists: the first spans come from the substrate.
+    tracer_ = std::make_unique<trace::TraceContext>(options.trace_options);
+    tracer_->AttachSimulation(&simulation_);
+    tracer_->Install();
   }
 #endif
   network_ = std::make_unique<sim::SimNetwork>(&simulation_,
@@ -52,6 +62,28 @@ Testbed::~Testbed() {
     checker_->EvaluateAtEnd();
     checker_->Uninstall();
   }
+  if (tracer_) tracer_->Uninstall();
+}
+
+Status Testbed::DumpTrace(const std::string& path) {
+  if (!tracer_) {
+    return FailedPreconditionError(
+        "tracing is not installed on this testbed (Options::tracing, build "
+        "option DCDO_TRACING)");
+  }
+  // Substrate totals that live as component members rather than registry
+  // metrics: snapshot them into the registry at export time so the JSON
+  // carries the complete picture. (Registry-native metrics — rpc.dedup_hits,
+  // rpc.timeouts, net.drops, evolve.* — are already live-incremented; only
+  // the member-counter mirrors are set here.)
+  trace::MetricsRegistry& m = tracer_->metrics();
+  m.SetCounter("net.messages_sent", network_->messages_sent());
+  m.SetCounter("net.messages_delivered", network_->messages_delivered());
+  m.SetCounter("net.messages_dropped", network_->messages_dropped());
+  m.SetCounter("net.bytes_sent", network_->bytes_sent());
+  m.SetCounter("rpc.invocations_delivered",
+               transport_->invocations_delivered());
+  return trace::WriteChromeTrace(*tracer_, path);
 }
 
 std::unique_ptr<rpc::RpcClient> Testbed::MakeClient(std::size_t host_index) {

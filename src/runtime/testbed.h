@@ -8,9 +8,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "check/check_context.h"
+#include "common/status.h"
 #include "component/native_code_registry.h"
 #include "naming/binding_agent.h"
 #include "naming/name_service.h"
@@ -19,6 +21,7 @@
 #include "sim/host.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
+#include "trace/trace_context.h"
 
 namespace dcdo {
 
@@ -36,6 +39,12 @@ class Testbed {
     // off.
     bool checking = true;
     check::CheckContext::Options check_options = {};
+    // Install a TraceContext (causal spans + metrics) over this testbed.
+    // Default off — tracing is opt-in per scenario so benches and the bulk
+    // of the suite measure the uninstrumented fast path. No effect when the
+    // build has DCDO_TRACING off.
+    bool tracing = false;
+    trace::TraceContext::Options trace_options = {};
   };
 
   explicit Testbed(const Options& options);
@@ -65,9 +74,19 @@ class Testbed {
   // option or because the build has DCDO_CHECKING off).
   check::CheckContext* checker() { return checker_.get(); }
 
+  // The installed tracing context, or nullptr when tracing is off (by
+  // option or because the build has DCDO_TRACING off).
+  trace::TraceContext* tracer() { return tracer_.get(); }
+
+  // Exports the collected trace as Chrome trace-event JSON (chrome://tracing
+  // / Perfetto). Snapshots the substrate counters into the metrics registry
+  // first so the export carries them. Fails when tracing is not installed.
+  Status DumpTrace(const std::string& path);
+
  private:
   sim::Simulation simulation_;
   std::unique_ptr<check::CheckContext> checker_;
+  std::unique_ptr<trace::TraceContext> tracer_;
   std::unique_ptr<sim::SimNetwork> network_;
   std::vector<std::unique_ptr<sim::SimHost>> hosts_;
   BindingAgent agent_;

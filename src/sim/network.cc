@@ -1,13 +1,48 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
+#include "trace/trace_context.h"
 
 namespace dcdo::sim {
 namespace {
 std::pair<NodeId, NodeId> Normalize(NodeId a, NodeId b) {
   return {std::min(a, b), std::max(a, b)};
+}
+
+// A net.xfer / net.batch / net.bulk span covering wire time. Opened at send
+// (so it nests under the transport's rpc.send scope), closed at delivery.
+// Returns 0 with tracing off — every downstream use tolerates a zero id.
+std::uint64_t BeginTransferSpan(const char* name, NodeId from,
+                                std::size_t bytes) {
+  auto* tr = trace::ActiveContext();
+  if (tr == nullptr) return 0;
+  std::uint64_t span =
+      tr->BeginSpan(name, {.category = "net", .node = from});
+  tr->Annotate(span, "bytes", std::to_string(bytes));
+  return span;
+}
+
+void EndTransferSpan(std::uint64_t span, bool delivered) {
+  if (span == 0) return;
+  auto* tr = trace::ActiveContext();
+  if (tr == nullptr) return;
+  if (delivered) {
+    tr->EndSpan(span);
+  } else {
+    tr->EndSpan(span, "outcome", "dropped-in-flight");
+    tr->metrics().GetCounter("net.drops").Increment();
+  }
+}
+
+void TraceSendDrop(NodeId from, NodeId to) {
+  auto* tr = trace::ActiveContext();
+  if (tr == nullptr) return;
+  tr->Instant("net.drop", {.category = "net", .node = from});
+  tr->metrics().GetCounter("net.drops").Increment();
+  (void)to;
 }
 }  // namespace
 
@@ -42,13 +77,14 @@ bool SimNetwork::Reachable(NodeId from, NodeId to) const {
 void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
                       Delivery on_delivery) {
   if (!Reachable(from, to)) {
-    ++messages_dropped_;
+    messages_dropped_.Increment();
+    TraceSendDrop(from, to);
     DCDO_LOG(kDebug) << "net: dropped " << bytes << "B " << from << "->" << to;
     return;
   }
-  ++messages_sent_;
-  ++messages_in_flight_;
-  bytes_sent_ += bytes;
+  messages_sent_.Increment();
+  messages_in_flight_.Increment();
+  bytes_sent_.Increment(bytes);
   if (cost_.send_batch_window > SimDuration::Zero()) {
     const auto key = std::make_pair(from, to);
     auto [it, opened] = pending_batches_.try_emplace(key);
@@ -60,7 +96,7 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
                              FlushBatch(from, to, batch_id);
                            });
     } else {
-      ++messages_coalesced_;
+      messages_coalesced_.Increment();
     }
     batch.bytes += bytes;
     batch.deliveries.push_back(std::move(on_delivery));
@@ -69,12 +105,14 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
     }
     return;
   }
+  std::uint64_t span = BeginTransferSpan("net.xfer", from, bytes);
   if (from == to) {
     // Loopback: no NIC serialization, negligible latency.
     simulation_.Schedule(SimDuration::Micros(5),
-                         [this, fn = std::move(on_delivery)]() mutable {
-                           --messages_in_flight_;
-                           ++messages_delivered_;
+                         [this, span, fn = std::move(on_delivery)]() mutable {
+                           messages_in_flight_.Decrement();
+                           messages_delivered_.Increment();
+                           EndTransferSpan(span, /*delivered=*/true);
                            fn();
                          });
     return;
@@ -91,14 +129,17 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
   // Re-check reachability at delivery time: a partition that forms while the
   // message is in flight loses the message.
   simulation_.ScheduleAt(
-      delivered, [this, from, to, fn = std::move(on_delivery)]() mutable {
-        --messages_in_flight_;
+      delivered,
+      [this, from, to, span, fn = std::move(on_delivery)]() mutable {
+        messages_in_flight_.Decrement();
         if (!Reachable(from, to)) {
-          ++messages_dropped_;
-          ++messages_dropped_in_flight_;
+          messages_dropped_.Increment();
+          messages_dropped_in_flight_.Increment();
+          EndTransferSpan(span, /*delivered=*/false);
           return;
         }
-        ++messages_delivered_;
+        messages_delivered_.Increment();
+        EndTransferSpan(span, /*delivered=*/true);
         fn();
       });
 }
@@ -115,16 +156,19 @@ void SimNetwork::FlushBatch(NodeId from, NodeId to, std::uint64_t batch_id) {
 
 void SimNetwork::DispatchBatch(NodeId from, NodeId to, std::size_t bytes,
                                std::vector<Delivery> deliveries) {
-  ++batches_sent_;
-  auto deliver = [this, from, to,
+  batches_sent_.Increment();
+  std::uint64_t span = BeginTransferSpan("net.batch", from, bytes);
+  auto deliver = [this, from, to, span,
                   fns = std::move(deliveries)]() mutable {
-    messages_in_flight_ -= fns.size();
+    messages_in_flight_.Decrement(fns.size());
     if (!Reachable(from, to)) {
-      messages_dropped_ += fns.size();
-      messages_dropped_in_flight_ += fns.size();
+      messages_dropped_.Increment(fns.size());
+      messages_dropped_in_flight_.Increment(fns.size());
+      EndTransferSpan(span, /*delivered=*/false);
       return;
     }
-    messages_delivered_ += fns.size();
+    messages_delivered_.Increment(fns.size());
+    EndTransferSpan(span, /*delivered=*/true);
     for (Delivery& fn : fns) fn();
   };
   if (from == to) {
@@ -151,26 +195,30 @@ void SimNetwork::BulkTransfer(NodeId from, NodeId to, std::size_t bytes,
 void SimNetwork::TimedTransfer(NodeId from, NodeId to, std::size_t bytes,
                                SimDuration duration, Delivery on_done) {
   if (!Reachable(from, to)) {
-    ++messages_dropped_;
+    messages_dropped_.Increment();
+    TraceSendDrop(from, to);
     return;
   }
   // Same accounting as Send(): bulk transfers are messages too, and the
   // message-conservation invariant (sent == delivered + dropped-in-flight +
   // in-flight) must hold across both traffic classes.
-  ++messages_sent_;
-  ++messages_in_flight_;
-  bytes_sent_ += bytes;
-  simulation_.Schedule(duration,
-                       [this, from, to, fn = std::move(on_done)]() mutable {
-                         --messages_in_flight_;
-                         if (!Reachable(from, to)) {
-                           ++messages_dropped_;
-                           ++messages_dropped_in_flight_;
-                           return;
-                         }
-                         ++messages_delivered_;
-                         fn();
-                       });
+  messages_sent_.Increment();
+  messages_in_flight_.Increment();
+  bytes_sent_.Increment(bytes);
+  std::uint64_t span = BeginTransferSpan("net.bulk", from, bytes);
+  simulation_.Schedule(
+      duration, [this, from, to, span, fn = std::move(on_done)]() mutable {
+        messages_in_flight_.Decrement();
+        if (!Reachable(from, to)) {
+          messages_dropped_.Increment();
+          messages_dropped_in_flight_.Increment();
+          EndTransferSpan(span, /*delivered=*/false);
+          return;
+        }
+        messages_delivered_.Increment();
+        EndTransferSpan(span, /*delivered=*/true);
+        fn();
+      });
 }
 
 }  // namespace dcdo::sim

@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "sim/cost_model.h"
 #include "sim/simulation.h"
+#include "trace/metrics.h"
 
 namespace dcdo::sim {
 
@@ -82,19 +83,27 @@ class SimNetwork {
   // Counters (per run; benches report message counts, the checking layer's
   // message-conservation invariant requires
   //   sent == delivered + dropped-in-flight + in-flight
-  // at all times, and in-flight == 0 once the simulator is idle).
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t messages_delivered() const { return messages_delivered_; }
-  std::uint64_t messages_dropped() const { return messages_dropped_; }
-  std::uint64_t messages_dropped_in_flight() const {
-    return messages_dropped_in_flight_;
+  // at all times, and in-flight == 0 once the simulator is idle). Stored as
+  // trace::Counter — atomic, so cross-thread reads in concurrent tests are
+  // race-free, and snapshotable into an installed MetricsRegistry.
+  std::uint64_t messages_sent() const { return messages_sent_.value(); }
+  std::uint64_t messages_delivered() const {
+    return messages_delivered_.value();
   }
-  std::uint64_t messages_in_flight() const { return messages_in_flight_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_.value(); }
+  std::uint64_t messages_dropped_in_flight() const {
+    return messages_dropped_in_flight_.value();
+  }
+  std::uint64_t messages_in_flight() const {
+    return messages_in_flight_.value();
+  }
+  std::uint64_t bytes_sent() const { return bytes_sent_.value(); }
   // Batching telemetry: NIC transfers that carried a batch, and messages
   // that rode along in one (i.e. avoided their own transfer).
-  std::uint64_t batches_sent() const { return batches_sent_; }
-  std::uint64_t messages_coalesced() const { return messages_coalesced_; }
+  std::uint64_t batches_sent() const { return batches_sent_.value(); }
+  std::uint64_t messages_coalesced() const {
+    return messages_coalesced_.value();
+  }
 
  private:
   struct PendingBatch {
@@ -116,14 +125,14 @@ class SimNetwork {
   std::unordered_map<NodeId, SimTime> nic_busy_until_;
   std::map<std::pair<NodeId, NodeId>, PendingBatch> pending_batches_;
   std::uint64_t next_batch_id_ = 1;
-  std::uint64_t batches_sent_ = 0;
-  std::uint64_t messages_coalesced_ = 0;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t messages_delivered_ = 0;
-  std::uint64_t messages_dropped_ = 0;           // refused at send time
-  std::uint64_t messages_dropped_in_flight_ = 0; // lost after acceptance
-  std::uint64_t messages_in_flight_ = 0;
-  std::uint64_t bytes_sent_ = 0;
+  trace::Counter batches_sent_;
+  trace::Counter messages_coalesced_;
+  trace::Counter messages_sent_;
+  trace::Counter messages_delivered_;
+  trace::Counter messages_dropped_;            // refused at send time
+  trace::Counter messages_dropped_in_flight_;  // lost after acceptance
+  trace::Counter messages_in_flight_;
+  trace::Counter bytes_sent_;
 };
 
 }  // namespace dcdo::sim

@@ -122,8 +122,11 @@ TEST_F(ClientRebindTest, RetryThenRebindCountersAreExact) {
 }
 
 // The late-reply race: the old activation answers *after* the client has
-// already rebound and completed the call elsewhere. The late replies must be
+// already rebound and completed the call elsewhere. The late reply must be
 // discarded; the callback runs exactly once, with the rebind-path result.
+// The retries to the old activation carry the same call_id, so its dedup
+// window suppresses them while the first attempt's reply is parked — the
+// handler body runs once, not once per retry.
 TEST_F(ClientRebindTest, LateReplyAfterRebindRunsCallbackOnce) {
   ServeEchoAt(2, 10, 1);
   ASSERT_TRUE(client_.InvokeBlocking(target_, "warmup").ok());
@@ -159,8 +162,11 @@ TEST_F(ClientRebindTest, LateReplyAfterRebindRunsCallbackOnce) {
   simulation_.Run();  // drains the late replies too
 
   EXPECT_EQ(callback_runs, 1);
-  EXPECT_EQ(payload, "whoAnswers");   // the fresh activation's echo won
-  EXPECT_EQ(old_endpoint_hits, 3);    // initial attempt + 2 retries all parked
+  EXPECT_EQ(payload, "whoAnswers");  // the fresh activation's echo won
+  // Only the initial attempt reached the handler; both retries were
+  // recognized as duplicates of the still-in-flight call and dropped.
+  EXPECT_EQ(old_endpoint_hits, 1);
+  EXPECT_EQ(transport_.dedup_hits(), 2u);
   EXPECT_EQ(client_.rebinds(), 1u);
 }
 
