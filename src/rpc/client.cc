@@ -166,31 +166,47 @@ void RpcClient::Attempt(const std::shared_ptr<CallState>& call) {
       [this, call]() { OnTimeout(call); });
 
   // The attempt span is the scope while the transport marshals and hands the
-  // message to the network, so rpc.send / net.xfer nest beneath it.
+  // message to the network, so rpc.send / net.xfer nest beneath it. The pop
+  // must also run when Invoke throws (the marshal-failure path rethrows) —
+  // a leaked scope would parent later spans under a dead attempt.
   if (tr != nullptr) tr->PushScope(call->attempt_span);
-  transport_.Invoke(
-      node_, call->address.node, call->address.pid, std::move(invocation),
-      [this, call](MethodResult result) {
-        if (call->finished) return;  // a late reply after we gave up
-        call->finished = true;
-        transport_.simulation().Cancel(call->timer_id);
-        if (auto* tr2 = trace::ActiveContext()) {
-          tr2->EndSpan(call->attempt_span, "outcome",
-                       result.status.ok() ? "reply" : "error");
-          if (call->span != 0) {
-            tr2->metrics()
-                .GetHistogram(LatencyMetricName(call->method_name()))
-                .Record(transport_.simulation().Now() - call->started_at);
+  try {
+    transport_.Invoke(
+        node_, call->address.node, call->address.pid, std::move(invocation),
+        [this, call, attempt_span = call->attempt_span](MethodResult result) {
+          if (call->finished) return;  // a late reply after we gave up
+          call->finished = true;
+          transport_.simulation().Cancel(call->timer_id);
+          if (auto* tr2 = trace::ActiveContext()) {
+            // attempt_span is captured by value: a late reply from an earlier
+            // attempt must close THAT attempt's span (a no-op if OnTimeout
+            // already did), never the newer attempt's span that has since
+            // overwritten call->attempt_span.
+            tr2->EndSpan(attempt_span, "outcome",
+                         result.status.ok() ? "reply" : "error");
+            if (call->attempt_span != attempt_span) {
+              // The newer attempt still on the wire will never get its own
+              // answer (the server dedups it); close its span honestly.
+              tr2->EndSpan(call->attempt_span, "outcome", "superseded");
+            }
+            if (call->span != 0) {
+              tr2->metrics()
+                  .GetHistogram(LatencyMetricName(call->method_name()))
+                  .Record(transport_.simulation().Now() - call->started_at);
+            }
+            tr2->metrics().GetCounter("rpc.replies").Increment();
+            tr2->EndSpan(call->span);
           }
-          tr2->metrics().GetCounter("rpc.replies").Increment();
-          tr2->EndSpan(call->span);
-        }
-        if (result.status.ok()) {
-          call->done(std::move(result.payload));
-        } else {
-          call->done(std::move(result.status));
-        }
-      });
+          if (result.status.ok()) {
+            call->done(std::move(result.payload));
+          } else {
+            call->done(std::move(result.status));
+          }
+        });
+  } catch (...) {
+    if (tr != nullptr) tr->PopScope();
+    throw;
+  }
   if (tr != nullptr) tr->PopScope();
 }
 

@@ -15,8 +15,10 @@ namespace dcdo::rpc {
 // by this activation. An entry is "in flight" until the handler produces its
 // reply, then caches that reply for replay. Entries never re-arm, so the
 // insertion-order deque IS the expiry order and the TTL sweep is a lazy
-// front-pop on each delivery — no simulator events, so a traced or untraced
-// run's event count and quiescence time are untouched.
+// front-pop — run on every delivery to the endpoint and, for endpoints that
+// go idle, on any endpoint registration (SweepDedupWindows) — no simulator
+// events, so a traced or untraced run's event count and quiescence time are
+// untouched.
 class DedupWindow {
  public:
   struct Entry {
@@ -68,12 +70,19 @@ class DedupWindow {
 
 namespace {
 
-// How long an entry must survive: the client can still retry a call until
-// every timeout of the original binding round plus the rebound round has
-// fired, so the window outlives the whole retry schedule.
+// How long an entry must survive: the client protocol sends up to
+// stale_retry_count + 1 attempts per binding round over two rounds
+// (original + rebound), so the LAST retry leaves the client at
+//   invocation_timeout * (2*stale_retry_count + 1) + rebind_query
+// after the call started (50.9 s under the default model). The window must
+// outlive that whole schedule — an entry is inserted when the FIRST attempt
+// arrives — plus slack for the last retry's own transit, so size the TTL one
+// full timeout past the last possible send:
+//   invocation_timeout * 2 * (stale_retry_count + 1) + rebind_query.
 sim::SimDuration DedupTtl(const sim::CostModel& cost) {
   return cost.invocation_timeout *
-         static_cast<std::int64_t>(2 + cost.stale_retry_count);
+             static_cast<std::int64_t>(2 * (cost.stale_retry_count + 1)) +
+         cost.rebind_query;
 }
 
 // One call in flight: the invocation and the caller's continuation ride the
@@ -108,9 +117,27 @@ using InFlightPtr = std::unique_ptr<InFlight, InFlightDelete>;
 
 void RpcTransport::RegisterEndpoint(sim::NodeId node, sim::ProcessId pid,
                                     std::uint64_t epoch, Handler handler) {
+  // Registrations are the one recurring event every long scenario has, so
+  // piggyback a sweep of ALL endpoint windows here: an endpoint that went
+  // idle (no further deliveries) still sheds its expired entries and their
+  // cached replies instead of holding them forever.
+  SweepDedupWindows();
   endpoints_[{node, pid}] =
       Endpoint{epoch, std::move(handler), std::make_shared<DedupWindow>()};
   DCDO_CHECK_HOOK(OnEndpointOpened(node, pid, epoch));
+}
+
+void RpcTransport::SweepDedupWindows() {
+  const sim::SimTime now = network_.simulation().Now();
+  std::size_t purged = 0;
+  for (auto& [key, endpoint] : endpoints_) {
+    purged += endpoint.dedup->PurgeExpired(now);
+  }
+  if (purged != 0) {
+    dedup_evictions_.Increment(purged);
+    DCDO_TRACE_HOOK(
+        metrics().GetCounter("rpc.dedup_evictions").Increment(purged));
+  }
 }
 
 void RpcTransport::UnregisterEndpoint(sim::NodeId node, sim::ProcessId pid) {
@@ -188,18 +215,19 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
 
         // At-most-once: consult the endpoint's dedup window before the
         // handler sees anything. Past the epoch check, (origin, call_id)
-        // uniquely names a logical call at this activation.
+        // uniquely names a logical call at this activation. Every delivery —
+        // keyed or not — retires expired entries first, so an endpoint that
+        // only ever sees call_id-0 traffic still bounds its window.
         const std::uint64_t call_id = call->invocation.call_id;
+        DedupWindow& window = *it->second.dedup;
+        const sim::SimTime now = network_.simulation().Now();
+        if (std::size_t purged = window.PurgeExpired(now); purged != 0) {
+          dedup_evictions_.Increment(purged);
+          DCDO_TRACE_HOOK(metrics()
+                              .GetCounter("rpc.dedup_evictions")
+                              .Increment(purged));
+        }
         if (call_id != 0) {
-          DedupWindow& window = *it->second.dedup;
-          sim::SimTime now = network_.simulation().Now();
-          std::size_t purged = window.PurgeExpired(now);
-          if (purged != 0) {
-            dedup_evictions_.Increment(purged);
-            DCDO_TRACE_HOOK(metrics()
-                                .GetCounter("rpc.dedup_evictions")
-                                .Increment(purged));
-          }
           DedupWindow::Key key{call->from_node, call_id};
           if (DedupWindow::Entry* seen = window.Find(key)) {
             dedup_hits_.Increment();
@@ -237,7 +265,7 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
           }
           window.Insert(key, now + DedupTtl(cost_model()));
           call->window = it->second.dedup;
-        }
+        }  // call_id 0: a hand-rolled invocation; bypasses the window.
 
         invocations_delivered_.Increment();
         network_.simulation().AdvanceInline(cost_model().rpc_dispatch);

@@ -15,9 +15,10 @@
 // dcdo.*/mgr.* configuration calls). The window drops a duplicate whose
 // original is still executing and replays the cached reply for one whose
 // original already answered; entries retire after
-// invocation_timeout * (2 + stale_retry_count) — beyond the point where the
-// client protocol can still retry them (see DESIGN.md §9). call_id 0 (a
-// hand-rolled invocation that never set one) bypasses the window.
+// invocation_timeout * 2 * (stale_retry_count + 1) + rebind_query — a full
+// timeout past the last instant the client protocol can still send a retry
+// (see DESIGN.md §9). call_id 0 (a hand-rolled invocation that never set
+// one) bypasses the window.
 #pragma once
 
 #include <cstdint>
@@ -94,6 +95,10 @@ class RpcTransport {
   std::uint64_t dedup_evictions() const { return dedup_evictions_.value(); }
 
  private:
+  // Purges expired dedup entries from every endpoint's window; called on
+  // each RegisterEndpoint so idle endpoints shed their cached replies.
+  void SweepDedupWindows();
+
   struct Endpoint {
     std::uint64_t epoch;
     Handler handler;

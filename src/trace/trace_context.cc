@@ -93,8 +93,17 @@ void TraceContext::EndSpan(SpanId id) {
 
 void TraceContext::EndSpan(SpanId id, std::string_view key,
                            std::string_view value) {
-  Annotate(id, key, value);
-  EndSpan(id);
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  // Whole call is a no-op on a closed span: a second closer (e.g. a late
+  // reply racing the timeout that already ended the attempt) must not
+  // append a contradictory outcome note to the recorded one.
+  if (span.sim_end_ns >= 0) return;
+  span.notes.emplace_back(std::string(key), std::string(value));
+  span.sim_end_ns = SimNowNanos();
+  span.wall_end_ns = WallNowNanos();
 }
 
 void TraceContext::Annotate(SpanId id, std::string_view key,

@@ -7,7 +7,9 @@
 // method body — disastrous for non-idempotent configuration calls. These
 // tests pin the three behaviors: an in-flight duplicate is dropped, a
 // completed duplicate replays the cached reply without re-running the body,
-// and entries retire after invocation_timeout * (2 + stale_retry_count).
+// and entries retire after
+// invocation_timeout * 2 * (stale_retry_count + 1) + rebind_query — past
+// the client's whole retry schedule.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -125,10 +127,14 @@ TEST_F(DedupTest, InFlightDuplicateIsDropped) {
   EXPECT_EQ(transport_.invocations_delivered(), 1u);
 }
 
-// Window retirement: entries expire after invocation_timeout * (2 +
-// stale_retry_count) — 40 s under the default model — at which point a
-// reused call_id executes again. Raw transport invocations with hand-set
-// call ids drive the window directly.
+// Window retirement: entries expire after
+// invocation_timeout * 2 * (stale_retry_count + 1) + rebind_query — 60.9 s
+// under the default model — at which point a reused call_id executes again.
+// The client's last possible retry leaves at 50.9 s (two binding rounds of
+// 3 attempts each plus the rebind query), so the window must still hold the
+// entry THEN; a shorter TTL re-opens the double-execution hole inside the
+// client's own retry schedule. Raw transport invocations with hand-set call
+// ids drive the window directly.
 TEST_F(DedupTest, EntriesRetireAfterTtl) {
   int body_runs = 0;
   transport_.RegisterEndpoint(2, 10, 1,
@@ -148,21 +154,50 @@ TEST_F(DedupTest, EntriesRetireAfterTtl) {
   simulation_.Run();
   EXPECT_EQ(body_runs, 1);
 
-  // Within the TTL the same id is a duplicate (replayed, body not re-run)...
+  // Within the TTL the same id is a duplicate (replayed, body not re-run) —
+  // including at 55 s, when the client protocol could still be delivering
+  // its final rebound-round retry.
   simulation_.Schedule(sim::SimDuration::Seconds(5.0),
+                       [&]() { invoke_with_id(101); });
+  simulation_.Schedule(sim::SimDuration::Seconds(55.0),
                        [&]() { invoke_with_id(101); });
   simulation_.Run();
   EXPECT_EQ(body_runs, 1);
-  EXPECT_EQ(transport_.dedup_hits(), 1u);
+  EXPECT_EQ(transport_.dedup_hits(), 2u);
   EXPECT_EQ(transport_.dedup_evictions(), 0u);
 
   // ...but past it the entry has retired: the purge runs on the next
   // delivery, the eviction is counted, and the body runs again.
-  simulation_.Schedule(sim::SimDuration::Seconds(41.0),
+  simulation_.Schedule(sim::SimDuration::Seconds(10.0),
                        [&]() { invoke_with_id(101); });
   simulation_.Run();
   EXPECT_EQ(body_runs, 2);
-  EXPECT_EQ(transport_.dedup_hits(), 1u);
+  EXPECT_EQ(transport_.dedup_hits(), 2u);
+  EXPECT_GE(transport_.dedup_evictions(), 1u);
+}
+
+// Expired entries are also shed WITHOUT further traffic to the endpoint:
+// any RegisterEndpoint sweeps every window, so an endpoint that goes idle
+// does not hold its cached replies forever.
+TEST_F(DedupTest, RegistrationSweepsIdleWindows) {
+  transport_.RegisterEndpoint(2, 10, 1,
+                              [&](const MethodInvocation&, ReplyFn reply) {
+                                reply(MethodResult::Ok());
+                              });
+  MethodInvocation invocation;
+  invocation.method = "poke";
+  invocation.call_id = 42;
+  transport_.Invoke(1, 2, 10, std::move(invocation), [](MethodResult) {});
+  simulation_.Run();
+  EXPECT_EQ(transport_.dedup_evictions(), 0u);
+
+  // Long after the TTL, a different endpoint registers. No delivery ever
+  // reaches (2, 10) again, yet its expired entry retires via the sweep.
+  simulation_.Schedule(sim::SimDuration::Seconds(120.0), [&]() {
+    transport_.RegisterEndpoint(2, 99, 1,
+                                [](const MethodInvocation&, ReplyFn) {});
+  });
+  simulation_.Run();
   EXPECT_GE(transport_.dedup_evictions(), 1u);
 }
 

@@ -109,6 +109,20 @@ TEST_F(TraceContextTest, InstantIsClosedAtBirth) {
   EXPECT_EQ(ctx_.SnapshotSpans()[0].sim_end_ns, spans[0].sim_end_ns);
 }
 
+// A second close — even one carrying an outcome note — must not touch a
+// span that already ended: the first outcome is the recorded truth (a late
+// reply racing the timeout that closed the attempt is the real scenario).
+TEST_F(TraceContextTest, EndSpanOnClosedSpanKeepsFirstOutcome) {
+  SpanId id = ctx_.BeginSpan("rpc.attempt");
+  ctx_.EndSpan(id, "outcome", "timeout");
+  auto first = ctx_.SnapshotSpans()[0];
+  ctx_.EndSpan(id, "outcome", "reply");
+  auto spans = ctx_.SnapshotSpans();
+  ASSERT_EQ(spans[0].notes.size(), 1u);
+  EXPECT_EQ(spans[0].notes[0].second, "timeout");
+  EXPECT_EQ(spans[0].sim_end_ns, first.sim_end_ns);
+}
+
 TEST_F(TraceContextTest, ZeroIdIsToleratedEverywhere) {
   ctx_.EndSpan(0);
   ctx_.EndSpan(0, "k", "v");
