@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/serialize.h"
+#include "trace/trace_context.h"
 
 namespace dcdo {
 
@@ -44,17 +45,22 @@ ImplementationComponentObject::~ImplementationComponentObject() {
   (void)host_.KillProcess(pid_);
 }
 
+void ImplementationComponentObject::BeginServing(const sim::SimHost& dest) {
+  fetches_served_.Increment();
+  DCDO_TRACE_HOOK(metrics().GetCounter("ico.fetches_served").Increment());
+  DCDO_LOG(kDebug) << "ico " << component_.name << ": streaming "
+                   << component_.code_bytes << "B to node " << dest.node();
+}
+
 void ImplementationComponentObject::FetchTo(sim::SimHost* dest,
                                             std::function<void(Status)> done) {
   if (dest->ComponentCached(component_.id)) {
     done(Status::Ok());
     return;
   }
-  ++fetches_served_;
+  BeginServing(*dest);
   ObjectId component_id = component_.id;
   std::size_t bytes = component_.code_bytes;
-  DCDO_LOG(kDebug) << "ico " << component_.name << ": streaming "
-                   << bytes << "B to node " << dest->node();
   // Components stream object-to-object (session overhead + fast streaming),
   // not through the slow file-object path executables use.
   sim::SimDuration duration =
@@ -64,6 +70,43 @@ void ImplementationComponentObject::FetchTo(sim::SimHost* dest,
   host_.network().TimedTransfer(
       host_.node(), dest->node(), bytes, duration,
       [dest, component_id, bytes, done = std::move(done)]() {
+        dest->CacheComponent(component_id, bytes);
+        done(Status::Ok());
+      });
+}
+
+void ImplementationComponentObject::StreamTo(sim::SimHost* dest,
+                                             std::function<void(Status)> done) {
+  if (dest->ComponentCached(component_.id)) {
+    done(Status::Ok());
+    return;
+  }
+  BeginServing(*dest);
+  ObjectId component_id = component_.id;
+  std::string name = component_.name;
+  std::size_t bytes = component_.code_bytes;
+  const sim::CostModel& cost = host_.cost_model();
+  // Same cost decomposition as ComponentDownloadTime, re-expressed for the
+  // fair-shared link: the per-component session overhead is the fixed setup,
+  // the image then streams at up to efficiency × wire speed. A solo stream
+  // therefore lands at exactly the FetchTo duration.
+  bool local = host_.node() == dest->node();
+  sim::SimDuration setup =
+      local ? cost.DiskRead(bytes) : cost.component_fetch_overhead;
+  double peak =
+      cost.wire_bandwidth_bytes_per_sec * cost.component_transfer_efficiency;
+  sim::NodeId dest_node = dest->node();
+  host_.network().StreamTransfer(
+      host_.node(), dest_node, bytes, setup, peak,
+      [dest, dest_node, component_id, name = std::move(name), bytes,
+       done = std::move(done)](bool delivered) mutable {
+        if (!delivered) {
+          done(UnavailableError("component '" + name + "' (" +
+                                component_id.ToString() +
+                                ") fetch to node " +
+                                std::to_string(dest_node) + " failed"));
+          return;
+        }
         dest->CacheComponent(component_id, bytes);
         done(Status::Ok());
       });

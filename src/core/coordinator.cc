@@ -61,6 +61,15 @@ void UpdateCoordinator::Execute(std::vector<Step> steps, DoneCallback done) {
 
   auto shared_steps = std::make_shared<std::vector<Step>>(std::move(steps));
   auto shared_done = std::make_shared<DoneCallback>(std::move(done));
+
+  // Warm every step's host cache before the serial apply phase: the steps'
+  // component downloads overlap each other (and step 0's apply) through the
+  // fetch pipeline, while the applies themselves stay strictly ordered for
+  // rollback. No-op at fetch_concurrency 1, where the sequential calibration
+  // must not see extra transfers.
+  for (const Step& step : *shared_steps) {
+    step.manager->PrefetchInstanceVersion(step.instance, step.target);
+  }
   DCDO_CHECK_HOOK(Note("coordinated-update",
                        "batch of " + std::to_string(shared_steps->size()) +
                            " step(s) begins"));

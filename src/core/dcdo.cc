@@ -25,7 +25,8 @@ Dcdo::RemovalPolicy Dcdo::RemovalPolicy::Timeout(sim::SimDuration deadline) {
 
 Dcdo::Dcdo(std::string name, sim::SimHost* host, rpc::RpcTransport* transport,
            BindingAgent* agent, const NativeCodeRegistry* registry,
-           const IcoDirectory* icos, VersionId version)
+           const IcoDirectory* icos, VersionId version,
+           ComponentFetcher* fetcher)
     : name_(std::move(name)),
       id_(ObjectId::Next(domains::kInstance)),
       host_(host),
@@ -33,6 +34,10 @@ Dcdo::Dcdo(std::string name, sim::SimHost* host, rpc::RpcTransport* transport,
       agent_(*agent),
       registry_(*registry),
       icos_(*icos),
+      owned_fetcher_(fetcher == nullptr
+                         ? std::make_unique<ComponentFetcher>(icos)
+                         : nullptr),
+      fetcher_(fetcher == nullptr ? owned_fetcher_.get() : fetcher),
       version_(std::move(version)) {
   address_.node = host_->node();
   address_.pid = host_->AdoptProcess(id_);
@@ -208,20 +213,15 @@ void Dcdo::IncorporateComponent(const ObjectId& component_id,
     done(ico.status());
     return;
   }
-  ImplementationComponent meta = (*ico)->component();
-  if (host_->ComponentCached(component_id)) {
-    done(IncorporateCached(meta));
-    return;
-  }
-  // Fetch from the ICO (session overhead + image streaming), then map.
-  (*ico)->FetchTo(host_, [this, meta = std::move(meta),
-                          done = std::move(done)](Status status) {
-    if (!status.ok()) {
-      done(status);
-      return;
-    }
-    done(IncorporateCached(meta));
-  });
+  // Acquire through the pipeline (fetch from the ICO if not cached), then
+  // map. Routing even a single incorporate through the fetcher is what lets
+  // two co-hosted DCDOs incorporating the same component share one stream.
+  fetcher_->AcquireAll(
+      host_, {(*ico)->component()},
+      [this](const ImplementationComponent& meta, bool /*was_cached*/) {
+        return IncorporateCached(meta);
+      },
+      std::move(done));
 }
 
 Status Dcdo::RemoveComponent(const ObjectId& component_id,
@@ -247,32 +247,46 @@ void Dcdo::RemoveComponentWithPolicy(const ObjectId& component_id,
       // Threads are inside the component: poll until they drain — and, for
       // kTimeout, force the removal at the deadline ("simply go ahead with
       // the operation after some time-out period").
-      sim::SimTime deadline = simulation().Now() + policy.timeout;
-      bool has_deadline = policy.kind == RemovalPolicy::Kind::kTimeout;
-      // The poll closure holds only a weak reference to itself — a strong
-      // self-capture would form an unbreakable shared_ptr cycle and leak the
-      // closure (and `done`). Each scheduled wrapper carries the strong
-      // reference across the hop; when the chain ends (or the event is
-      // cancelled) the last wrapper's destruction frees everything.
-      auto poll = std::make_shared<std::function<void()>>();
-      *poll = [this, component_id, policy, deadline, has_deadline,
-               weak_poll = std::weak_ptr<std::function<void()>>(poll),
-               done = std::move(done)]() {
-        Status attempt =
-            mapper_.RemoveComponent(component_id, ActiveThreadPolicy::kError);
-        if (attempt.ok() || attempt.code() != ErrorCode::kActiveThreads) {
-          done(attempt);
-          return;
+      //
+      // The driver owns itself through the scheduled callback's shared_ptr:
+      // each hop holds the only strong reference, so when the chain ends the
+      // last callback's destruction frees everything — no self-referential
+      // closure to leak (the pattern a previous leak fix had to patch).
+      struct PollDriver : std::enable_shared_from_this<PollDriver> {
+        Dcdo* object;
+        ObjectId component_id;
+        RemovalPolicy policy;
+        sim::SimTime deadline;
+        bool has_deadline;
+        DoneCallback done;
+
+        void Arm() {
+          object->simulation().Schedule(
+              policy.poll, [self = shared_from_this()] { self->Poll(); });
         }
-        if (has_deadline && simulation().Now() >= deadline) {
-          done(mapper_.RemoveComponent(component_id,
-                                       ActiveThreadPolicy::kForce));
-          return;
+        void Poll() {
+          Status attempt = object->mapper_.RemoveComponent(
+              component_id, ActiveThreadPolicy::kError);
+          if (attempt.ok() || attempt.code() != ErrorCode::kActiveThreads) {
+            done(attempt);
+            return;
+          }
+          if (has_deadline && object->simulation().Now() >= deadline) {
+            done(object->mapper_.RemoveComponent(component_id,
+                                                 ActiveThreadPolicy::kForce));
+            return;
+          }
+          Arm();
         }
-        simulation().Schedule(policy.poll,
-                              [poll = weak_poll.lock()] { (*poll)(); });
       };
-      simulation().Schedule(policy.poll, [poll] { (*poll)(); });
+      auto driver = std::make_shared<PollDriver>();
+      driver->object = this;
+      driver->component_id = component_id;
+      driver->policy = policy;
+      driver->deadline = simulation().Now() + policy.timeout;
+      driver->has_deadline = policy.kind == RemovalPolicy::Kind::kTimeout;
+      driver->done = std::move(done);
+      driver->Arm();
       return;
     }
   }
@@ -350,9 +364,6 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
   // descriptor need not outlive the operation.
   auto target_state = std::make_shared<DfmState>(target.state());
 
-  // Stage 1: incorporate the new components one by one (each may fetch).
-  auto incorporate_queue =
-      std::make_shared<std::vector<ImplementationComponent>>(plan.incorporate);
   auto remove_queue = std::make_shared<std::vector<ObjectId>>(plan.remove);
   std::size_t flip_count = plan.enable.size() + plan.disable.size();
 
@@ -382,9 +393,8 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
 
   // Stage 2 (runs after incorporations): adopt the target configuration,
   // then drain removals under the removal policy.
-  auto stage2 = std::make_shared<std::function<void(Status)>>();
-  *stage2 = [this, target_state, enforce_marks, flip_count, removal,
-             remove_queue, stage3_finish](Status status) {
+  auto stage2 = [this, target_state, enforce_marks, flip_count, removal,
+                 remove_queue, stage3_finish](Status status) {
     if (!status.ok()) {
       stage3_finish(status);
       return;
@@ -397,82 +407,53 @@ void Dcdo::EvolveTo(const DfmDescriptor& target, const RemovalPolicy& removal,
       stage3_finish(adopted);
       return;
     }
-    // Removals, sequentially under the policy. Weak self-capture: the
-    // pending removal's continuation holds the strong reference, so the
-    // loop closure dies with its last continuation instead of leaking in a
-    // shared_ptr cycle.
-    auto remove_next = std::make_shared<std::function<void()>>();
-    *remove_next = [this, remove_queue, removal,
-                    weak_next =
-                        std::weak_ptr<std::function<void()>>(remove_next),
-                    stage3_finish]() {
-      if (remove_queue->empty()) {
-        stage3_finish(Status::Ok());
-        return;
+    // Removals, sequentially under the policy. The driver owns itself via
+    // each pending continuation's shared_ptr (see RemoveComponentWithPolicy's
+    // PollDriver for the pattern) — no self-referential closure.
+    struct RemovalDriver : std::enable_shared_from_this<RemovalDriver> {
+      Dcdo* object;
+      std::shared_ptr<std::vector<ObjectId>> queue;
+      RemovalPolicy removal;
+      DoneCallback finish;
+
+      void Step() {
+        if (queue->empty()) {
+          finish(Status::Ok());
+          return;
+        }
+        ObjectId next = queue->back();
+        queue->pop_back();
+        object->RemoveComponentWithPolicy(
+            next, removal, [self = shared_from_this()](Status status) {
+              if (!status.ok()) {
+                self->finish(status);
+                return;
+              }
+              self->Step();
+            });
       }
-      ObjectId next = remove_queue->back();
-      remove_queue->pop_back();
-      RemoveComponentWithPolicy(
-          next, removal,
-          [next_fn = weak_next.lock(), stage3_finish](Status status) {
-            if (!status.ok()) {
-              stage3_finish(status);
-              return;
-            }
-            (*next_fn)();
-          });
     };
-    (*remove_next)();
+    auto driver = std::make_shared<RemovalDriver>();
+    driver->object = this;
+    driver->queue = remove_queue;
+    driver->removal = removal;
+    driver->finish = stage3_finish;
+    driver->Step();
   };
 
-  // Weak self-capture (see remove_next above): a strong one would cycle and
-  // leak the whole evolution continuation chain. Strong references live in
-  // the caller during synchronous hops and in the FetchTo continuation
-  // across asynchronous ones.
-  auto incorporate_next = std::make_shared<std::function<void()>>();
-  *incorporate_next = [this, incorporate_queue,
-                       weak_next = std::weak_ptr<std::function<void()>>(
-                           incorporate_next),
-                       stage2]() {
-    if (incorporate_queue->empty()) {
-      (*stage2)(Status::Ok());
-      return;
-    }
-    ImplementationComponent next = incorporate_queue->back();
-    incorporate_queue->pop_back();
-    // During evolution, dependencies come from the target's metadata, not
-    // from auto-derived hints.
-    Result<ImplementationComponentObject*> ico = icos_.Find(next.id);
-    if (!ico.ok()) {
-      (*stage2)(ico.status());
-      return;
-    }
-    if (host_->ComponentCached(next.id)) {
-      Status incorporated =
-          IncorporateCached(next, /*auto_structural_deps=*/false);
-      if (!incorporated.ok()) {
-        (*stage2)(incorporated);
-        return;
-      }
-      (*weak_next.lock())();
-      return;
-    }
-    (*ico)->FetchTo(host_, [this, next, next_fn = weak_next.lock(),
-                            stage2](Status status) {
-      if (!status.ok()) {
-        (*stage2)(status);
-        return;
-      }
-      Status incorporated =
-          IncorporateCached(next, /*auto_structural_deps=*/false);
-      if (!incorporated.ok()) {
-        (*stage2)(incorporated);
-        return;
-      }
-      (*next_fn)();
-    });
-  };
-  (*incorporate_next)();
+  // Stage 1: acquire the new components through the fetch pipeline. At the
+  // calibrated fetch_concurrency of 1 this is the paper's one-at-a-time
+  // sequence; above it, fetches overlap (bounded, single-flighted) and each
+  // image incorporates as it lands. Either way stage 2 — the configuration
+  // flip and removals — starts only once every component is in.
+  fetcher_->AcquireAll(
+      host_, std::move(plan.incorporate),
+      [this](const ImplementationComponent& meta, bool /*was_cached*/) {
+        // During evolution, dependencies come from the target's metadata,
+        // not from auto-derived hints.
+        return IncorporateCached(meta, /*auto_structural_deps=*/false);
+      },
+      std::move(stage2));
 }
 
 // ===== RPC dispatch =====

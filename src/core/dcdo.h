@@ -23,12 +23,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/object_id.h"
 #include "common/status.h"
 #include "common/version_id.h"
+#include "component/fetcher.h"
 #include "component/native_code_registry.h"
 #include "core/ico_directory.h"
 #include "dfm/descriptor.h"
@@ -59,9 +61,14 @@ class Dcdo final : public CallContext {
 
   // Activates the DCDO on `host` as a fresh process (no spawn cost charged —
   // managers charge creation explicitly; see DcdoManager::CreateInstance).
+  // `fetcher` routes this object's component acquisitions; a manager passes
+  // its own so co-managed instances share one single-flight scope. Null (the
+  // default, used by directly-constructed test objects) gives the object a
+  // private fetcher with identical behaviour.
   Dcdo(std::string name, sim::SimHost* host, rpc::RpcTransport* transport,
        BindingAgent* agent, const NativeCodeRegistry* registry,
-       const IcoDirectory* icos, VersionId version);
+       const IcoDirectory* icos, VersionId version,
+       ComponentFetcher* fetcher = nullptr);
   ~Dcdo() override;
 
   Dcdo(const Dcdo&) = delete;
@@ -200,6 +207,8 @@ class Dcdo final : public CallContext {
   BindingAgent& agent_;
   const NativeCodeRegistry& registry_;
   const IcoDirectory& icos_;
+  std::unique_ptr<ComponentFetcher> owned_fetcher_;  // only when none injected
+  ComponentFetcher* fetcher_;
   VersionId version_;
   DynamicFunctionMapper mapper_;
   InstanceState state_;

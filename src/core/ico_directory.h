@@ -11,11 +11,12 @@
 
 #include "common/object_id.h"
 #include "common/status.h"
+#include "component/fetcher.h"
 #include "component/ico.h"
 
 namespace dcdo {
 
-class IcoDirectory {
+class IcoDirectory : public IcoResolver {
  public:
   // Registers a live ICO; the directory does not own it.
   void Register(ImplementationComponentObject* ico);
@@ -24,6 +25,12 @@ class IcoDirectory {
   Result<ImplementationComponentObject*> Find(const ObjectId& id) const;
   bool Has(const ObjectId& id) const { return icos_.contains(id); }
   std::size_t size() const { return icos_.size(); }
+
+  // IcoResolver: the ComponentFetcher's view of this directory.
+  Result<ImplementationComponentObject*> FindIco(
+      const ObjectId& id) const override {
+    return Find(id);
+  }
 
  private:
   std::unordered_map<ObjectId, ImplementationComponentObject*, ObjectIdHash>

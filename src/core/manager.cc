@@ -249,7 +249,7 @@ void DcdoManager::CreateInstanceAt(const VersionId& version,
         (void)host->KillProcess(shell_pid);
         auto object = std::make_unique<Dcdo>(
             type_name_ + "#" + std::to_string(instances_.size() + 1), host,
-            &transport_, &agent_, &registry_, &icos_, VersionId{});
+            &transport_, &agent_, &registry_, &icos_, VersionId{}, &fetcher_);
         Dcdo* raw = object.get();
         ObjectId instance_id = raw->id();
         InstanceRecord& record = instances_[instance_id];
@@ -390,79 +390,89 @@ void DcdoManager::MigrateInstance(const ObjectId& instance,
             return;
           }
           Dcdo* object = it->second.object.get();
-          // Fetch any component images missing from the destination cache,
-          // then re-bind and re-map.
-          auto components = std::make_shared<std::vector<ObjectId>>(
-              object->GetComponents());
-          auto fetch_next = std::make_shared<std::function<void()>>();
-          // The loop closure must not strongly capture its own owner: that
-          // cycle is never broken (no path clears *fetch_next), leaking the
-          // closure and everything `done` drags along. Instead each pending
-          // FetchTo callback holds the strong reference that keeps the loop
-          // alive across the async hop, and the closure re-locks its weak
-          // self-reference only while it is being kept alive by a caller.
-          *fetch_next = [this, instance, dest, components,
-                         weak_next = std::weak_ptr<std::function<void()>>(
-                             fetch_next),
-                         done = std::move(done)]() mutable {
-            auto it = instances_.find(instance);
-            if (it == instances_.end()) {
-              done(NotFoundError("instance destroyed during migration"));
-              return;
-            }
-            Dcdo* object = it->second.object.get();
-            while (!components->empty() &&
-                   dest->ComponentCached(components->back())) {
-              home_.simulation().AdvanceInline(
-                  home_.cost_model().component_map_cached);
-              components->pop_back();
-            }
-            if (components->empty()) {
-              object->Rebind(dest);
-              Status remapped = object->RemapForHost();
-              if (!remapped.ok()) {
-                done(remapped);
-                return;
-              }
-              home_.simulation().Schedule(
-                  home_.cost_model().StateRestore(
-                      object->mutable_state().CaptureSize()),
-                  [this, instance, done = std::move(done)]() {
-                    // Lazy-on-migrate policies check for updates here.
-                    LazyCheckContext ctx;
-                    ctx.migrating = true;
-                    if (policy_->ShouldLazyCheck(ctx)) {
-                      ++lazy_checks_;
-                      UpdateInstance(instance, [done = std::move(done)](
-                                                   Status status) {
-                        // Failing to update does not fail the migration.
-                        (void)status;
+          // Fetch any component images missing from the destination cache
+          // (best-effort — a failed fetch is re-pulled lazily after the
+          // move), then re-bind and re-map. Cached images charge their map
+          // cost here; fetched ones are mapped by RemapForHost below.
+          std::vector<ImplementationComponent> metas;
+          for (const ObjectId& component_id : object->GetComponents()) {
+            const ImplementationComponent* meta =
+                object->mapper().state().FindComponent(component_id);
+            if (meta != nullptr) metas.push_back(*meta);
+          }
+          ComponentFetcher::Options options;
+          options.fail_fast = false;
+          options.skip_resolve_when_cached = true;
+          fetcher_.AcquireAll(
+              dest, std::move(metas),
+              [this, instance, dest](const ImplementationComponent&,
+                                     bool was_cached) {
+                if (instances_.find(instance) == instances_.end()) {
+                  return NotFoundError("instance destroyed during migration");
+                }
+                (void)dest;
+                if (was_cached) {
+                  home_.simulation().AdvanceInline(
+                      home_.cost_model().component_map_cached);
+                }
+                return Status::Ok();
+              },
+              [this, instance, dest,
+               done = std::move(done)](Status status) mutable {
+                if (!status.ok()) {
+                  done(status);
+                  return;
+                }
+                auto it = instances_.find(instance);
+                if (it == instances_.end()) {
+                  done(NotFoundError("instance destroyed during migration"));
+                  return;
+                }
+                Dcdo* object = it->second.object.get();
+                object->Rebind(dest);
+                Status remapped = object->RemapForHost();
+                if (!remapped.ok()) {
+                  done(remapped);
+                  return;
+                }
+                home_.simulation().Schedule(
+                    home_.cost_model().StateRestore(
+                        object->mutable_state().CaptureSize()),
+                    [this, instance, done = std::move(done)]() {
+                      // Lazy-on-migrate policies check for updates here.
+                      LazyCheckContext ctx;
+                      ctx.migrating = true;
+                      if (policy_->ShouldLazyCheck(ctx)) {
+                        ++lazy_checks_;
+                        UpdateInstance(instance, [done = std::move(done)](
+                                                     Status status) {
+                          // Failing to update does not fail the migration.
+                          (void)status;
+                          done(Status::Ok());
+                        });
+                      } else {
                         done(Status::Ok());
-                      });
-                    } else {
-                      done(Status::Ok());
-                    }
-                  });
-              return;
-            }
-            ObjectId next = components->back();
-            components->pop_back();
-            Result<ImplementationComponentObject*> ico = icos_.Find(next);
-            if (!ico.ok()) {
-              done(ico.status());
-              return;
-            }
-            (*ico)->FetchTo(dest, [next = weak_next.lock()](Status status) {
-              if (!status.ok()) {
-                DCDO_LOG(kWarning) << "component fetch during migration "
-                                   << "failed: " << status.ToString();
-              }
-              (*next)();
-            });
-          };
-          (*fetch_next)();
+                      }
+                    });
+              },
+              options);
         });
   });
+}
+
+void DcdoManager::PrefetchInstanceVersion(const ObjectId& instance,
+                                          const VersionId& version) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) return;
+  Result<const DfmDescriptor*> descriptor = Descriptor(version);
+  if (!descriptor.ok() || !(*descriptor)->instantiable()) return;
+  Dcdo* object = it->second.object.get();
+  // Only the components the evolution would have to fetch; images already
+  // incorporated or cached cost nothing either way.
+  EvolutionPlan plan =
+      ComputePlan(object->mapper().state(), (*descriptor)->state());
+  if (plan.incorporate.empty()) return;
+  fetcher_.Prefetch(&object->host(), std::move(plan.incorporate));
 }
 
 void DcdoManager::DeactivateInstance(const ObjectId& instance,

@@ -54,6 +54,9 @@ class DcdoManager {
   const ObjectId& id() const { return id_; }
   const EvolutionPolicy& policy() const { return *policy_; }
   const IcoDirectory& icos() const { return icos_; }
+  // The manager's acquisition pipeline (shared with every instance it
+  // creates, so co-hosted instances single-flight their component fetches).
+  const ComponentFetcher& fetcher() const { return fetcher_; }
 
   // Attaches the system name service: the manager then maintains
   // human-readable names under /types/<type_name>/ — "components/<name>"
@@ -117,6 +120,15 @@ class DcdoManager {
   // check afterwards.
   void MigrateInstance(const ObjectId& instance, sim::SimHost* dest,
                        DoneCallback done);
+
+  // Warms the instance's host cache with the components `version` would add,
+  // ahead of the evolution that needs them. Best-effort and a no-op at
+  // fetch_concurrency 1; a coordinator calls this for every step of a batch
+  // before the serial apply phase, so the downloads overlap while the
+  // applies stay ordered. A later EvolveInstanceTo joins any still-open
+  // streams via the fetcher's single-flight dedup.
+  void PrefetchInstanceVersion(const ObjectId& instance,
+                               const VersionId& version);
 
   // Deactivates a (presumably idle) instance: its state is captured to the
   // host's store and its process exits; the binding disappears. Reactivation
@@ -191,6 +203,10 @@ class DcdoManager {
 
   std::vector<std::unique_ptr<ImplementationComponentObject>> published_;
   IcoDirectory icos_;
+  // One acquisition pipeline for everything this manager moves: instances
+  // share its per-host single-flight scope, so two DCDOs activating on one
+  // host never download the same image twice.
+  ComponentFetcher fetcher_{&icos_};
   NameService* names_ = nullptr;  // not owned; may be null
 
   std::map<VersionId, DfmDescriptor> dfm_store_;

@@ -83,6 +83,9 @@ Status Testbed::DumpTrace(const std::string& path) {
   m.SetCounter("net.bytes_sent", network_->bytes_sent());
   m.SetCounter("rpc.invocations_delivered",
                transport_->invocations_delivered());
+  std::uint64_t evictions = 0;
+  for (const auto& host : hosts_) evictions += host->component_evictions();
+  m.SetCounter("host.component_cache_evictions", evictions);
   return trace::WriteChromeTrace(*tracer_, path);
 }
 

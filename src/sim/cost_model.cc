@@ -21,6 +21,9 @@ Status ValidateCostModel(const CostModel& m) {
   if (m.stale_retry_count < 0) {
     return InvalidArgumentError("stale retry count must be non-negative");
   }
+  if (m.fetch_concurrency < 1) {
+    return InvalidArgumentError("fetch concurrency must be at least 1");
+  }
   if (m.disk_read_bytes_per_sec <= 0 || m.disk_write_bytes_per_sec <= 0) {
     return InvalidArgumentError("disk bandwidth must be positive");
   }

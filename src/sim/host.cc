@@ -1,6 +1,7 @@
 #include "sim/host.h"
 
 #include "common/logging.h"
+#include "trace/trace_context.h"
 
 namespace dcdo::sim {
 
@@ -61,18 +62,48 @@ std::optional<std::size_t> SimHost::FileSize(const std::string& name) const {
 void SimHost::RemoveFile(const std::string& name) { files_.erase(name); }
 
 void SimHost::CacheComponent(const ObjectId& component, std::size_t bytes) {
-  component_cache_[component] = bytes;
+  auto it = component_cache_.find(component);
+  if (it != component_cache_.end()) {
+    it->second.bytes = bytes;
+    TouchComponent(it->second);
+    return;
+  }
+  component_lru_.push_front(component);
+  component_cache_.emplace(component,
+                           CachedComponent{bytes, component_lru_.begin()});
+  std::size_t capacity = cost_model().component_cache_capacity;
+  if (capacity != 0 && component_cache_.size() > capacity) {
+    const ObjectId& victim = component_lru_.back();
+    DCDO_LOG(kDebug) << "host " << node_ << ": evicting component " << victim
+                     << " (cache over " << capacity << ")";
+    component_cache_.erase(victim);
+    component_lru_.pop_back();
+    component_evictions_.Increment();
+    DCDO_TRACE_HOOK(
+        metrics().GetCounter("host.component_cache_evictions").Increment());
+  }
+}
+
+bool SimHost::ComponentCached(const ObjectId& component) const {
+  auto it = component_cache_.find(component);
+  if (it == component_cache_.end()) return false;
+  TouchComponent(it->second);
+  return true;
 }
 
 std::optional<std::size_t> SimHost::CachedComponentSize(
     const ObjectId& component) const {
   auto it = component_cache_.find(component);
   if (it == component_cache_.end()) return std::nullopt;
-  return it->second;
+  TouchComponent(it->second);
+  return it->second.bytes;
 }
 
 void SimHost::EvictComponent(const ObjectId& component) {
-  component_cache_.erase(component);
+  auto it = component_cache_.find(component);
+  if (it == component_cache_.end()) return;
+  component_lru_.erase(it->second.lru_it);
+  component_cache_.erase(it);
 }
 
 }  // namespace dcdo::sim

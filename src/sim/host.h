@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,6 +20,7 @@
 #include "common/status.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
+#include "trace/metrics.h"
 
 namespace dcdo::sim {
 
@@ -75,17 +77,22 @@ class SimHost {
   std::optional<std::size_t> FileSize(const std::string& name) const;
   void RemoveFile(const std::string& name);
 
-  // --- Component cache ---
+  // --- Component cache (LRU, bounded by
+  // CostModel::component_cache_capacity; 0 = unbounded). Eviction is safe by
+  // construction: a dropped image is re-fetched from its ICO on next use. ---
 
   void CacheComponent(const ObjectId& component, std::size_t bytes);
-  bool ComponentCached(const ObjectId& component) const {
-    return component_cache_.contains(component);
-  }
+  // Lookups count as use: a hit refreshes the entry's LRU position, exactly
+  // like BindingCache — the incorporate fast path keeps hot images resident.
+  bool ComponentCached(const ObjectId& component) const;
   std::optional<std::size_t> CachedComponentSize(
       const ObjectId& component) const;
   void EvictComponent(const ObjectId& component);
   std::size_t cached_component_count() const {
     return component_cache_.size();
+  }
+  std::uint64_t component_evictions() const {
+    return component_evictions_.value();
   }
 
   Simulation& simulation() { return simulation_; }
@@ -98,6 +105,16 @@ class SimHost {
     SimTime started;
   };
 
+  struct CachedComponent {
+    std::size_t bytes = 0;
+    std::list<ObjectId>::iterator lru_it;  // position in lru_ (front = MRU)
+  };
+
+  void TouchComponent(const CachedComponent& entry) const {
+    component_lru_.splice(component_lru_.begin(), component_lru_,
+                          entry.lru_it);
+  }
+
   Simulation& simulation_;
   SimNetwork& network_;
   NodeId node_;
@@ -105,7 +122,11 @@ class SimHost {
   ProcessId next_pid_ = 1;
   std::unordered_map<ProcessId, Process> processes_;
   std::unordered_map<std::string, std::size_t> files_;
-  std::unordered_map<ObjectId, std::size_t, ObjectIdHash> component_cache_;
+  std::unordered_map<ObjectId, CachedComponent, ObjectIdHash>
+      component_cache_;
+  // mutable: const lookups refresh recency, as in BindingCache.
+  mutable std::list<ObjectId> component_lru_;  // front = most recently used
+  trace::Counter component_evictions_;
 };
 
 }  // namespace dcdo::sim

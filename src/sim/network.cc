@@ -192,6 +192,137 @@ void SimNetwork::BulkTransfer(NodeId from, NodeId to, std::size_t bytes,
   TimedTransfer(from, to, bytes, total, std::move(on_done));
 }
 
+void SimNetwork::StreamTransfer(NodeId from, NodeId to, std::size_t bytes,
+                                SimDuration setup, double peak_bytes_per_sec,
+                                StreamDone on_done) {
+  if (!Reachable(from, to)) {
+    messages_dropped_.Increment();
+    TraceSendDrop(from, to);
+    // Unlike the fire-and-forget transfer paths, a stream caller is owed an
+    // answer either way; defer through the event loop so the failure never
+    // re-enters the caller mid-call.
+    simulation_.Schedule(SimDuration::Zero(),
+                         [fn = std::move(on_done)]() mutable { fn(false); });
+    return;
+  }
+  messages_sent_.Increment();
+  messages_in_flight_.Increment();
+  bytes_sent_.Increment(bytes);
+  std::uint64_t span = BeginTransferSpan("net.stream", from, bytes);
+  if (from == to || peak_bytes_per_sec <= 0) {
+    // Loopback (or a degenerate rate): the whole transfer is the fixed setup
+    // duration — no NIC, nothing to share.
+    simulation_.Schedule(
+        setup, [this, from, to, span, fn = std::move(on_done)]() mutable {
+          messages_in_flight_.Decrement();
+          if (!Reachable(from, to)) {
+            messages_dropped_.Increment();
+            messages_dropped_in_flight_.Increment();
+            EndTransferSpan(span, /*delivered=*/false);
+            fn(false);
+            return;
+          }
+          messages_delivered_.Increment();
+          EndTransferSpan(span, /*delivered=*/true);
+          fn(true);
+        });
+    return;
+  }
+  std::uint64_t flow_id = next_stream_id_++;
+  StreamFlow& flow = stream_flows_[flow_id];
+  flow.from = from;
+  flow.to = to;
+  flow.remaining = static_cast<double>(bytes);
+  flow.peak = peak_bytes_per_sec;
+  flow.on_done = std::move(on_done);
+  flow.span = span;
+  flow.event = simulation_.Schedule(
+      setup, [this, flow_id]() { StartStreamPhase(flow_id); });
+}
+
+void SimNetwork::StartStreamPhase(std::uint64_t flow_id) {
+  auto it = stream_flows_.find(flow_id);
+  if (it == stream_flows_.end()) return;
+  StreamFlow& flow = it->second;
+  flow.streaming = true;
+  flow.event = 0;  // the setup event just fired
+  flow.last_update = simulation_.Now();
+  ++node_stream_counts_[flow.from];
+  ++node_stream_counts_[flow.to];
+  ++streaming_count_;
+  // The new membership changes every fair share touching either endpoint —
+  // including this flow's own (its rate moves 0 -> share, arming completion).
+  ReshareStreams(flow.from);
+  ReshareStreams(flow.to);
+}
+
+void SimNetwork::ReshareStreams(NodeId node) {
+  // Flow-id order == start order: the sweep is deterministic regardless of
+  // container hashing or event interleaving.
+  for (auto& [id, flow] : stream_flows_) {
+    if (!flow.streaming) continue;
+    if (flow.from != node && flow.to != node) continue;
+    UpdateFlowRate(id, flow);
+  }
+}
+
+void SimNetwork::UpdateFlowRate(std::uint64_t flow_id, StreamFlow& flow) {
+  SimTime now = simulation_.Now();
+  // Settle progress at the old rate before the share changes, so the rate
+  // history integrates exactly no matter how many membership changes the
+  // stream lives through.
+  double elapsed = (now - flow.last_update).ToSeconds();
+  flow.remaining = std::max(0.0, flow.remaining - flow.rate * elapsed);
+  flow.last_update = now;
+  int busiest = std::max(node_stream_counts_[flow.from],
+                         node_stream_counts_[flow.to]);
+  double share = cost_.wire_bandwidth_bytes_per_sec / busiest;
+  double new_rate = std::min(flow.peak, share);
+  if (new_rate == flow.rate) return;  // unchanged share: event stands
+  bool mid_stream = flow.rate > 0;
+  flow.rate = new_rate;
+  if (flow.remaining <= 0) return;  // already in the latency tail
+  if (flow.event != 0) simulation_.Cancel(flow.event);
+  flow.event = simulation_.ScheduleAt(
+      now + SimDuration::Seconds(flow.remaining / new_rate) +
+          cost_.network_latency,
+      [this, flow_id]() { FinishStream(flow_id); });
+  if (mid_stream) {
+    if (auto* tr = trace::ActiveContext()) {
+      tr->Instant("fetch.share", {.category = "net", .node = flow.from});
+    }
+  }
+}
+
+void SimNetwork::FinishStream(std::uint64_t flow_id) {
+  auto it = stream_flows_.find(flow_id);
+  if (it == stream_flows_.end()) return;
+  NodeId from = it->second.from;
+  NodeId to = it->second.to;
+  std::uint64_t span = it->second.span;
+  StreamDone on_done = std::move(it->second.on_done);
+  stream_flows_.erase(it);
+  if (--node_stream_counts_[from] == 0) node_stream_counts_.erase(from);
+  if (--node_stream_counts_[to] == 0) node_stream_counts_.erase(to);
+  --streaming_count_;
+  // The freed share speeds up whoever is left on these NICs.
+  ReshareStreams(from);
+  ReshareStreams(to);
+  messages_in_flight_.Decrement();
+  // Same delivery-time recheck as every other path: a partition that formed
+  // while the stream was in flight loses the payload.
+  if (!Reachable(from, to)) {
+    messages_dropped_.Increment();
+    messages_dropped_in_flight_.Increment();
+    EndTransferSpan(span, /*delivered=*/false);
+    on_done(false);
+    return;
+  }
+  messages_delivered_.Increment();
+  EndTransferSpan(span, /*delivered=*/true);
+  on_done(true);
+}
+
 void SimNetwork::TimedTransfer(NodeId from, NodeId to, std::size_t bytes,
                                SimDuration duration, Delivery on_done) {
   if (!Reachable(from, to)) {

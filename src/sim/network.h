@@ -80,6 +80,35 @@ class SimNetwork {
   void TimedTransfer(NodeId from, NodeId to, std::size_t bytes,
                      SimDuration duration, Delivery on_done);
 
+  // `on_done(delivered)` — unlike Delivery, stream completions also report
+  // failure (unreachable at start, dropped in flight) so the component
+  // acquisition pipeline can surface the exact failed transfer instead of
+  // hanging on a silent drop.
+  using StreamDone = common::MoveFunction<void(bool), 32>;
+
+  // Bulk stream with link-aware fair sharing: after a fixed `setup` phase,
+  // `bytes` flow from -> to at a rate recomputed whenever a stream touching
+  // either endpoint's NIC starts or finishes — concurrent streams split
+  // `wire_bandwidth_bytes_per_sec` evenly per NIC (a flow gets the wire rate
+  // divided by the busier of its two endpoints), and each stream is further
+  // capped at `peak_bytes_per_sec` (the transfer protocol's efficiency
+  // ceiling). Delivery lands `setup + stream + network_latency` after the
+  // call when the stream runs alone, so a solo stream costs exactly what the
+  // caller-computed TimedTransfer path charges. Loopback (from == to) skips
+  // the NIC entirely: the whole transfer is the fixed `setup` (callers pass
+  // the disk-copy time).
+  //
+  // Determinism: re-shares are recomputed in flow-id (start) order at the
+  // instants flows start or finish, from integer-nanosecond inputs — two
+  // runs of one scenario produce identical completion times.
+  void StreamTransfer(NodeId from, NodeId to, std::size_t bytes,
+                      SimDuration setup, double peak_bytes_per_sec,
+                      StreamDone on_done);
+
+  // Streams currently in their shared (post-setup) phase; tests use this to
+  // prove the acquisition pipeline's concurrency bound.
+  std::size_t active_streams() const { return streaming_count_; }
+
   // Counters (per run; benches report message counts, the checking layer's
   // message-conservation invariant requires
   //   sent == delivered + dropped-in-flight + in-flight
@@ -112,10 +141,35 @@ class SimNetwork {
     std::vector<Delivery> deliveries;
   };
 
+  // One fair-shared bulk stream (StreamTransfer). `remaining`/`rate` are
+  // doubles because shares are fractional; progress is settled against the
+  // integer sim clock at every re-share, so drift cannot accumulate between
+  // membership changes.
+  struct StreamFlow {
+    NodeId from = 0;
+    NodeId to = 0;
+    double remaining = 0.0;  // bytes left in the stream phase
+    double rate = 0.0;       // current bytes/sec; 0 while in setup
+    double peak = 0.0;       // efficiency ceiling, bytes/sec
+    bool streaming = false;  // false while in the fixed setup phase
+    SimTime last_update;
+    std::uint64_t event = 0;  // pending completion event (post-setup)
+    StreamDone on_done;
+    std::uint64_t span = 0;
+  };
+
   // Ships `deliveries` (already counted as sent/in-flight) as one transfer.
   void DispatchBatch(NodeId from, NodeId to, std::size_t bytes,
                      std::vector<Delivery> deliveries);
   void FlushBatch(NodeId from, NodeId to, std::uint64_t batch_id);
+
+  // Stream-phase machinery: move a flow out of setup into the shared phase,
+  // re-derive the fair share of every streaming flow touching `node`, and
+  // settle/deliver a finished flow.
+  void StartStreamPhase(std::uint64_t flow_id);
+  void ReshareStreams(NodeId node);
+  void UpdateFlowRate(std::uint64_t flow_id, StreamFlow& flow);
+  void FinishStream(std::uint64_t flow_id);
 
   Simulation& simulation_;
   CostModel cost_;
@@ -125,6 +179,11 @@ class SimNetwork {
   std::unordered_map<NodeId, SimTime> nic_busy_until_;
   std::map<std::pair<NodeId, NodeId>, PendingBatch> pending_batches_;
   std::uint64_t next_batch_id_ = 1;
+  // Ordered by flow id (= start order) so re-share sweeps are deterministic.
+  std::map<std::uint64_t, StreamFlow> stream_flows_;
+  std::unordered_map<NodeId, int> node_stream_counts_;
+  std::uint64_t next_stream_id_ = 1;
+  std::size_t streaming_count_ = 0;
   trace::Counter batches_sent_;
   trace::Counter messages_coalesced_;
   trace::Counter messages_sent_;

@@ -83,6 +83,76 @@ TEST_F(HostTest, ComponentCache) {
   EXPECT_FALSE(host_.ComponentCached(comp));
 }
 
+// ===== Bounded component cache (LRU) =====
+
+class BoundedCacheHostTest : public ::testing::Test {
+ protected:
+  static CostModel SmallCache() {
+    CostModel cost;
+    cost.component_cache_capacity = 2;
+    return cost;
+  }
+  BoundedCacheHostTest()
+      : network_(&simulation_, SmallCache()),
+        host_(&simulation_, &network_, 1, Architecture::kX86Linux) {}
+
+  Simulation simulation_;
+  SimNetwork network_;
+  SimHost host_;
+};
+
+TEST_F(BoundedCacheHostTest, EvictsLeastRecentlyUsed) {
+  ObjectId a = ObjectId::Next(domains::kComponent);
+  ObjectId b = ObjectId::Next(domains::kComponent);
+  ObjectId c = ObjectId::Next(domains::kComponent);
+  host_.CacheComponent(a, 100);
+  host_.CacheComponent(b, 200);
+  host_.CacheComponent(c, 300);  // capacity 2: a (oldest) goes
+  EXPECT_FALSE(host_.ComponentCached(a));
+  EXPECT_TRUE(host_.ComponentCached(b));
+  EXPECT_TRUE(host_.ComponentCached(c));
+  EXPECT_EQ(host_.cached_component_count(), 2u);
+  EXPECT_EQ(host_.component_evictions(), 1u);
+}
+
+TEST_F(BoundedCacheHostTest, LookupRefreshesRecency) {
+  ObjectId a = ObjectId::Next(domains::kComponent);
+  ObjectId b = ObjectId::Next(domains::kComponent);
+  ObjectId c = ObjectId::Next(domains::kComponent);
+  host_.CacheComponent(a, 100);
+  host_.CacheComponent(b, 200);
+  EXPECT_TRUE(host_.ComponentCached(a));  // touch: a becomes most-recent
+  host_.CacheComponent(c, 300);           // so b, not a, is evicted
+  EXPECT_TRUE(host_.ComponentCached(a));
+  EXPECT_FALSE(host_.ComponentCached(b));
+  EXPECT_TRUE(host_.ComponentCached(c));
+}
+
+TEST_F(BoundedCacheHostTest, RecacheUpdatesInPlace) {
+  ObjectId a = ObjectId::Next(domains::kComponent);
+  ObjectId b = ObjectId::Next(domains::kComponent);
+  host_.CacheComponent(a, 100);
+  host_.CacheComponent(b, 200);
+  host_.CacheComponent(a, 150);  // refresh, not a third entry
+  EXPECT_EQ(host_.cached_component_count(), 2u);
+  EXPECT_EQ(host_.CachedComponentSize(a), 150u);
+  EXPECT_EQ(host_.component_evictions(), 0u);
+}
+
+// Capacity 0 disables the bound entirely.
+TEST(UnboundedCacheHostTest, ZeroCapacityNeverEvicts) {
+  Simulation simulation;
+  CostModel cost;
+  cost.component_cache_capacity = 0;
+  SimNetwork network(&simulation, cost);
+  SimHost host(&simulation, &network, 1, Architecture::kX86Linux);
+  for (int i = 0; i < 100; ++i) {
+    host.CacheComponent(ObjectId::Next(domains::kComponent), 64);
+  }
+  EXPECT_EQ(host.cached_component_count(), 100u);
+  EXPECT_EQ(host.component_evictions(), 0u);
+}
+
 TEST_F(HostTest, PidsAreUnique) {
   ProcessId a = host_.AdoptProcess(ObjectId::Next(domains::kInstance));
   ProcessId b = host_.AdoptProcess(ObjectId::Next(domains::kInstance));

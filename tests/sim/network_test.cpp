@@ -253,6 +253,122 @@ TEST_F(BatchingNetworkTest, LoopbackBatchesToo) {
   EXPECT_EQ(network_.messages_coalesced(), 1u);
 }
 
+// ===== StreamTransfer: fair-shared link capacity =====
+
+// A stream with the link to itself runs at its peak rate:
+// setup + bytes/peak + latency, exactly what TimedTransfer would charge.
+TEST_F(NetworkTest, SoloStreamRunsAtPeakRate) {
+  bool delivered = false;
+  // 7.5 MB at a 7.5 MB/s peak (the component-transfer goodput): 1 s wire.
+  network_.StreamTransfer(1, 2, 7'500'000, SimDuration::Millis(160), 7.5e6,
+                          [&](bool ok) { delivered = ok; });
+  EXPECT_EQ(network_.active_streams(), 0u);  // still in setup
+  simulation_.Run();
+  EXPECT_TRUE(delivered);
+  double seconds = simulation_.Now().ToSeconds();
+  EXPECT_NEAR(seconds, 0.160 + 1.0 + 300e-6, 1e-9);
+}
+
+// Two concurrent streams out of one node halve each other's rate: the
+// bottleneck is the shared NIC (12.5 MB/s wire), not the per-stream peak.
+TEST_F(NetworkTest, ConcurrentStreamsFairShareTheLink) {
+  int delivered = 0;
+  // Each alone: 6.25 MB at min(7.5, 12.5) = 7.5 MB/s -> 0.833 s.
+  // Together: 6.25 MB at 12.5/2 = 6.25 MB/s -> 1 s each.
+  network_.StreamTransfer(1, 2, 6'250'000, SimDuration::Zero(), 7.5e6,
+                          [&](bool ok) { delivered += ok; });
+  network_.StreamTransfer(1, 3, 6'250'000, SimDuration::Zero(), 7.5e6,
+                          [&](bool ok) { delivered += ok; });
+  simulation_.Run();
+  EXPECT_EQ(delivered, 2);
+  double seconds = simulation_.Now().ToSeconds();
+  EXPECT_NEAR(seconds, 1.0 + 300e-6, 1e-6);
+}
+
+// When a stream finishes, the survivors recompute their share and speed up:
+// the big stream's tail runs at full rate once the small one is done.
+TEST_F(NetworkTest, FinishReshapesSurvivors) {
+  double small_done = 0, big_done = 0;
+  network_.StreamTransfer(1, 2, 6'250'000, SimDuration::Zero(), 1e9,
+                          [&](bool) { small_done = simulation_.Now().ToSeconds(); });
+  network_.StreamTransfer(1, 3, 12'500'000, SimDuration::Zero(), 1e9,
+                          [&](bool) { big_done = simulation_.Now().ToSeconds(); });
+  simulation_.Run();
+  // Shared phase: both at 6.25 MB/s. Small: 1 s. Big then has ~6.25 MB left
+  // and the wire to itself (12.5 MB/s): ~0.5 s more. Without the reshare it
+  // would finish at 2 s.
+  EXPECT_NEAR(small_done, 1.0 + 300e-6, 1e-6);
+  EXPECT_GT(big_done, 1.49);
+  EXPECT_LT(big_done, 1.52);
+}
+
+// Sharing is per endpoint, both sides: two streams into one destination
+// halve each other even though their sources differ, while streams on
+// disjoint node pairs run at full solo rate.
+TEST_F(NetworkTest, SharingIsPerEndpoint) {
+  network_.AddNode(4);
+  double into2 = 0, disjoint = 0;
+  network_.StreamTransfer(1, 2, 6'250'000, SimDuration::Zero(), 7.5e6,
+                          [&](bool) { into2 = simulation_.Now().ToSeconds(); });
+  network_.StreamTransfer(3, 2, 6'250'000, SimDuration::Zero(), 7.5e6,
+                          [](bool) {});
+  network_.StreamTransfer(1, 4, 100, SimDuration::Zero(), 7.5e6, [](bool) {});
+  simulation_.Run();
+  // 1 -> 2 shared node 2 with 3 -> 2 (and node 1, briefly, with the tiny
+  // 1 -> 4 stream): it cannot beat the half-share finish time.
+  EXPECT_GT(into2, 1.0);
+  // Re-run disjoint pairs in a quiet network epoch: 1 -> 2 and 3 -> 4
+  // share no endpoint, so each runs at its solo 0.833 s.
+  network_.StreamTransfer(3, 4, 6'250'000, SimDuration::Zero(), 7.5e6,
+                          [](bool) {});
+  network_.StreamTransfer(1, 2, 6'250'000, SimDuration::Zero(), 7.5e6,
+                          [&](bool) {
+                            disjoint = simulation_.Now().ToSeconds() - into2;
+                          });
+  simulation_.Run();
+  EXPECT_NEAR(disjoint, 6'250'000 / 7.5e6 + 300e-6, 1e-5);
+}
+
+TEST_F(NetworkTest, StreamToUnreachableNodeFails) {
+  network_.SetPartitioned(1, 2, true);
+  bool called = false, delivered = true;
+  network_.StreamTransfer(1, 2, 1000, SimDuration::Zero(), 7.5e6,
+                          [&](bool ok) {
+                            called = true;
+                            delivered = ok;
+                          });
+  EXPECT_FALSE(called);  // failure is deferred, never re-enters the caller
+  simulation_.Run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(delivered);
+}
+
+// A partition that forms mid-stream drops the transfer at delivery time.
+TEST_F(NetworkTest, PartitionMidStreamDropsTransfer) {
+  bool called = false, delivered = true;
+  network_.StreamTransfer(1, 2, 7'500'000, SimDuration::Zero(), 7.5e6,
+                          [&](bool ok) {
+                            called = true;
+                            delivered = ok;
+                          });
+  simulation_.Schedule(SimDuration::Millis(500),
+                       [&] { network_.SetPartitioned(1, 2, true); });
+  simulation_.Run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(NetworkTest, ActiveStreamsTracksWirePhase) {
+  std::size_t during = 99;
+  network_.StreamTransfer(1, 2, 7'500'000, SimDuration::Millis(100), 7.5e6,
+                          [](bool) {});
+  simulation_.Schedule(SimDuration::Millis(500),
+                       [&] { during = network_.active_streams(); });
+  simulation_.Run();
+  EXPECT_EQ(during, 1u);
+  EXPECT_EQ(network_.active_streams(), 0u);
+}
+
 // With the window at zero (the calibrated default) the batching layer is
 // bypassed entirely: same event shape and timing as the legacy path.
 TEST_F(NetworkTest, ZeroWindowMatchesLegacyTiming) {
