@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# Static-analysis driver for the dcdo-tidy checks (DESIGN.md §12).
+#
+# Runs the five repo-specific checks over src/ against the committed
+# suppression baseline (tools/dcdo-tidy/baseline.txt) and fails on any
+# unsuppressed finding — this is what the CI `analyze` job gates on.
+#
+# Engine selection, in order of preference:
+#   1. clang-tidy + the dcdo_tidy_module plugin (AST-backed; built only
+#      when the clang-tidy dev headers are present), or
+#   2. dcdo-analyze, the dependency-free fallback engine — always built
+#      under -DDCDO_ANALYSIS=ON, so analysis works on every machine.
+#
+# Both engines share check names, NOLINT semantics, and the fixture suite
+# under tests/analysis/fixtures/; both read the compile database the
+# top-level CMakeLists always exports (CMAKE_EXPORT_COMPILE_COMMANDS), the
+# same one scripts/lint.sh uses.
+#
+# Usage:
+#   scripts/analyze.sh                    # analyze src/, gate on baseline
+#   scripts/analyze.sh --update-baseline  # rewrite the baseline from HEAD
+#   BUILD_DIR=build-foo scripts/analyze.sh
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+BUILD_DIR=${BUILD_DIR:-build}
+BASELINE=tools/dcdo-tidy/baseline.txt
+UPDATE_BASELINE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE_BASELINE=1 ;;
+    *) echo "usage: $0 [--update-baseline]" >&2; exit 2 ;;
+  esac
+done
+
+# --- Ensure a configured build with the analysis tooling + compile db ----
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "analyze: configuring $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S . -DDCDO_ANALYSIS=ON >/dev/null \
+    || { echo "analyze: cmake configure failed" >&2; exit 1; }
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  # Always exported by the top-level CMakeLists; regenerate if missing.
+  cmake -B "$BUILD_DIR" -S . >/dev/null \
+    || { echo "analyze: cmake reconfigure failed" >&2; exit 1; }
+fi
+
+ANALYZE_SOURCES=$(find src \( -name '*.cc' -o -name '*.h' \) | sort)
+
+# --- Preferred engine: clang-tidy with the dcdo plugin -------------------
+PLUGIN=$(find "$BUILD_DIR/tools/dcdo-tidy" -name 'dcdo_tidy_module.*' \
+         2>/dev/null | head -n 1)
+if command -v clang-tidy >/dev/null 2>&1 && [ -n "$PLUGIN" ] \
+   && [ "$UPDATE_BASELINE" = 0 ]; then
+  echo "analyze: clang-tidy + dcdo_tidy_module"
+  # shellcheck disable=SC2086
+  clang-tidy --load="$PLUGIN" --checks='-*,dcdo-*' -p "$BUILD_DIR" \
+    --quiet $ANALYZE_SOURCES
+  exit $?
+fi
+
+# --- Fallback engine: dcdo-analyze ---------------------------------------
+DCDO_ANALYZE="$BUILD_DIR/tools/dcdo-tidy/dcdo-analyze"
+if [ ! -x "$DCDO_ANALYZE" ]; then
+  echo "analyze: building dcdo-analyze"
+  cmake --build "$BUILD_DIR" --target dcdo-analyze >/dev/null \
+    || { echo "analyze: build failed" >&2; exit 1; }
+fi
+
+# src/trace/ exports wall-clock timestamps by design (Chrome trace files);
+# bench/ measures real elapsed time. Everything else must use sim time.
+set -- --allow-wallclock=src/trace/ --allow-wallclock=bench/
+
+if [ "$UPDATE_BASELINE" = 1 ]; then
+  # shellcheck disable=SC2086
+  "$DCDO_ANALYZE" "$@" --write-baseline="$BASELINE" $ANALYZE_SOURCES
+  exit $?
+fi
+
+# shellcheck disable=SC2086
+"$DCDO_ANALYZE" "$@" --baseline="$BASELINE" $ANALYZE_SOURCES
+STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  echo "analyze: unsuppressed findings — fix them, add a NOLINT(check) with" >&2
+  echo "analyze: a reason, or (transitionally) scripts/analyze.sh --update-baseline" >&2
+fi
+exit "$STATUS"

@@ -55,22 +55,22 @@ class Reader {
  public:
   explicit Reader(const ByteBuffer& buffer) : buffer_(buffer) {}
 
-  Result<std::uint32_t> ReadU32();
-  Result<std::uint64_t> ReadU64();
-  Result<std::int64_t> ReadI64();
-  Result<double> ReadDouble();
-  Result<bool> ReadBool();
-  Result<std::string> ReadString();
-  Result<ByteBuffer> ReadBytes();
-  Result<ObjectId> ReadObjectId();
-  Result<VersionId> ReadVersionId();
+  [[nodiscard]] Result<std::uint32_t> ReadU32();
+  [[nodiscard]] Result<std::uint64_t> ReadU64();
+  [[nodiscard]] Result<std::int64_t> ReadI64();
+  [[nodiscard]] Result<double> ReadDouble();
+  [[nodiscard]] Result<bool> ReadBool();
+  [[nodiscard]] Result<std::string> ReadString();
+  [[nodiscard]] Result<ByteBuffer> ReadBytes();
+  [[nodiscard]] Result<ObjectId> ReadObjectId();
+  [[nodiscard]] Result<VersionId> ReadVersionId();
 
   bool AtEnd() const { return offset_ == buffer_.size(); }
   std::size_t remaining() const { return buffer_.size() - offset_; }
 
  private:
   template <typename T>
-  Result<T> ReadRaw();
+  [[nodiscard]] Result<T> ReadRaw();
 
   const ByteBuffer& buffer_;
   std::size_t offset_ = 0;

@@ -58,7 +58,7 @@ class [[nodiscard]] Status {
   Status(ErrorCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }
@@ -79,27 +79,27 @@ class [[nodiscard]] Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 // Convenience constructors, e.g. `return NotFoundError("no such function");`.
-Status InvalidArgumentError(std::string message);
-Status NotFoundError(std::string message);
-Status AlreadyExistsError(std::string message);
-Status FailedPreconditionError(std::string message);
-Status OutOfRangeError(std::string message);
-Status UnimplementedError(std::string message);
-Status InternalError(std::string message);
-Status TimeoutError(std::string message);
-Status UnavailableError(std::string message);
-Status StaleBindingError(std::string message);
-Status FunctionDisabledError(std::string message);
-Status FunctionMissingError(std::string message);
-Status ComponentMissingError(std::string message);
-Status DependencyViolationError(std::string message);
-Status PermanentViolationError(std::string message);
-Status MandatoryViolationError(std::string message);
-Status VersionNotInstantiableError(std::string message);
-Status VersionFrozenError(std::string message);
-Status NotDerivedVersionError(std::string message);
-Status ActiveThreadsError(std::string message);
-Status ArchMismatchError(std::string message);
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status AlreadyExistsError(std::string message);
+[[nodiscard]] Status FailedPreconditionError(std::string message);
+[[nodiscard]] Status OutOfRangeError(std::string message);
+[[nodiscard]] Status UnimplementedError(std::string message);
+[[nodiscard]] Status InternalError(std::string message);
+[[nodiscard]] Status TimeoutError(std::string message);
+[[nodiscard]] Status UnavailableError(std::string message);
+[[nodiscard]] Status StaleBindingError(std::string message);
+[[nodiscard]] Status FunctionDisabledError(std::string message);
+[[nodiscard]] Status FunctionMissingError(std::string message);
+[[nodiscard]] Status ComponentMissingError(std::string message);
+[[nodiscard]] Status DependencyViolationError(std::string message);
+[[nodiscard]] Status PermanentViolationError(std::string message);
+[[nodiscard]] Status MandatoryViolationError(std::string message);
+[[nodiscard]] Status VersionNotInstantiableError(std::string message);
+[[nodiscard]] Status VersionFrozenError(std::string message);
+[[nodiscard]] Status NotDerivedVersionError(std::string message);
+[[nodiscard]] Status ActiveThreadsError(std::string message);
+[[nodiscard]] Status ArchMismatchError(std::string message);
 
 // Result<T> holds either a value or a non-OK Status (like absl::StatusOr).
 template <typename T>

@@ -36,7 +36,7 @@ class VersionId {
 
   // Parses a dotted string, e.g. "3.2.0.4". Parts must be non-negative
   // integers; the identifier must be non-empty.
-  static Result<VersionId> Parse(std::string_view text);
+  [[nodiscard]] static Result<VersionId> Parse(std::string_view text);
 
   bool valid() const { return !parts_.empty(); }
   std::size_t depth() const { return parts_.size(); }
@@ -47,7 +47,7 @@ class VersionId {
   VersionId Child(std::uint32_t ordinal) const;
 
   // Parent in the version tree; error if this is a depth-1 (root-level) id.
-  Result<VersionId> Parent() const;
+  [[nodiscard]] Result<VersionId> Parent() const;
 
   // True if `this` is `ancestor` or a descendant of `ancestor` in the version
   // tree (prefix relation). Every version derives from itself.

@@ -33,7 +33,7 @@ struct ImplementationComponent {
 
   // Structural soundness: unique function names, non-empty symbols, positive
   // image size when functions exist.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   std::size_t function_count() const { return functions.size(); }
 };
@@ -55,7 +55,7 @@ class ComponentBuilder {
       std::vector<std::string> calls = {});
 
   // Validates and returns the component with a freshly drawn id.
-  Result<ImplementationComponent> Build();
+  [[nodiscard]] Result<ImplementationComponent> Build();
 
  private:
   ImplementationComponent component_;
@@ -64,6 +64,6 @@ class ComponentBuilder {
 // Wire form of a component's metadata (everything except the image bytes);
 // this is what a DCDO reads from an ICO before deciding to fetch the image.
 ByteBuffer SerializeComponentMeta(const ImplementationComponent& component);
-Result<ImplementationComponent> ParseComponentMeta(const ByteBuffer& buffer);
+[[nodiscard]] Result<ImplementationComponent> ParseComponentMeta(const ByteBuffer& buffer);
 
 }  // namespace dcdo

@@ -35,7 +35,7 @@ class NativeCodeRegistry {
 
   // Resolves `symbol` for a host of architecture `arch`. Prefers a native
   // build for `arch`; falls back to a portable build if one exists.
-  Result<DynamicFn> Resolve(const std::string& symbol,
+  [[nodiscard]] Result<DynamicFn> Resolve(const std::string& symbol,
                             sim::Architecture arch) const;
 
   bool Has(const std::string& symbol) const {

@@ -63,7 +63,7 @@ class UpdateCoordinator {
   void Execute(std::vector<Step> steps, DoneCallback done);
 
  private:
-  Status ValidateAll(const std::vector<Step>& steps,
+  [[nodiscard]] Status ValidateAll(const std::vector<Step>& steps,
                      std::vector<VersionId>& prior_versions,
                      std::vector<std::string>& notes) const;
 

@@ -83,7 +83,7 @@ class Dcdo final : public CallContext {
 
   // Incorporates the component whose image is already in the host cache.
   // Charges component_map_cached + per-function DFM registration.
-  Status IncorporateCached(const ImplementationComponent& meta,
+  [[nodiscard]] Status IncorporateCached(const ImplementationComponent& meta,
                            bool auto_structural_deps = true);
 
   // Full incorporate: resolves the ICO, fetches the image if not cached
@@ -92,7 +92,7 @@ class Dcdo final : public CallContext {
 
   // Immediate removal honouring `thread_policy` (kError rejects on active
   // threads; kForce removes regardless).
-  Status RemoveComponent(const ObjectId& component_id,
+  [[nodiscard]] Status RemoveComponent(const ObjectId& component_id,
                          ActiveThreadPolicy thread_policy =
                              ActiveThreadPolicy::kError);
 
@@ -102,17 +102,17 @@ class Dcdo final : public CallContext {
                                  const RemovalPolicy& policy,
                                  DoneCallback done);
 
-  Status EnableFunction(const std::string& function, const ObjectId& component);
-  Status DisableFunction(const std::string& function, const ObjectId& component,
+  [[nodiscard]] Status EnableFunction(const std::string& function, const ObjectId& component);
+  [[nodiscard]] Status DisableFunction(const std::string& function, const ObjectId& component,
                          bool respect_active_dependents = true);
-  Status SwitchImplementation(const std::string& function,
+  [[nodiscard]] Status SwitchImplementation(const std::string& function,
                               const ObjectId& to_component);
-  Status SetVisibility(const std::string& function, const ObjectId& component,
+  [[nodiscard]] Status SetVisibility(const std::string& function, const ObjectId& component,
                        Visibility visibility);
-  Status MarkMandatory(const std::string& function);
-  Status MarkPermanent(const std::string& function, const ObjectId& component);
-  Status AddDependency(Dependency dep);
-  Status RemoveDependency(const Dependency& dep);
+  [[nodiscard]] Status MarkMandatory(const std::string& function);
+  [[nodiscard]] Status MarkPermanent(const std::string& function, const ObjectId& component);
+  [[nodiscard]] Status AddDependency(Dependency dep);
+  [[nodiscard]] Status RemoveDependency(const Dependency& dep);
 
   // Applies the delta to `target`: fetches and incorporates new components,
   // removes dropped ones (with `removal`), applies enable/disable flips,
@@ -142,16 +142,16 @@ class Dcdo final : public CallContext {
 
   // External-origin call (what a remote client's invocation performs once it
   // reaches the object). Charges the DFM lookup cost.
-  Result<ByteBuffer> Call(const std::string& function, const ByteBuffer& args);
+  [[nodiscard]] Result<ByteBuffer> Call(const std::string& function, const ByteBuffer& args);
 
   // Pre-resolved variant: repeat callers holding an interned FunctionId skip
   // the per-call name lookup entirely.
-  Result<ByteBuffer> Call(FunctionId function, const ByteBuffer& args);
+  [[nodiscard]] Result<ByteBuffer> Call(FunctionId function, const ByteBuffer& args);
 
   // CallContext (bodies calling other dynamic functions in this object):
-  Result<ByteBuffer> CallInternal(const std::string& function,
+  [[nodiscard]] Result<ByteBuffer> CallInternal(const std::string& function,
                                   const ByteBuffer& args) override;
-  Result<ByteBuffer> CallInternal(FunctionId function, const ByteBuffer& args);
+  [[nodiscard]] Result<ByteBuffer> CallInternal(FunctionId function, const ByteBuffer& args);
   ObjectId self_id() const override;
   void BlockOnOutcall(double sim_seconds) override;
   ByteBuffer& object_data() override { return state_.data; }
@@ -187,7 +187,7 @@ class Dcdo final : public CallContext {
   // Re-resolves every incorporated component for the current host's
   // architecture — call after Rebind() when migrating. Fails with
   // kArchMismatch if a component has no usable build here.
-  Status RemapForHost() {
+  [[nodiscard]] Status RemapForHost() {
     return mapper_.RemapBodies(registry_, host_->architecture());
   }
 
@@ -195,7 +195,7 @@ class Dcdo final : public CallContext {
   void RegisterEndpoint();
   void HandleInvocation(const rpc::MethodInvocation& invocation,
                         rpc::ReplyFn reply);
-  Result<ByteBuffer> DispatchConfig(std::string_view method,
+  [[nodiscard]] Result<ByteBuffer> DispatchConfig(std::string_view method,
                                     const ByteBuffer& args);
   sim::Simulation& simulation() { return host_->simulation(); }
   const sim::CostModel& cost() const { return host_->cost_model(); }

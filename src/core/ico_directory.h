@@ -22,12 +22,12 @@ class IcoDirectory : public IcoResolver {
   void Register(ImplementationComponentObject* ico);
   void Unregister(const ObjectId& id);
 
-  Result<ImplementationComponentObject*> Find(const ObjectId& id) const;
+  [[nodiscard]] Result<ImplementationComponentObject*> Find(const ObjectId& id) const;
   bool Has(const ObjectId& id) const { return icos_.contains(id); }
   std::size_t size() const { return icos_.size(); }
 
   // IcoResolver: the ComponentFetcher's view of this directory.
-  Result<ImplementationComponentObject*> FindIco(
+  [[nodiscard]] Result<ImplementationComponentObject*> FindIco(
       const ObjectId& id) const override {
     return Find(id);
   }

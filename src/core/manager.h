@@ -62,37 +62,37 @@ class DcdoManager {
   // human-readable names under /types/<type_name>/ — "components/<name>"
   // for every published ICO and "instances/<n>" for every live DCDO.
   // Components published before attachment are bound retroactively.
-  Status AttachNameService(NameService* names);
+  [[nodiscard]] Status AttachNameService(NameService* names);
 
   // ===== Implementation components =====
 
   // Publishes `meta` as an ICO on the manager's home host; the component
   // becomes fetchable system-wide. Returns the component's global id.
-  Result<ObjectId> PublishComponent(ImplementationComponent meta);
+  [[nodiscard]] Result<ObjectId> PublishComponent(ImplementationComponent meta);
 
   // ===== The DFM store: version management =====
 
   // Creates the root version "1" (configurable). Fails if versions exist.
-  Result<VersionId> CreateRootVersion();
+  [[nodiscard]] Result<VersionId> CreateRootVersion();
 
   // Derives a new configurable version from `parent` (which must exist):
   // the paper's "logically copying an existing instantiable one". The child
   // gets the next free ordinal under `parent`.
-  Result<VersionId> DeriveVersion(const VersionId& parent);
+  [[nodiscard]] Result<VersionId> DeriveVersion(const VersionId& parent);
 
   // The descriptor for `version`, for configuration. Mutations fail with
   // kVersionFrozen once the version is instantiable.
-  Result<DfmDescriptor*> MutableDescriptor(const VersionId& version);
-  Result<const DfmDescriptor*> Descriptor(const VersionId& version) const;
+  [[nodiscard]] Result<DfmDescriptor*> MutableDescriptor(const VersionId& version);
+  [[nodiscard]] Result<const DfmDescriptor*> Descriptor(const VersionId& version) const;
 
   // Freezes `version` after validation; it becomes usable for creation and
   // evolution.
-  Status MarkInstantiable(const VersionId& version);
+  [[nodiscard]] Status MarkInstantiable(const VersionId& version);
 
   // Designates the current version (must be instantiable). Under a
   // proactive single-version policy this immediately pushes the update to
   // every instance in the DCDO table.
-  Status SetCurrentVersion(const VersionId& version);
+  [[nodiscard]] Status SetCurrentVersion(const VersionId& version);
   const VersionId& current_version() const { return current_version_; }
   std::vector<VersionId> Versions() const;
 
@@ -137,13 +137,13 @@ class DcdoManager {
   void DeactivateInstance(const ObjectId& instance, DoneCallback done);
   void ReactivateInstance(const ObjectId& instance, DoneCallback done);
 
-  Status DestroyInstance(const ObjectId& instance);
+  [[nodiscard]] Status DestroyInstance(const ObjectId& instance);
 
   // ===== Status reporting =====
 
   Dcdo* FindInstance(const ObjectId& instance);
   std::size_t instance_count() const { return instances_.size(); }
-  Result<VersionId> InstanceVersion(const ObjectId& instance) const;
+  [[nodiscard]] Result<VersionId> InstanceVersion(const ObjectId& instance) const;
 
   struct TableEntry {
     ObjectId id;
@@ -188,7 +188,7 @@ class DcdoManager {
   void ApplyVersion(Dcdo* object, const VersionId& version, DoneCallback done);
   void InstallLazyHook(const ObjectId& instance);
   void LazyCheck(const ObjectId& instance);
-  Status CheckInstantiable(const VersionId& version) const;
+  [[nodiscard]] Status CheckInstantiable(const VersionId& version) const;
 
   std::string type_name_;
   ObjectId id_;

@@ -54,7 +54,7 @@ class DcdoProxy {
   // Fetches the annotated interface from the object (dcdo.getInterface) and
   // caches it. Called lazily by the other methods; call it eagerly to
   // pre-warm.
-  Status RefreshInterface();
+  [[nodiscard]] Status RefreshInterface();
 
   // The cached interface (empty until the first refresh).
   const std::vector<InterfaceEntry>& interface() const { return interface_; }
@@ -69,11 +69,11 @@ class DcdoProxy {
   bool IsAssured(const std::string& function) const;
 
   // The object's current version (dcdo.getVersion).
-  Result<VersionId> FetchVersion();
+  [[nodiscard]] Result<VersionId> FetchVersion();
 
   // Defensive invocation as described above. At most one interface refresh
   // and one retry per call.
-  Result<ByteBuffer> Call(const std::string& function, const ByteBuffer& args);
+  [[nodiscard]] Result<ByteBuffer> Call(const std::string& function, const ByteBuffer& args);
 
   std::uint64_t refreshes() const { return refreshes_; }
   std::uint64_t retries() const { return retries_; }

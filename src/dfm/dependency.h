@@ -47,7 +47,7 @@ struct Dependency {
 
   // Structural consistency of the record itself (the right optional fields
   // are present for the kind).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   std::string ToString() const;
 
@@ -79,16 +79,16 @@ class EnabledSnapshot {
 class DependencySet {
  public:
   // Duplicate dependencies are idempotently ignored.
-  Status Add(Dependency dep);
+  [[nodiscard]] Status Add(Dependency dep);
   // Exact-match removal; kNotFound if absent.
-  Status Remove(const Dependency& dep);
+  [[nodiscard]] Status Remove(const Dependency& dep);
 
   const std::vector<Dependency>& all() const { return deps_; }
   std::size_t size() const { return deps_.size(); }
 
   // First violated dependency in `snapshot`, or OK. A dependency is violated
   // when its head condition holds but its target condition does not.
-  Status Validate(const EnabledSnapshot& snapshot) const;
+  [[nodiscard]] Status Validate(const EnabledSnapshot& snapshot) const;
 
   // True if some *currently binding* dependency (head enabled in `snapshot`)
   // has (function, component) — or any impl of `function` for structural

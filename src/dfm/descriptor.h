@@ -32,31 +32,31 @@ class DfmDescriptor {
   const DfmState& state() const { return state_; }
 
   // --- Configuration (all fail with kVersionFrozen once instantiable) ---
-  Status IncorporateComponent(const ImplementationComponent& meta,
+  [[nodiscard]] Status IncorporateComponent(const ImplementationComponent& meta,
                               bool auto_structural_deps = true);
-  Status RemoveComponent(const ObjectId& component);
-  Status EnableFunction(const std::string& function, const ObjectId& component);
-  Status DisableFunction(const std::string& function,
+  [[nodiscard]] Status RemoveComponent(const ObjectId& component);
+  [[nodiscard]] Status EnableFunction(const std::string& function, const ObjectId& component);
+  [[nodiscard]] Status DisableFunction(const std::string& function,
                          const ObjectId& component);
-  Status SwitchImplementation(const std::string& function,
+  [[nodiscard]] Status SwitchImplementation(const std::string& function,
                               const ObjectId& to_component);
-  Status SetVisibility(const std::string& function, const ObjectId& component,
+  [[nodiscard]] Status SetVisibility(const std::string& function, const ObjectId& component,
                        Visibility visibility);
-  Status MarkMandatory(const std::string& function);
-  Status MarkPermanent(const std::string& function, const ObjectId& component);
-  Status AddDependency(Dependency dep);
-  Status RemoveDependency(const Dependency& dep);
+  [[nodiscard]] Status MarkMandatory(const std::string& function);
+  [[nodiscard]] Status MarkPermanent(const std::string& function, const ObjectId& component);
+  [[nodiscard]] Status AddDependency(Dependency dep);
+  [[nodiscard]] Status RemoveDependency(const Dependency& dep);
 
   // Freezes the descriptor after full validation (mandatory functions have
   // enabled implementations, permanent impls enabled, dependencies hold).
-  Status MarkInstantiable();
+  [[nodiscard]] Status MarkInstantiable();
 
   // A configurable copy of this descriptor under a new (child) version id —
   // the paper's "logically copying an existing instantiable one".
   DfmDescriptor DeriveChild(const VersionId& child_version) const;
 
  private:
-  Status CheckConfigurable() const;
+  [[nodiscard]] Status CheckConfigurable() const;
 
   VersionId version_;
   bool instantiable_ = false;

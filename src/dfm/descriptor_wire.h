@@ -20,6 +20,6 @@
 namespace dcdo {
 
 ByteBuffer SerializeDescriptor(const DfmDescriptor& descriptor);
-Result<DfmDescriptor> ParseDescriptor(const ByteBuffer& wire);
+[[nodiscard]] Result<DfmDescriptor> ParseDescriptor(const ByteBuffer& wire);
 
 }  // namespace dcdo

@@ -113,18 +113,18 @@ class DynamicFunctionMapper {
   // present, kFunctionDisabled when implementations exist but none is
   // enabled, and kFunctionMissing for external calls to internal-only
   // functions (an outsider cannot distinguish "internal" from "absent").
-  Result<CallGuard> Acquire(std::string_view function, CallOrigin origin);
+  [[nodiscard]] Result<CallGuard> Acquire(std::string_view function, CallOrigin origin);
 
   // The pre-resolved fast path: callers that hold an interned FunctionId
   // (method tables, proxies, repeated dispatch) skip the name lookup.
-  Result<CallGuard> Acquire(FunctionId function, CallOrigin origin);
+  [[nodiscard]] Result<CallGuard> Acquire(FunctionId function, CallOrigin origin);
 
   // --- Configuration (a DCDO's configuration functions land here) ---
 
   // Incorporates `meta`, resolving every symbol against `registry` for
   // `arch`. All-or-nothing: a single unresolved or arch-incompatible symbol
   // fails the whole incorporate.
-  Status IncorporateComponent(const ImplementationComponent& meta,
+  [[nodiscard]] Status IncorporateComponent(const ImplementationComponent& meta,
                               const NativeCodeRegistry& registry,
                               sim::Architecture arch,
                               bool auto_structural_deps = true);
@@ -132,43 +132,43 @@ class DynamicFunctionMapper {
   // Removes a component. With kError, fails with kActiveThreads if any of
   // the component's implementations has a thread inside it (the
   // disappearing-component guard); kForce removes regardless.
-  Status RemoveComponent(const ObjectId& component,
+  [[nodiscard]] Status RemoveComponent(const ObjectId& component,
                          ActiveThreadPolicy policy = ActiveThreadPolicy::kError);
 
-  Status EnableFunction(const std::string& function, const ObjectId& component);
+  [[nodiscard]] Status EnableFunction(const std::string& function, const ObjectId& component);
 
   // Disables an implementation. When `respect_active_dependents`, the
   // disable is additionally rejected with kActiveThreads while any function
   // holding a binding dependency on this implementation is executing —
   // the paper's defence against the disappearing internal function problem.
-  Status DisableFunction(const std::string& function, const ObjectId& component,
+  [[nodiscard]] Status DisableFunction(const std::string& function, const ObjectId& component,
                          bool respect_active_dependents = true);
 
-  Status SwitchImplementation(const std::string& function,
+  [[nodiscard]] Status SwitchImplementation(const std::string& function,
                               const ObjectId& to_component);
-  Status SetVisibility(const std::string& function, const ObjectId& component,
+  [[nodiscard]] Status SetVisibility(const std::string& function, const ObjectId& component,
                        Visibility visibility);
-  Status MarkMandatory(const std::string& function);
-  Status MarkPermanent(const std::string& function, const ObjectId& component);
-  Status AddDependency(Dependency dep);
-  Status RemoveDependency(const Dependency& dep);
+  [[nodiscard]] Status MarkMandatory(const std::string& function);
+  [[nodiscard]] Status MarkPermanent(const std::string& function, const ObjectId& component);
+  [[nodiscard]] Status AddDependency(Dependency dep);
+  [[nodiscard]] Status RemoveDependency(const Dependency& dep);
 
   // Atomic wholesale move to `target`'s configuration (enabled flags,
   // visibility, marks, dependencies) after new components have been
   // incorporated; see DfmState::AdoptConfiguration for semantics.
-  Status AdoptConfiguration(const DfmState& target, bool enforce_marks);
+  [[nodiscard]] Status AdoptConfiguration(const DfmState& target, bool enforce_marks);
 
   // After an evolution plan has been applied, adopts the target
   // configuration's metadata wholesale: mandatory markings, permanent flags,
   // visibilities, and the dependency set. The entry/component sets must
   // already match the target; kFailedPrecondition otherwise.
-  Status SyncMetadata(const DfmState& target);
+  [[nodiscard]] Status SyncMetadata(const DfmState& target);
 
   // Re-resolves every incorporated implementation against `registry` for a
   // (possibly different) architecture — the re-mapping step of migration.
   // Fails with kArchMismatch if any incorporated component has no build
   // usable on `arch`; the mapper is unchanged on failure.
-  Status RemapBodies(const NativeCodeRegistry& registry,
+  [[nodiscard]] Status RemapBodies(const NativeCodeRegistry& registry,
                      sim::Architecture arch);
 
   // --- Status reporting ---
@@ -225,7 +225,7 @@ class DynamicFunctionMapper {
   // on success, pins the implementation into `guard`.
   AcquireReject TryAcquireLocked(const Slot* slot, FunctionId id,
                                  CallOrigin origin, CallGuard& guard);
-  static Status RejectError(AcquireReject reject, std::string_view name);
+  [[nodiscard]] static Status RejectError(AcquireReject reject, std::string_view name);
 
   // Rebuilds slots_ from state_ + impls_. Caller holds the exclusive lock.
   void RebuildSlotsLocked();

@@ -53,44 +53,44 @@ class DfmState {
   // mandatory; kPermanent marks the impl permanent (and enables it, since a
   // permanent impl may never be disabled). If `auto_structural_deps`, the
   // component's `calls` hints become Type A dependencies.
-  Status IncorporateComponent(const ImplementationComponent& meta,
+  [[nodiscard]] Status IncorporateComponent(const ImplementationComponent& meta,
                               bool auto_structural_deps = true);
 
   // Removes the component and all its rows. Fails on permanent impls,
   // on mandatory functions whose only implementation lives here, and on
   // dependency violations.
-  Status RemoveComponent(const ObjectId& component);
+  [[nodiscard]] Status RemoveComponent(const ObjectId& component);
 
   // Enables the (function, component) implementation. Fails if another
   // implementation of the function is already enabled (disable or Switch
   // first), or if enabling would leave the new configuration violating a
   // dependency (e.g. a Type A dep of this impl with no enabled target).
-  Status EnableFunction(const std::string& function,
+  [[nodiscard]] Status EnableFunction(const std::string& function,
                         const ObjectId& component);
 
   // Disables the implementation. Fails on permanent impls, on the last
   // enabled impl of a mandatory function, and on dependency violations.
-  Status DisableFunction(const std::string& function,
+  [[nodiscard]] Status DisableFunction(const std::string& function,
                          const ObjectId& component);
 
   // Atomically disables whichever impl of `function` is enabled (if any) and
   // enables the one in `to_component` — the paper's "change the
   // implementation of a function while keeping its signature the same".
-  Status SwitchImplementation(const std::string& function,
+  [[nodiscard]] Status SwitchImplementation(const std::string& function,
                               const ObjectId& to_component);
 
   // Changes an implementation's visibility (add to / remove from the public
   // interface without touching enablement).
-  Status SetVisibility(const std::string& function, const ObjectId& component,
+  [[nodiscard]] Status SetVisibility(const std::string& function, const ObjectId& component,
                        Visibility visibility);
 
   // Constraint markings. Marks may only be strengthened: a mandatory function
   // stays mandatory in every configuration derived from this one.
-  Status MarkMandatory(const std::string& function);
-  Status MarkPermanent(const std::string& function, const ObjectId& component);
+  [[nodiscard]] Status MarkMandatory(const std::string& function);
+  [[nodiscard]] Status MarkPermanent(const std::string& function, const ObjectId& component);
 
-  Status AddDependency(Dependency dep);
-  Status RemoveDependency(const Dependency& dep);
+  [[nodiscard]] Status AddDependency(Dependency dep);
+  [[nodiscard]] Status RemoveDependency(const Dependency& dep);
 
   // --- Status-reporting queries ---
 
@@ -139,13 +139,13 @@ class DfmState {
   // it (the general-evolution policy), the target's marks replace the
   // current ones outright — the paper notes general evolution "undermines
   // the use of mandatory and permanent functions".
-  Status AdoptConfiguration(const DfmState& target, bool enforce_marks);
+  [[nodiscard]] Status AdoptConfiguration(const DfmState& target, bool enforce_marks);
 
   // Full-configuration validation, required before a version may be marked
   // instantiable: every mandatory function has an enabled implementation,
   // every permanent implementation is enabled, and no binding dependency is
   // violated.
-  Status ValidateComplete() const;
+  [[nodiscard]] Status ValidateComplete() const;
 
   // Structural self-check for the checking layer (dfm-integrity invariant):
   // conditions every mutation path is supposed to preserve at every event
@@ -158,7 +158,7 @@ class DfmState {
   std::vector<std::string> CheckIntegrity() const;
 
  private:
-  Status ValidateMutation(const EnabledSnapshot& proposed) const;
+  [[nodiscard]] Status ValidateMutation(const EnabledSnapshot& proposed) const;
 
   std::map<ObjectId, ImplementationComponent> components_;
   std::map<EntryKey, DfmEntry> entries_;

@@ -27,7 +27,7 @@ class BindingAgent {
   void Unbind(const ObjectId& id);
 
   // Authoritative lookup; kNotFound if the object has no current activation.
-  Result<ObjectAddress> Lookup(const ObjectId& id) const;
+  [[nodiscard]] Result<ObjectAddress> Lookup(const ObjectId& id) const;
 
   bool Bound(const ObjectId& id) const { return bindings_.contains(id); }
   std::size_t size() const { return bindings_.size(); }

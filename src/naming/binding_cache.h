@@ -43,11 +43,11 @@ class BindingCache {
 
   // Cached binding if present, else authoritative lookup (which populates the
   // cache). A cached entry may of course be stale — that is the point.
-  Result<ObjectAddress> Resolve(const ObjectId& id);
+  [[nodiscard]] Result<ObjectAddress> Resolve(const ObjectId& id);
 
   // Drops the cached entry and re-fetches from the agent. Returns the fresh
   // binding. The caller charges CostModel::rebind_query in sim time.
-  Result<ObjectAddress> RefreshFromAgent(const ObjectId& id);
+  [[nodiscard]] Result<ObjectAddress> RefreshFromAgent(const ObjectId& id);
 
   void Invalidate(const ObjectId& id);
   void InvalidateAll();

@@ -29,24 +29,24 @@ class NameService {
   // Binds `path` to `id`, failing if the path is malformed, already bound,
   // or collides with an existing directory/name. Rebinding requires an
   // explicit Unbind first (accidental shadowing is an error, not a feature).
-  Status Bind(const std::string& path, const ObjectId& id);
+  [[nodiscard]] Status Bind(const std::string& path, const ObjectId& id);
 
-  Status Unbind(const std::string& path);
+  [[nodiscard]] Status Unbind(const std::string& path);
 
-  Result<ObjectId> Lookup(const std::string& path) const;
+  [[nodiscard]] Result<ObjectId> Lookup(const std::string& path) const;
 
   bool IsName(const std::string& path) const;
   bool IsDirectory(const std::string& path) const;
 
   // Immediate children of `directory` ("/": the root). Names are returned
   // as bare segments; sub-directories carry a trailing '/'.
-  Result<std::vector<std::string>> List(const std::string& directory) const;
+  [[nodiscard]] Result<std::vector<std::string>> List(const std::string& directory) const;
 
   std::size_t size() const { return names_.size(); }
 
   // Validates and canonicalizes a path (collapses nothing — rejects
   // malformed input instead). Exposed for tests.
-  static Result<std::string> Normalize(const std::string& path);
+  [[nodiscard]] static Result<std::string> Normalize(const std::string& path);
 
  private:
   std::map<std::string, ObjectId> names_;

@@ -62,9 +62,9 @@ class RpcClient {
 
   // Convenience for tests/examples: drives the simulation until the reply
   // (or terminal failure) arrives and returns it.
-  Result<ByteBuffer> InvokeBlocking(const ObjectId& target, std::string method,
+  [[nodiscard]] Result<ByteBuffer> InvokeBlocking(const ObjectId& target, std::string method,
                                     ByteBuffer args = {});
-  Result<ByteBuffer> InvokeBlocking(const ObjectId& target, FunctionId method,
+  [[nodiscard]] Result<ByteBuffer> InvokeBlocking(const ObjectId& target, FunctionId method,
                                     std::shared_ptr<const ByteBuffer> args = {});
 
   sim::NodeId node() const { return node_; }
@@ -82,7 +82,7 @@ class RpcClient {
   void StartCall(const std::shared_ptr<CallState>& call);
   void Attempt(const std::shared_ptr<CallState>& call);
   void OnTimeout(const std::shared_ptr<CallState>& call);
-  Result<ByteBuffer> DriveToCompletion(std::optional<Result<ByteBuffer>>& out);
+  [[nodiscard]] Result<ByteBuffer> DriveToCompletion(std::optional<Result<ByteBuffer>>& out);
 
   RpcTransport& transport_;
   BindingCache cache_;

@@ -57,7 +57,7 @@ class ClassObject {
   // Registers an executable version; the first registered one becomes
   // current. Returns its index.
   std::size_t AddExecutable(Executable executable);
-  Status SetCurrentExecutable(std::size_t index);
+  [[nodiscard]] Status SetCurrentExecutable(std::size_t index);
   const Executable& current_executable() const {
     return executables_[current_executable_];
   }
@@ -86,18 +86,18 @@ class ClassObject {
                        DoneCallback done);
 
   // Deactivates and forgets the instance.
-  Status DestroyInstance(const ObjectId& instance);
+  [[nodiscard]] Status DestroyInstance(const ObjectId& instance);
 
   // --- Introspection ---
   std::size_t instance_count() const { return instances_.size(); }
   bool HasInstance(const ObjectId& instance) const {
     return instances_.contains(instance);
   }
-  Result<std::size_t> InstanceExecutable(const ObjectId& instance) const;
-  Result<sim::NodeId> InstanceNode(const ObjectId& instance) const;
+  [[nodiscard]] Result<std::size_t> InstanceExecutable(const ObjectId& instance) const;
+  [[nodiscard]] Result<sim::NodeId> InstanceNode(const ObjectId& instance) const;
 
   // Direct (test-only) access to an instance's state.
-  Result<InstanceState*> MutableInstanceState(const ObjectId& instance);
+  [[nodiscard]] Result<InstanceState*> MutableInstanceState(const ObjectId& instance);
 
  private:
   struct Instance {

@@ -42,9 +42,9 @@ class MethodTable {
   // Replaces any existing binding for `name`. Interns the name.
   void Add(const std::string& name, MethodFn fn);
 
-  Result<const MethodFn*> Find(std::string_view name) const;
+  [[nodiscard]] Result<const MethodFn*> Find(std::string_view name) const;
   // Pre-resolved dispatch: no name lookup at all.
-  Result<const MethodFn*> Find(FunctionId id) const;
+  [[nodiscard]] Result<const MethodFn*> Find(FunctionId id) const;
   bool Has(std::string_view name) const;
   std::size_t size() const { return methods_.size(); }
 

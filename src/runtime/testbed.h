@@ -81,7 +81,7 @@ class Testbed {
   // Exports the collected trace as Chrome trace-event JSON (chrome://tracing
   // / Perfetto). Snapshots the substrate counters into the metrics registry
   // first so the export carries them. Fails when tracing is not installed.
-  Status DumpTrace(const std::string& path);
+  [[nodiscard]] Status DumpTrace(const std::string& path);
 
  private:
   sim::Simulation simulation_;

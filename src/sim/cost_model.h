@@ -172,6 +172,6 @@ struct CostModel {
 };
 
 // Sanity checks for a (possibly re-calibrated) cost model; the defaults pass.
-Status ValidateCostModel(const CostModel& model);
+[[nodiscard]] Status ValidateCostModel(const CostModel& model);
 
 }  // namespace dcdo::sim

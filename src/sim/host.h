@@ -64,7 +64,7 @@ class SimHost {
   ProcessId AdoptProcess(ObjectId owner);
 
   // Kills a process immediately (no cost; SIGKILL-like).
-  Status KillProcess(ProcessId pid);
+  [[nodiscard]] Status KillProcess(ProcessId pid);
 
   bool ProcessAlive(ProcessId pid) const { return processes_.contains(pid); }
   std::optional<ObjectId> ProcessOwner(ProcessId pid) const;
@@ -111,8 +111,11 @@ class SimHost {
   };
 
   void TouchComponent(const CachedComponent& entry) const {
-    component_lru_.splice(component_lru_.begin(), component_lru_,
-                          entry.lru_it);
+    // LRU recency refresh on a logically-const lookup. SimHost is driven
+    // only by the single-threaded simulation event loop, so the mutable
+    // list write cannot race.
+    component_lru_.splice(component_lru_.begin(),  // NOLINT(dcdo-mutable-nonatomic-in-const)
+                          component_lru_, entry.lru_it);
   }
 
   Simulation& simulation_;

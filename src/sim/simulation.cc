@@ -123,8 +123,11 @@ std::optional<Simulation::SlotRef> Simulation::EarliestWheelSlot() const {
     }
   }
   if (best) {
-    earliest_ = *best;
-    earliest_valid_ = true;
+    // Memoized-query cache: Simulation is single-threaded by construction
+    // (one event loop; see DESIGN.md §3), so the unsynchronized mutable
+    // write cannot race.
+    earliest_ = *best;            // NOLINT(dcdo-mutable-nonatomic-in-const)
+    earliest_valid_ = true;       // NOLINT(dcdo-mutable-nonatomic-in-const)
   }
   return best;
 }

@@ -27,6 +27,6 @@ std::string ToChromeTraceJson(const std::vector<Span>& spans,
                               const MetricsRegistry* metrics = nullptr);
 
 // Snapshot + render + write to `path`.
-Status WriteChromeTrace(const TraceContext& ctx, const std::string& path);
+[[nodiscard]] Status WriteChromeTrace(const TraceContext& ctx, const std::string& path);
 
 }  // namespace dcdo::trace

@@ -1,0 +1,98 @@
+// Unit tests for the dcdo-tidy engine's source-text layer: comment and
+// string blanking (checks must never match inside prose) and the
+// NOLINT / NOLINTNEXTLINE suppression semantics shared with clang-tidy.
+#include "engine/text.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dcdo_tidy {
+namespace {
+
+SourceFile Make(const std::string& text) {
+  SourceFile file;
+  file.LoadFromString("test.cc", text);
+  return file;
+}
+
+TEST(SourceFileTest, BlanksCommentsAndStringsButKeepsOffsets) {
+  SourceFile file = Make(
+      "int a = 1; // rand() in a comment\n"
+      "const char* s = \"std::random_device inside a string\";\n"
+      "/* steady_clock::now() in a block\n"
+      "   comment */ int b = 2;\n");
+  EXPECT_EQ(file.code().size(), file.raw().size());
+  EXPECT_EQ(file.code().find("rand"), std::string::npos);
+  EXPECT_EQ(file.code().find("random_device"), std::string::npos);
+  EXPECT_EQ(file.code().find("steady_clock"), std::string::npos);
+  EXPECT_NE(file.code().find("int b = 2;"), std::string::npos);
+  // Offsets preserved: `int b` sits at the same offset in both views.
+  EXPECT_EQ(file.code().find("int b"), file.raw().find("int b"));
+}
+
+TEST(SourceFileTest, HandlesRawStringsAndDigitSeparators) {
+  SourceFile file = Make(
+      "auto j = R\"x({\"rand()\": 1})x\";\n"
+      "int big = 1'000'000;\n"
+      "int after = 7;\n");
+  EXPECT_EQ(file.code().find("rand"), std::string::npos);
+  EXPECT_NE(file.code().find("int big = 1'000'000;"), std::string::npos);
+  EXPECT_NE(file.code().find("int after = 7;"), std::string::npos);
+}
+
+TEST(SourceFileTest, LineAndColumnReporting) {
+  SourceFile file = Make("abc\ndefg\nhi\n");
+  EXPECT_EQ(file.LineOf(0), 1u);
+  EXPECT_EQ(file.LineOf(4), 2u);   // 'd'
+  EXPECT_EQ(file.ColOf(5), 2u);    // 'e'
+  EXPECT_EQ(file.LineOf(9), 3u);   // 'h'
+  EXPECT_EQ(file.RawLine(2), "defg");
+}
+
+TEST(SourceFileTest, BareNolintSuppressesEverything) {
+  SourceFile file = Make("x = 1;  // NOLINT\n");
+  EXPECT_TRUE(file.IsSuppressed(1, "dcdo-status-discard"));
+  EXPECT_TRUE(file.IsSuppressed(1, "dcdo-wallclock-in-sim"));
+}
+
+TEST(SourceFileTest, FilteredNolintSuppressesOnlyListedChecks) {
+  SourceFile file = Make("x = 1;  // NOLINT(dcdo-status-discard)\n");
+  EXPECT_TRUE(file.IsSuppressed(1, "dcdo-status-discard"));
+  EXPECT_FALSE(file.IsSuppressed(1, "dcdo-wallclock-in-sim"));
+}
+
+TEST(SourceFileTest, NolintNextlineCoversTheFollowingLineOnly) {
+  SourceFile file = Make(
+      "// NOLINTNEXTLINE(dcdo-wallclock-in-sim)\n"
+      "auto t = now();\n"
+      "auto u = now();\n");
+  EXPECT_TRUE(file.IsSuppressed(2, "dcdo-wallclock-in-sim"));
+  EXPECT_FALSE(file.IsSuppressed(3, "dcdo-wallclock-in-sim"));
+  EXPECT_FALSE(file.IsSuppressed(1, "dcdo-wallclock-in-sim"));
+}
+
+TEST(SourceFileTest, NolintGlobMatchesCheckFamily) {
+  SourceFile file = Make("x = 1;  // NOLINT(dcdo-*)\n");
+  EXPECT_TRUE(file.IsSuppressed(1, "dcdo-status-discard"));
+  EXPECT_TRUE(file.IsSuppressed(1, "dcdo-mutable-nonatomic-in-const"));
+}
+
+TEST(TokenHelpersTest, FindIdentMatchesWholeTokensOnly) {
+  std::string code = "rands(); rand(); std::rand();";
+  std::size_t pos = FindIdent(code, "rand");
+  EXPECT_EQ(pos, 9u);  // skips `rands`
+}
+
+TEST(TokenHelpersTest, MatchForwardBalancesNestedTemplates) {
+  std::string code = "shared_ptr<std::function<void(std::size_t)>> x;";
+  std::size_t lt = code.find('<');
+  std::size_t gt = MatchForward(code, lt);
+  ASSERT_NE(gt, std::string::npos);
+  EXPECT_EQ(code[gt], '>');
+  // The outer '<' closes at the SECOND '>' of the '>>' token.
+  EXPECT_EQ(code.substr(gt), std::string("> x;"));
+}
+
+}  // namespace
+}  // namespace dcdo_tidy

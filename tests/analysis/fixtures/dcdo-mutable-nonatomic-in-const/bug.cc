@@ -1,0 +1,48 @@
+// Reduced reproduction of the PR 4 race class: BindingAgent::Lookup was a
+// const method incrementing `mutable std::uint64_t lookups_served_`.
+// Concurrent test threads probing the agent raced on the plain increment —
+// invisible in single-threaded runs, flagged by TSan, fixed by moving the
+// counter to an atomic (trace::Counter).
+//
+// Both the inline-method and the out-of-line-definition shape are here
+// because the real bug was split across binding_agent.h / binding_agent.cc.
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct Address {
+  int node = 0;
+};
+
+class BindingDirectory {
+ public:
+  void Bind(int id, const Address& address) { bindings_[id] = address; }
+
+  // Inline shape: the const query bumps a plain mutable counter.
+  const Address* Probe(int id) const {
+    ++probes_served_;  // expect: dcdo-mutable-nonatomic-in-const
+    auto it = bindings_.find(id);
+    return it == bindings_.end() ? nullptr : &it->second;
+  }
+
+  const Address* Lookup(int id) const;
+
+  std::uint64_t lookups_served() const { return lookups_served_; }
+
+ private:
+  std::map<int, Address> bindings_;
+  mutable std::uint64_t lookups_served_ = 0;
+  mutable std::uint64_t probes_served_ = 0;
+};
+
+// Out-of-line shape: the exact historical layout (member declared in the
+// header, write in the .cc).
+const Address* BindingDirectory::Lookup(int id) const {
+  lookups_served_ += 1;  // expect: dcdo-mutable-nonatomic-in-const
+  auto it = bindings_.find(id);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+}  // namespace fixture

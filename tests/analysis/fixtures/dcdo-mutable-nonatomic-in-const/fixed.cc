@@ -1,0 +1,64 @@
+// The committed fixes for the PR 4 race class, all of which must stay
+// clean: an atomic counter (the real fix — BindingAgent now holds a
+// trace::Counter), a trace::Counter-shaped wrapper type, and a mutex-guarded
+// write.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace fixture {
+
+struct Address {
+  int node = 0;
+};
+
+// The real fix's shape: relaxed atomic counter type.
+class RelaxedCounter {
+ public:
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class BindingDirectory {
+ public:
+  void Bind(int id, const Address& address) { bindings_[id] = address; }
+
+  // Clean: std::atomic member.
+  const Address* Probe(int id) const {
+    probes_served_.fetch_add(1, std::memory_order_relaxed);
+    auto it = bindings_.find(id);
+    return it == bindings_.end() ? nullptr : &it->second;
+  }
+
+  const Address* Lookup(int id) const;
+
+  // Clean: mutex held around the mutable write.
+  std::uint64_t DrainStats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t out = stat_window_;
+    stat_window_ = 0;
+    return out;
+  }
+
+ private:
+  std::map<int, Address> bindings_;
+  mutable RelaxedCounter lookups_served_;
+  mutable std::atomic<std::uint64_t> probes_served_{0};
+  mutable std::mutex mutex_;
+  mutable std::uint64_t stat_window_ = 0;
+};
+
+// Clean: counter type is atomic (Counter-shaped), out-of-line.
+const Address* BindingDirectory::Lookup(int id) const {
+  lookups_served_.Increment();
+  auto it = bindings_.find(id);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+}  // namespace fixture

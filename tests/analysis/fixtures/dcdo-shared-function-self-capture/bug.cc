@@ -1,0 +1,49 @@
+// Reduced reproduction of the PR 3 leak class (found again in PR 5): a
+// continuation loop stored through shared_ptr<std::function> that captures
+// its own owner by value. The closure inside *next owns a strong reference
+// to itself, the refcount never reaches zero, and the whole capture set —
+// including the caller's `done` callback — leaks after every chain run.
+// This is the exact shape of the manager `fetch_next` / dcdo `poll` /
+// coordinator `apply`/`rollback` bugs LeakSanitizer surfaced.
+//
+// The expectation markers drive tests/analysis/analysis_fixture_test.cpp.
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Step {
+  int id = 0;
+};
+
+void RunChain(std::vector<Step> steps, std::function<void()> done) {
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  auto next = std::make_shared<std::function<void(std::size_t)>>();
+  *next = [next, shared_done](std::size_t index) {  // expect: dcdo-shared-function-self-capture
+    if (index == 0) {
+      (*shared_done)();
+      return;
+    }
+    (*next)(index - 1);
+  };
+  (*next)(steps.size());
+}
+
+// Variant: the self-reference hides behind an init-capture alias.
+void RunAliased(std::vector<Step> steps, std::function<void()> done) {
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  std::shared_ptr<std::function<void(std::size_t)>> apply =
+      std::make_shared<std::function<void(std::size_t)>>();
+  *apply = [self = apply, shared_done](std::size_t index) {  // expect: dcdo-shared-function-self-capture
+    if (index == 0) {
+      (*shared_done)();
+      return;
+    }
+    (*self)(index - 1);
+  };
+  (*apply)(steps.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,61 @@
+// The two committed fixes for the PR 3/PR 5 leak class, both of which the
+// check must accept as clean:
+//
+//  1. Weak self-capture (coordinator apply/rollback after the PR 3 review
+//     pass): the stored closure holds only a weak_ptr to itself; the strong
+//     reference rides in each pending continuation.
+//  2. enable_shared_from_this driver structs (PR 5: SequentialDriver,
+//     PollDriver, RemovalDriver): `self = shared_from_this()` is captured
+//     into *pending* continuations, not into a closure the shared_ptr owns.
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Step {
+  int id = 0;
+};
+
+void RunChain(std::vector<Step> steps, std::function<void()> done) {
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  auto next = std::make_shared<std::function<void(std::size_t)>>();
+  *next = [weak_next = std::weak_ptr<std::function<void(std::size_t)>>(next),
+           shared_done](std::size_t index) {
+    if (index == 0) {
+      (*shared_done)();
+      return;
+    }
+    // The strong reference rides the pending continuation, not the stored
+    // closure: once the chain finishes, nothing keeps *next alive.
+    auto strong_next = weak_next.lock();
+    (*strong_next)(index - 1);
+  };
+  (*next)(steps.size());
+}
+
+// Driver-struct form: no shared_ptr<std::function> at all.
+struct ChainDriver : std::enable_shared_from_this<ChainDriver> {
+  std::vector<Step> steps;
+  std::function<void()> done;
+
+  void Run(std::size_t index) {
+    if (index == 0) {
+      done();
+      return;
+    }
+    Defer([self = shared_from_this(), index] { self->Run(index - 1); });
+  }
+
+  static void Defer(std::function<void()> fn) { fn(); }
+};
+
+void RunDriven(std::vector<Step> steps, std::function<void()> done) {
+  auto driver = std::make_shared<ChainDriver>();
+  driver->steps = std::move(steps);
+  driver->done = std::move(done);
+  driver->Run(driver->steps.size());
+}
+
+}  // namespace fixture

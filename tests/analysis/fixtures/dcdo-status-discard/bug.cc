@@ -1,0 +1,38 @@
+// Discarded common::Status returns: a silently dropped failure path. The
+// paper's model (§3.2) makes absence an ordinary typed error — which only
+// works if every Status actually gets looked at. `Status` carries a
+// class-level [[nodiscard]], so the compiler flags by-value discards too;
+// this check is the analyzer-side net for the same class, and what the
+// fixture pins.
+#include <string>
+
+namespace fixture {
+
+class Status {
+ public:
+  Status() = default;
+  bool ok() const { return code_ == 0; }
+
+ private:
+  int code_ = 0;
+};
+
+Status ValidateConfig(const std::string& name);
+
+class Mapper {
+ public:
+  Status Remove(int function_id);
+  Status Disable(int function_id);
+  void Note(int function_id);
+};
+
+void DriveEvolution(Mapper& mapper, const std::string& config) {
+  ValidateConfig(config);  // expect: dcdo-status-discard
+  mapper.Note(1);
+  mapper.Remove(2);  // expect: dcdo-status-discard
+  if (!mapper.Disable(3).ok()) {
+    return;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// The clean handling patterns for Status returns: examine it, branch on
+// it, return it, or — when dropping is genuinely intended — cast to void
+// with a comment saying why.
+#include <string>
+
+namespace fixture {
+
+class Status {
+ public:
+  Status() = default;
+  bool ok() const { return code_ == 0; }
+
+ private:
+  int code_ = 0;
+};
+
+Status ValidateConfig(const std::string& name);
+
+class Mapper {
+ public:
+  Status Remove(int function_id);
+  Status Disable(int function_id);
+  void Note(int function_id);
+};
+
+Status DriveEvolution(Mapper& mapper, const std::string& config) {
+  Status validated = ValidateConfig(config);
+  if (!validated.ok()) {
+    return validated;
+  }
+  mapper.Note(1);
+  // Best-effort cleanup: the instance may already be gone, and that is fine.
+  (void)mapper.Remove(2);
+  if (!mapper.Disable(3).ok()) {
+    return Status();
+  }
+  return ValidateConfig(config);
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// Reduced reproduction of the PR 5 determinism hazard: scheduling
+// simulation events (or sending messages) while iterating an unordered
+// container. Event order then depends on hash-table layout — which varies
+// across libstdc++ versions, platforms, and insertion histories — so the
+// byte-identical SimTime_* baselines drift. PR 5's SimNetwork fair-share
+// recompute had to impose flow-id ordering for exactly this reason.
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Simulation {
+  std::uint64_t Schedule(std::int64_t delay_ns, std::function<void()> fn);
+};
+
+struct Flow {
+  std::int64_t restart_delay_ns = 0;
+};
+
+class FlowTable {
+ public:
+  // Hash-order iteration feeding the event queue: nondeterministic event
+  // ordering at equal timestamps.
+  void RescheduleAll(Simulation& sim) {
+    for (auto& [id, flow] : flows_) {  // expect: dcdo-unordered-iteration-schedules
+      sim.Schedule(flow.restart_delay_ns, [] {});
+    }
+  }
+
+  // Same hazard through a message-send sink.
+  void NotifyAll() {
+    for (int node : dirty_nodes_) {  // expect: dcdo-unordered-iteration-schedules
+      Send(node);
+    }
+  }
+
+  void Send(int node);
+
+ private:
+  std::unordered_map<int, Flow> flows_;
+  std::unordered_set<int> dirty_nodes_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// The committed fix pattern (PR 5, SimNetwork::RecomputeShares): copy the
+// keys out of the unordered container, sort them, and schedule in sorted
+// order. Also shows the other clean shape — iterating the unordered
+// container is fine when the body never reaches an event-scheduling sink.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Simulation {
+  std::uint64_t Schedule(std::int64_t delay_ns, std::function<void()> fn);
+};
+
+struct Flow {
+  std::int64_t restart_delay_ns = 0;
+};
+
+class FlowTable {
+ public:
+  // Deterministic: schedule order is key order, independent of hash layout.
+  void RescheduleAll(Simulation& sim) {
+    std::vector<int> ids;
+    ids.reserve(flows_.size());
+    for (const auto& [id, flow] : flows_) {
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (int id : ids) {
+      sim.Schedule(flows_[id].restart_delay_ns, [] {});
+    }
+  }
+
+  // Clean: unordered iteration with no scheduling sink in the body.
+  std::int64_t TotalDelay() const {
+    std::int64_t total = 0;
+    for (const auto& [id, flow] : flows_) {
+      total += flow.restart_delay_ns;
+    }
+    return total;
+  }
+
+  void Send(int node);
+
+ private:
+  std::unordered_map<int, Flow> flows_;
+  std::unordered_set<int> dirty_nodes_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// The clean counterparts: time comes from the simulation clock, jitter
+// from a deterministic engine seeded by configuration. Replays are
+// byte-identical because every input is part of the scenario.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+struct Simulation {
+  std::int64_t NowNanos() const;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  // Deadline in sim time: deterministic under replay.
+  std::int64_t DeadlineNanos(const Simulation& sim) const {
+    return sim.NowNanos() + budget_ns_;
+  }
+
+  // Jitter from a seeded engine: the seed is scenario configuration.
+  std::int64_t JitterNanos() {
+    return static_cast<std::int64_t>(rng_() % 1000);
+  }
+
+ private:
+  std::int64_t budget_ns_ = 0;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// A reduced `lookups_served_`-style mutable-counter race, kept as a LIVE
+// fixture: this header is
+//   (a) analyzed by dcdo-analyze in tsan_interplay_test — the
+//       dcdo-mutable-nonatomic-in-const check must flag the increment; and
+//   (b) compiled into the analysis_race_fixture binary, whose concurrent
+//       Lookup() hammering ThreadSanitizer flags at runtime under the
+//       `tsan` preset (DCDO_SANITIZE=thread).
+// One bug, both detectors — the static check catches at compile time what
+// the dynamic detector needs a racy schedule to see.
+//
+// Deliberately buggy. Do NOT fix; do NOT include from production code.
+#ifndef DCDO_TESTS_ANALYSIS_FIXTURES_MUTABLE_RACE_RACY_SERVICE_H_
+#define DCDO_TESTS_ANALYSIS_FIXTURES_MUTABLE_RACE_RACY_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+class ProbeService {
+ public:
+  void Bind(int id, int node) { bindings_[id] = node; }
+
+  // The PR 4 bug shape: const lookup path, plain mutable counter, no lock.
+  int Lookup(int id) const {
+    ++lookups_served_;  // expect: dcdo-mutable-nonatomic-in-const
+    auto it = bindings_.find(id);
+    return it == bindings_.end() ? -1 : it->second;
+  }
+
+  std::uint64_t lookups_served() const { return lookups_served_; }
+
+ private:
+  std::map<int, int> bindings_;
+  mutable std::uint64_t lookups_served_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // DCDO_TESTS_ANALYSIS_FIXTURES_MUTABLE_RACE_RACY_SERVICE_H_

@@ -1,0 +1,39 @@
+// Runtime half of the mutable-counter race fixture: hammers the const
+// Lookup() path from several threads so the racy `++lookups_served_` in
+// racy_service.h actually races. Exits 0 on its own; under
+// DCDO_SANITIZE=thread, ThreadSanitizer reports the data race and (with
+// halt_on_error / a nonzero exitcode option) fails the process — which is
+// exactly what tsan_interplay_test asserts.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "fixtures/mutable-race/racy_service.h"
+
+int main() {
+  fixture::ProbeService service;
+  for (int id = 0; id < 16; ++id) {
+    service.Bind(id, id * 10);
+  }
+  constexpr int kThreads = 4;
+  constexpr int kLookupsPerThread = 200000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service] {
+      for (int i = 0; i < kLookupsPerThread; ++i) {
+        service.Lookup(i & 15);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // Under the race the total is typically (and legally, per the C++ memory
+  // model, unobservably) less than the true count — print it so a human
+  // running the fixture by hand can see the loss.
+  std::printf("lookups_served = %llu (submitted %d)\n",
+              static_cast<unsigned long long>(service.lookups_served()),
+              kThreads * kLookupsPerThread);
+  return 0;
+}

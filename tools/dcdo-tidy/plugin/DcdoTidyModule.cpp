@@ -1,0 +1,53 @@
+//===--- DcdoTidyModule.cpp - clang-tidy module for dcdo checks -----------===//
+//
+// Registers the five repo-specific checks (DESIGN.md §12) as a clang-tidy
+// loadable module:
+//
+//   clang-tidy --load=dcdo_tidy_module.so --checks='dcdo-*' ...
+//
+// The checks mirror tools/dcdo-tidy/engine/ (same names, same NOLINT
+// semantics, same fixture suite under tests/analysis/fixtures/); the engine
+// is the dependency-free fallback for machines without clang-tidy dev
+// headers, this module is the precise AST-backed implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "MutableNonatomicInConstCheck.h"
+#include "SharedFunctionSelfCaptureCheck.h"
+#include "StatusDiscardCheck.h"
+#include "UnorderedIterationSchedulesCheck.h"
+#include "WallclockInSimCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+class DcdoTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<SharedFunctionSelfCaptureCheck>(
+        "dcdo-shared-function-self-capture");
+    CheckFactories.registerCheck<MutableNonatomicInConstCheck>(
+        "dcdo-mutable-nonatomic-in-const");
+    CheckFactories.registerCheck<UnorderedIterationSchedulesCheck>(
+        "dcdo-unordered-iteration-schedules");
+    CheckFactories.registerCheck<WallclockInSimCheck>("dcdo-wallclock-in-sim");
+    CheckFactories.registerCheck<StatusDiscardCheck>("dcdo-status-discard");
+  }
+};
+
+} // namespace dcdo_check
+
+// Register the module with clang-tidy's module registry; the static
+// initializer runs when the shared object is --load'ed.
+static ClangTidyModuleRegistry::Add<dcdo_check::DcdoTidyModule>
+    X("dcdo-module", "Adds the dcdo repo-specific checks.");
+
+// Anchor so the registry entry is not dead-stripped from the module.
+volatile int DcdoTidyModuleAnchorSource = 0;
+
+} // namespace tidy
+} // namespace clang

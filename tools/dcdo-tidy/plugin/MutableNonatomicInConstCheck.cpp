@@ -1,0 +1,114 @@
+//===--- MutableNonatomicInConstCheck.cpp - clang-tidy --------------------===//
+
+#include "MutableNonatomicInConstCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+namespace {
+
+// Types whose writes are synchronized by construction: std::atomic<T>,
+// atomic-wrapper counters (anything named *Counter, e.g. trace::Counter),
+// and the synchronization primitives themselves.
+bool TypeIsSynchronized(QualType Type) {
+  const auto *Record = Type.getNonReferenceType()->getAsCXXRecordDecl();
+  if (!Record)
+    return Type->isAtomicType();
+  StringRef Name = Record->getName();
+  return Name.startswith("atomic") || Name.endswith("Counter") ||
+         Name.contains("mutex") || Name == "condition_variable" ||
+         Name == "once_flag" || Name == "latch";
+}
+
+// Does the method body acquire any lock? RAII guards show up as VarDecls of
+// guard types; manual locking as .lock()/.Lock() member calls.
+bool BodyAcquiresLock(const CXXMethodDecl *Method, ASTContext &Context) {
+  if (!Method->hasBody())
+    return false;
+  auto Guards = match(
+      functionDecl(hasBody(forEachDescendant(
+          varDecl(hasType(cxxRecordDecl(hasAnyName(
+                      "lock_guard", "unique_lock", "scoped_lock",
+                      "shared_lock"))))
+              .bind("guard")))),
+      *Method, Context);
+  if (!Guards.empty())
+    return true;
+  auto ManualLocks = match(
+      functionDecl(hasBody(forEachDescendant(
+          cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("lock", "Lock"))))
+              .bind("lock")))),
+      *Method, Context);
+  return !ManualLocks.empty();
+}
+
+} // namespace
+
+void MutableNonatomicInConstCheck::registerMatchers(MatchFinder *Finder) {
+  // this->member for a mutable member (atomicity is re-checked in check():
+  // AST matchers cannot easily express "not an atomic wrapper type").
+  auto MutableThisMember =
+      memberExpr(member(fieldDecl(isMutable()).bind("field")),
+                 hasObjectExpression(ignoringParenImpCasts(cxxThisExpr())))
+          .bind("member");
+  auto InConstMethod =
+      hasAncestor(cxxMethodDecl(isConst(), hasBody(stmt())).bind("method"));
+
+  // ++m / --m
+  Finder->addMatcher(unaryOperator(hasAnyOperatorName("++", "--"),
+                                   hasUnaryOperand(MutableThisMember),
+                                   InConstMethod)
+                         .bind("write"),
+                     this);
+  // m = x / m += x / ...
+  Finder->addMatcher(binaryOperator(isAssignmentOperator(),
+                                    hasLHS(MutableThisMember), InConstMethod)
+                         .bind("write"),
+                     this);
+  // m op= x through overloaded operators, and m[i] = x via operator[].
+  Finder->addMatcher(cxxOperatorCallExpr(isAssignmentOperator(),
+                                         hasArgument(0, MutableThisMember),
+                                         InConstMethod)
+                         .bind("write"),
+                     this);
+  // Mutating container calls: m.insert(...), m.push_back(...), ...
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          on(MutableThisMember),
+          callee(cxxMethodDecl(hasAnyName(
+              "insert", "erase", "push_back", "emplace", "emplace_back",
+              "clear", "pop_back", "assign", "splice", "push_front",
+              "resize", "store"))),
+          InConstMethod)
+          .bind("write"),
+      this);
+}
+
+void MutableNonatomicInConstCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Field = Result.Nodes.getNodeAs<FieldDecl>("field");
+  const auto *Member = Result.Nodes.getNodeAs<MemberExpr>("member");
+  const auto *Method = Result.Nodes.getNodeAs<CXXMethodDecl>("method");
+  if (!Field || !Member || !Method)
+    return;
+  if (TypeIsSynchronized(Field->getType()))
+    return;
+  if (BodyAcquiresLock(Method, *Result.Context))
+    return;
+  diag(Member->getMemberLoc(),
+       "const method %0 writes mutable non-atomic member %1 without holding "
+       "a lock; const reads as thread-safe at call sites, so this hidden "
+       "write is a data race under concurrent callers — use std::atomic, "
+       "trace::Counter, or hold a mutex")
+      << Method << Field;
+}
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang

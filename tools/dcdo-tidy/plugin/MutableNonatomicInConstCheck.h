@@ -1,0 +1,36 @@
+//===--- MutableNonatomicInConstCheck.h - clang-tidy ------------*- C++ -*-===//
+//
+// dcdo-mutable-nonatomic-in-const: a write to a `mutable` non-atomic member
+// from a const method that acquires no lock. Const methods read as
+// thread-safe at call sites, so hidden plain writes behind them are data
+// races waiting for a concurrent caller — the PR 4 BindingAgent
+// `lookups_served_` bug. Clean patterns: std::atomic members,
+// trace::Counter-style atomic wrappers, or a mutex held around the write.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCDO_TIDY_PLUGIN_MUTABLENONATOMICINCONSTCHECK_H
+#define DCDO_TIDY_PLUGIN_MUTABLENONATOMICINCONSTCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+class MutableNonatomicInConstCheck : public ClangTidyCheck {
+public:
+  MutableNonatomicInConstCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang
+
+#endif // DCDO_TIDY_PLUGIN_MUTABLENONATOMICINCONSTCHECK_H

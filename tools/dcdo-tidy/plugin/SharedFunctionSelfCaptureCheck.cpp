@@ -1,0 +1,100 @@
+//===--- SharedFunctionSelfCaptureCheck.cpp - clang-tidy ------------------===//
+
+#include "SharedFunctionSelfCaptureCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+namespace {
+
+// shared_ptr whose element type is a callable wrapper (std::function or the
+// repo's dcdo::MoveFunction).
+AST_MATCHER(QualType, isSharedPtrToCallable) {
+  const auto *Spec =
+      Node.getNonReferenceType()
+          ->getAs<TemplateSpecializationType>();
+  if (!Spec) {
+    const auto *Record = Node.getNonReferenceType()->getAsCXXRecordDecl();
+    if (!Record || Record->getName() != "shared_ptr")
+      return false;
+    const auto *CTS = dyn_cast<ClassTemplateSpecializationDecl>(Record);
+    if (!CTS || CTS->getTemplateArgs().size() == 0)
+      return false;
+    QualType Arg = CTS->getTemplateArgs()[0].getAsType();
+    const auto *ArgRecord = Arg->getAsCXXRecordDecl();
+    return ArgRecord && (ArgRecord->getName() == "function" ||
+                         ArgRecord->getName() == "MoveFunction");
+  }
+  // Sugared spelling: walk the written template arguments.
+  const TemplateDecl *TD = Spec->getTemplateName().getAsTemplateDecl();
+  if (!TD || TD->getName() != "shared_ptr" || Spec->getNumArgs() == 0)
+    return false;
+  QualType Arg = Spec->getArg(0).getAsType();
+  const auto *ArgRecord = Arg->getAsCXXRecordDecl();
+  return ArgRecord && (ArgRecord->getName() == "function" ||
+                       ArgRecord->getName() == "MoveFunction");
+}
+
+} // namespace
+
+void SharedFunctionSelfCaptureCheck::registerMatchers(MatchFinder *Finder) {
+  // A lambda that appears on the right-hand side of an assignment through a
+  // dereferenced shared_ptr<callable> variable:  *owner = [captures]...
+  auto Owner =
+      varDecl(hasType(qualType(isSharedPtrToCallable()))).bind("owner");
+  auto DerefOfOwner = unaryOperator(
+      hasOperatorName("*"),
+      hasUnaryOperand(ignoringParenImpCasts(declRefExpr(to(Owner)))));
+  Finder->addMatcher(
+      lambdaExpr(hasAncestor(cxxOperatorCallExpr(
+                     hasOverloadedOperatorName("="),
+                     hasArgument(0, ignoringParenImpCasts(DerefOfOwner)))))
+          .bind("lambda"),
+      this);
+}
+
+void SharedFunctionSelfCaptureCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Lambda = Result.Nodes.getNodeAs<LambdaExpr>("lambda");
+  const auto *Owner = Result.Nodes.getNodeAs<VarDecl>("owner");
+  if (!Lambda || !Owner)
+    return;
+
+  for (const LambdaCapture &Capture : Lambda->captures()) {
+    if (!Capture.capturesVariable())
+      continue;
+    if (Capture.getCaptureKind() != LCK_ByCopy)
+      continue;
+    const VarDecl *Captured = Capture.getCapturedVar();
+    bool SelfCapture = false;
+    if (Captured == Owner) {
+      // Plain capture `[owner]` — a direct strong self-reference.
+      SelfCapture = true;
+    } else if (Captured->isInitCapture() && Captured->getInit()) {
+      // Init-capture alias `[self = owner]` — same cycle, renamed. A
+      // weak_ptr init-capture (`[weak = std::weak_ptr<...>(owner)]`) has a
+      // weak_ptr type and stays clean.
+      const Expr *Init = Captured->getInit()->IgnoreParenImpCasts();
+      if (const auto *Ref = dyn_cast<DeclRefExpr>(Init))
+        SelfCapture = Ref->getDecl() == Owner;
+    }
+    if (!SelfCapture)
+      continue;
+    diag(Capture.getLocation(),
+         "closure stored in shared callable %0 captures its own owner by "
+         "value (shared_ptr cycle: the stored closure can never be freed); "
+         "capture a std::weak_ptr and keep the strong reference in each "
+         "pending continuation instead")
+        << Owner;
+  }
+}
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,37 @@
+//===--- SharedFunctionSelfCaptureCheck.h - clang-tidy ----------*- C++ -*-===//
+//
+// dcdo-shared-function-self-capture: a lambda stored through a
+// shared_ptr<std::function<...>> (or MoveFunction) that captures its own
+// owner by value forms a shared_ptr cycle — the stored closure keeps itself
+// alive and the whole capture set leaks. This is the PR 3 / PR 5 leak class
+// (manager fetch_next, dcdo poll, coordinator apply/rollback chains); the
+// committed fix pattern is a std::weak_ptr capture with the strong reference
+// held by each pending continuation (see src/core/coordinator.cc).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCDO_TIDY_PLUGIN_SHAREDFUNCTIONSELFCAPTURECHECK_H
+#define DCDO_TIDY_PLUGIN_SHAREDFUNCTIONSELFCAPTURECHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+class SharedFunctionSelfCaptureCheck : public ClangTidyCheck {
+public:
+  SharedFunctionSelfCaptureCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus11;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang
+
+#endif // DCDO_TIDY_PLUGIN_SHAREDFUNCTIONSELFCAPTURECHECK_H

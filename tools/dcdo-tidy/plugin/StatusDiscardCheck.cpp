@@ -1,0 +1,50 @@
+//===--- StatusDiscardCheck.cpp - clang-tidy ------------------------------===//
+
+#include "StatusDiscardCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+void StatusDiscardCheck::registerMatchers(MatchFinder *Finder) {
+  auto StatusReturn = returns(hasDeclaration(
+      cxxRecordDecl(hasAnyName("::dcdo::Status", "::dcdo::Result"))));
+
+  // A Status-returning call whose value is consumed by nothing: its parent
+  // is a statement position (compound statement directly, or via the
+  // ExprWithCleanups that wraps a discarded temporary with a destructor).
+  auto StatementPosition =
+      anyOf(hasParent(compoundStmt()),
+            hasParent(exprWithCleanups(hasParent(compoundStmt()))));
+
+  Finder->addMatcher(callExpr(callee(functionDecl(StatusReturn)),
+                              StatementPosition,
+                              // `(void)Call()` is an explicit, reviewed
+                              // discard — the cast consumes the value.
+                              unless(hasParent(cStyleCastExpr())),
+                              unless(hasParent(exprWithCleanups(
+                                  hasParent(cStyleCastExpr())))))
+                         .bind("call"),
+                     this);
+}
+
+void StatusDiscardCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (!Call)
+    return;
+  const auto *Callee = Call->getDirectCallee();
+  diag(Call->getBeginLoc(),
+       "return value of %0 (dcdo::Status) is discarded — a swallowed "
+       "failure; handle it, DCDO_RETURN_IF_ERROR it, or cast to void with "
+       "a comment explaining why failure is ignorable")
+      << (Callee ? Callee->getNameAsString() : std::string("call"));
+}
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang

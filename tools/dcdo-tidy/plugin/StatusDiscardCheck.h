@@ -1,0 +1,36 @@
+//===--- StatusDiscardCheck.h - clang-tidy ----------------------*- C++ -*-===//
+//
+// dcdo-status-discard: a call returning dcdo::Status (or dcdo::Result<T>)
+// used as a bare expression statement. Every dropped Status is a silently
+// swallowed failure — the class carries [[nodiscard]], but that only fires
+// for by-value returns under -Wunused-result; this check also catches
+// discards the compiler misses and keeps non-clang builds honest. Handle
+// the status, DCDO_RETURN_IF_ERROR it, or cast to void with a comment.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCDO_TIDY_PLUGIN_STATUSDISCARDCHECK_H
+#define DCDO_TIDY_PLUGIN_STATUSDISCARDCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+class StatusDiscardCheck : public ClangTidyCheck {
+public:
+  StatusDiscardCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang
+
+#endif // DCDO_TIDY_PLUGIN_STATUSDISCARDCHECK_H

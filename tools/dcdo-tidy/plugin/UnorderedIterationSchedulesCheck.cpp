@@ -1,0 +1,53 @@
+//===--- UnorderedIterationSchedulesCheck.cpp - clang-tidy ----------------===//
+
+#include "UnorderedIterationSchedulesCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+void UnorderedIterationSchedulesCheck::registerMatchers(MatchFinder *Finder) {
+  // Range expression whose type is an unordered associative container.
+  auto UnorderedRange = hasRangeInit(anyOf(
+      hasType(cxxRecordDecl(hasAnyName("unordered_map", "unordered_set",
+                                       "unordered_multimap",
+                                       "unordered_multiset"))),
+      hasType(qualType(hasDeclaration(cxxRecordDecl(
+          hasAnyName("unordered_map", "unordered_set", "unordered_multimap",
+                     "unordered_multiset")))))));
+
+  // Order-sensitive sinks: simulation event enqueue and network sends.
+  auto Sink = callExpr(callee(functionDecl(hasAnyName(
+                           "Schedule", "ScheduleAt", "Send", "SendMessage",
+                           "Transfer", "TimedTransfer", "StreamTransfer",
+                           "FetchTo", "StreamTo"))))
+                  .bind("sink");
+
+  Finder->addMatcher(
+      cxxForRangeStmt(UnorderedRange, hasDescendant(Sink)).bind("loop"),
+      this);
+}
+
+void UnorderedIterationSchedulesCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+  const auto *Sink = Result.Nodes.getNodeAs<CallExpr>("sink");
+  if (!Loop || !Sink)
+    return;
+  diag(Loop->getForLoc(),
+       "iteration over an unordered container reaches a schedule/send call; "
+       "hash order is unspecified, so event order — and every SimTime_* "
+       "metric — varies run to run; iterate a sorted copy of the keys "
+       "before scheduling");
+  diag(Sink->getBeginLoc(), "order-sensitive call is here",
+       DiagnosticIDs::Note);
+}
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,36 @@
+//===--- UnorderedIterationSchedulesCheck.h - clang-tidy --------*- C++ -*-===//
+//
+// dcdo-unordered-iteration-schedules: a range-for over an unordered
+// container whose body reaches a simulation scheduling or network-send call
+// (Simulation::Schedule/ScheduleAt, SimNetwork::Send/Transfer/...). Hash
+// iteration order is unspecified, so event enqueue order — and therefore
+// every SimTime_* metric — varies run to run. The PR 5 determinism rule:
+// iterate a sorted copy of the keys (or a std::map) before scheduling.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCDO_TIDY_PLUGIN_UNORDEREDITERATIONSCHEDULESCHECK_H
+#define DCDO_TIDY_PLUGIN_UNORDEREDITERATIONSCHEDULESCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+class UnorderedIterationSchedulesCheck : public ClangTidyCheck {
+public:
+  UnorderedIterationSchedulesCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus11;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang
+
+#endif // DCDO_TIDY_PLUGIN_UNORDEREDITERATIONSCHEDULESCHECK_H

@@ -1,0 +1,87 @@
+//===--- WallclockInSimCheck.cpp - clang-tidy -----------------------------===//
+
+#include "WallclockInSimCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+WallclockInSimCheck::WallclockInSimCheck(StringRef Name,
+                                         ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RawAllowedPathPrefixes(
+          Options.get("AllowedPathPrefixes", "src/trace/;bench/")) {
+  StringRef Rest = RawAllowedPathPrefixes;
+  while (!Rest.empty()) {
+    StringRef Prefix;
+    std::tie(Prefix, Rest) = Rest.split(';');
+    if (!Prefix.empty())
+      AllowedPathPrefixes.push_back(Prefix.str());
+  }
+}
+
+void WallclockInSimCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedPathPrefixes", RawAllowedPathPrefixes);
+}
+
+void WallclockInSimCheck::registerMatchers(MatchFinder *Finder) {
+  // steady_clock::now(), system_clock::now(), high_resolution_clock::now().
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("steady_clock", "system_clock",
+                                      "high_resolution_clock")))))
+          .bind("wallclock"),
+      this);
+  // C rand()/srand()/time().
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand", "::time"))))
+          .bind("crand"),
+      this);
+  // std::random_device construction (each read is nondeterministic entropy).
+  Finder->addMatcher(
+      cxxConstructExpr(hasType(cxxRecordDecl(hasName("random_device"))))
+          .bind("rdev"),
+      this);
+}
+
+void WallclockInSimCheck::check(const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  const char *What = nullptr;
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("wallclock")) {
+    Loc = Call->getBeginLoc();
+    What = "wall-clock read";
+  } else if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("crand")) {
+    Loc = Call->getBeginLoc();
+    What = "nondeterministic C library call";
+  } else if (const auto *Ctor = Result.Nodes.getNodeAs<CXXConstructExpr>(
+                 "rdev")) {
+    Loc = Ctor->getBeginLoc();
+    What = "std::random_device";
+  }
+  if (!What || Loc.isInvalid())
+    return;
+
+  const SourceManager &SM = *Result.SourceManager;
+  StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  for (const std::string &Prefix : AllowedPathPrefixes) {
+    if (File.contains(Prefix))
+      return;
+  }
+  diag(Loc,
+       "%0 in simulation code; the simulator owns time "
+       "(Simulation::NowNanos) and randomness must come from seeded "
+       "engines, or runs stop being reproducible")
+      << What;
+}
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,46 @@
+//===--- WallclockInSimCheck.h - clang-tidy ---------------------*- C++ -*-===//
+//
+// dcdo-wallclock-in-sim: wall-clock time sources (std::chrono::*_clock::now)
+// and nondeterministic randomness (rand, std::random_device) in simulation
+// code. The discrete-event simulator owns time (Simulation::NowNanos) and
+// all randomness must come from seeded engines, or runs stop being
+// reproducible and `scripts/bench.sh --compare` SimTime_* gating breaks.
+// Files whose paths match the AllowedPathPrefixes option (real-time trace
+// export, bench harness wall timing) are exempt.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCDO_TIDY_PLUGIN_WALLCLOCKINSIMCHECK_H
+#define DCDO_TIDY_PLUGIN_WALLCLOCKINSIMCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <string>
+#include <vector>
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+class WallclockInSimCheck : public ClangTidyCheck {
+public:
+  WallclockInSimCheck(StringRef Name, ClangTidyContext *Context);
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  // Semicolon-separated path prefixes exempt from the check
+  // (default: src/trace/;bench/).
+  const std::string RawAllowedPathPrefixes;
+  std::vector<std::string> AllowedPathPrefixes;
+};
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang
+
+#endif // DCDO_TIDY_PLUGIN_WALLCLOCKINSIMCHECK_H
