@@ -69,11 +69,15 @@ REPORT_ONLY = mode == "--trace-overhead"
 # SUPPOSED to change between baselines (a bench that sweeps a modelled
 # hardware knob). Matching entries are reported for visibility but never
 # gate. The default exempts exactly the E13 parallel-acquisition entries
-# whose last argument (fetch concurrency) is > 1; the concurrency-1 entries
-# stay under the zero-drift gate — they must stay byte-identical to the
-# sequential calibration.
+# whose last argument (fetch concurrency) is > 1 and the E14 naming-scale
+# entries whose last argument (shard count) is > 1; the concurrency-1 /
+# shard-1 entries stay under the zero-drift gate — they must stay
+# byte-identical to the sequential / monolithic calibration.
 DRIFT_ALLOWLIST = re.compile(
-    os.environ.get("DCDO_BENCH_DRIFT_ALLOWLIST", r"^SimTime_E13_.*/(4|8|16)/")
+    os.environ.get(
+        "DCDO_BENCH_DRIFT_ALLOWLIST",
+        r"^SimTime_E13_.*/(4|8|16)/|^SimTime_E14_.*/(2|4|8|16)/iterations",
+    )
 )
 
 old_path, new_path = sys.argv[1], sys.argv[2]
@@ -158,7 +162,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" || exit 1
 
 if [ "$SMOKE" = 1 ]; then
   # Smoke mode: prove every bench still runs, not collect stable numbers.
+  # DCDO_BENCH_SMOKE keeps the heavyweight registrations off (E14's
+  # million-object sweep registers only when it is unset), so CI exercises
+  # the same code paths at miniature scale.
   EXTRA_ARGS="--benchmark_min_time=0.01"
+  DCDO_BENCH_SMOKE=1
+  export DCDO_BENCH_SMOKE
 else
   EXTRA_ARGS=""
   DCDO_BENCH_JSON=${DCDO_BENCH_JSON:-$PWD/BENCH_dcdo.json}

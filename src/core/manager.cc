@@ -99,10 +99,12 @@ Status DcdoManager::AttachNameService(NameService* names) {
     DCDO_RETURN_IF_ERROR(names_->Bind(
         NamePrefix() + "/components/" + ico->component().name, ico->id()));
   }
-  for (const auto& [instance_id, record] : instances_) {
-    DCDO_RETURN_IF_ERROR(names_->Bind(
-        NamePrefix() + "/instances/" + std::to_string(instance_id.instance()),
-        instance_id));
+  for (auto& [instance_id, record] : instances_) {
+    DCDO_ASSIGN_OR_RETURN(
+        record.name,
+        names_->BindInterned(
+            NamePrefix() + "/instances/" + std::to_string(instance_id.instance()),
+            instance_id));
   }
   return Status::Ok();
 }
@@ -267,10 +269,16 @@ void DcdoManager::CreateInstanceAt(const VersionId& version,
                          return;
                        }
                        if (names_ != nullptr) {
-                         (void)names_->Bind(
+                         auto bound = names_->BindInterned(
                              NamePrefix() + "/instances/" +
                                  std::to_string(instance_id.instance()),
                              instance_id);
+                         if (bound.ok()) {
+                           auto rec = instances_.find(instance_id);
+                           if (rec != instances_.end()) {
+                             rec->second.name = *bound;
+                           }
+                         }
                        }
                        // Activation handshake completes creation.
                        home_.simulation().Schedule(
@@ -555,12 +563,21 @@ void DcdoManager::ReactivateInstance(const ObjectId& instance,
 }
 
 Status DcdoManager::DestroyInstance(const ObjectId& instance) {
-  if (instances_.erase(instance) == 0) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) {
     return NotFoundError("no instance " + instance.ToString());
   }
+  NameId name = it->second.name;
+  instances_.erase(it);
   if (names_ != nullptr) {
-    (void)names_->Unbind(NamePrefix() + "/instances/" +
-                         std::to_string(instance.instance()));
+    if (name.valid()) {
+      (void)names_->Unbind(name);
+    } else {
+      // Bound before interning existed (or the bind failed): fall back to
+      // the path form.
+      (void)names_->Unbind(NamePrefix() + "/instances/" +
+                           std::to_string(instance.instance()));
+    }
   }
   return Status::Ok();
 }

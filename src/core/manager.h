@@ -182,6 +182,9 @@ class DcdoManager {
     std::unique_ptr<Dcdo> object;
     std::uint64_t calls_at_last_check = 0;
     sim::SimTime last_check;
+    // Interned context-space name ("/types/<T>/instances/<n>"), so destroy
+    // unbinds by id instead of rebuilding and rehashing the path string.
+    NameId name;
   };
 
   // Applies the descriptor of `version` to the (fresh or existing) DCDO.

@@ -9,6 +9,14 @@
 // agent (rebind_query). This class holds the cache and implements the refresh
 // decision; the invoker (rpc layer) drives the retry loop.
 //
+// When the agent grants leases (CostModel::binding_lease_duration > 0) the
+// cache also participates in the invalidation protocol: it registers itself
+// as a leaseholder, every fetched entry carries its lease expiry, a pushed
+// invalidation replaces (or drops) the entry immediately, and an entry whose
+// lease has expired is treated as a miss — never served stale past its
+// lease. With leases off, entries never expire and staleness is discovered
+// by the rpc layer's timeout probing alone (the legacy protocol).
+//
 // The cache is bounded: entries are kept in LRU order and the least recently
 // used binding is evicted once `capacity` is exceeded (capacity comes from
 // CostModel::binding_cache_capacity; 0 means unbounded). Eviction is safe by
@@ -17,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <optional>
 #include <unordered_map>
@@ -30,27 +39,50 @@
 
 namespace dcdo {
 
-class BindingCache {
+class BindingCache : public InvalidationSink {
  public:
   // Generous default; real clients pass CostModel::binding_cache_capacity.
   static constexpr std::size_t kDefaultCapacity = 65536;
 
-  explicit BindingCache(const BindingAgent* agent,
-                        std::size_t capacity = kDefaultCapacity);
+  // `node` is the sim host this cache lives on — the destination for pushed
+  // invalidations. Callers outside the simulated cluster (unit tests of the
+  // bare cache) may leave it 0; with leases off it is never used.
+  explicit BindingCache(BindingAgent* agent,
+                        std::size_t capacity = kDefaultCapacity,
+                        sim::NodeId node = 0);
   ~BindingCache();
   BindingCache(const BindingCache&) = delete;
   BindingCache& operator=(const BindingCache&) = delete;
 
-  // Cached binding if present, else authoritative lookup (which populates the
-  // cache). A cached entry may of course be stale — that is the point.
+  // Cached binding if present (and, under leases, not expired), else
+  // authoritative lookup (which populates the cache). A cached entry may of
+  // course be stale — that is the point.
   [[nodiscard]] Result<ObjectAddress> Resolve(const ObjectId& id);
 
   // Drops the cached entry and re-fetches from the agent. Returns the fresh
   // binding. The caller charges CostModel::rebind_query in sim time.
   [[nodiscard]] Result<ObjectAddress> RefreshFromAgent(const ObjectId& id);
 
+  // Modelled refresh: like RefreshFromAgent, but the fetch queues on the
+  // owning directory shard (BindingAgent::AsyncLookup) and `done` runs at
+  // completion time. Falls back to the synchronous path when the lookup
+  // service is unmodelled.
+  void RefreshFromAgentAsync(const ObjectId& id,
+                             std::function<void(Result<ObjectAddress>)> done);
+
+  // The cached address without any side effects: no LRU touch, no stats, no
+  // fetch; nullopt when absent or lease-expired. The rpc layer uses this to
+  // notice that an invalidation replaced the binding mid-call.
+  [[nodiscard]] std::optional<ObjectAddress> CachedAddress(
+      const ObjectId& id) const;
+
   void Invalidate(const ObjectId& id);
   void InvalidateAll();
+
+  // InvalidationSink: a directory shard pushed a fresh binding (entry is
+  // replaced in place under the renewed lease) or a drop notice.
+  void OnBindingInvalidated(const ObjectId& id, const ObjectAddress* fresh,
+                            sim::SimTime lease_expiry) override;
 
   bool Cached(const ObjectId& id) const { return cache_.contains(id); }
   std::size_t size() const { return cache_.size(); }
@@ -60,19 +92,34 @@ class BindingCache {
   std::uint64_t misses() const { return misses_.value(); }
   std::uint64_t refreshes() const { return refreshes_.value(); }
   std::uint64_t evictions() const { return evictions_.value(); }
+  std::uint64_t invalidations_received() const {
+    return invalidations_received_.value();
+  }
+  std::uint64_t lease_expirations() const {
+    return lease_expirations_.value();
+  }
 
  private:
   struct Entry {
     ObjectAddress address;
     std::list<ObjectId>::iterator lru_it;  // position in lru_ (front = MRU)
+    // Leases: the entry is trusted until `lease_expiry`; `leased` is false
+    // for entries stored while leases are off (never expire).
+    sim::SimTime lease_expiry;
+    bool leased = false;
   };
 
   // Inserts or overwrites `id`, moves it to MRU, and evicts the LRU entry
   // if the bound is now exceeded.
   void Store(const ObjectId& id, const ObjectAddress& address);
+  void StoreLeased(const ObjectId& id, const ObjectAddress& address,
+                   sim::SimTime lease_expiry);
+  // True when the entry's lease (if any) has run out at the current sim time.
+  bool Expired(const Entry& entry) const;
 
-  const BindingAgent& agent_;
+  BindingAgent& agent_;
   std::size_t capacity_;
+  sim::NodeId node_ = 0;
   std::list<ObjectId> lru_;  // front = most recently used
   std::unordered_map<ObjectId, Entry, ObjectIdHash> cache_;
   // trace::Counter (atomic): stats siblings of BindingAgent::lookups_served_,
@@ -81,7 +128,10 @@ class BindingCache {
   trace::Counter misses_;
   trace::Counter refreshes_;
   trace::Counter evictions_;
+  trace::Counter invalidations_received_;
+  trace::Counter lease_expirations_;
   std::uint64_t check_handle_ = 0;  // binding-coherence probe registration
+  std::uint64_t holder_ = 0;       // leaseholder handle (0 = not registered)
 };
 
 }  // namespace dcdo

@@ -1,0 +1,73 @@
+#include "naming/lease_table.h"
+
+namespace dcdo {
+
+void LeaseTable::Grant(const ObjectId& id, std::uint64_t holder,
+                       sim::SimTime now, sim::SimTime expiry) {
+  auto& holders = leases_[id];
+  // Opportunistic purge: leases already expired at `now` would never be
+  // pushed anyway (LiveHolders filters them), so drop them while we hold the
+  // entry instead of letting dead generations accumulate.
+  for (auto it = holders.begin(); it != holders.end();) {
+    if (it->second <= now && it->first != holder) {
+      auto rev = by_holder_.find(it->first);
+      if (rev != by_holder_.end()) {
+        rev->second.erase(id);
+        if (rev->second.empty()) by_holder_.erase(rev);
+      }
+      it = holders.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  holders[holder] = expiry;
+  by_holder_[holder].insert(id);
+}
+
+std::vector<std::uint64_t> LeaseTable::LiveHolders(const ObjectId& id,
+                                                   sim::SimTime now) const {
+  std::vector<std::uint64_t> out;
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [holder, expiry] : it->second) {
+    if (expiry > now) out.push_back(holder);
+  }
+  return out;
+}
+
+void LeaseTable::Drop(const ObjectId& id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return;
+  for (const auto& [holder, expiry] : it->second) {
+    auto rev = by_holder_.find(holder);
+    if (rev == by_holder_.end()) continue;
+    rev->second.erase(id);
+    if (rev->second.empty()) by_holder_.erase(rev);
+  }
+  leases_.erase(it);
+}
+
+void LeaseTable::DropHolder(std::uint64_t holder) {
+  auto rev = by_holder_.find(holder);
+  if (rev == by_holder_.end()) return;
+  for (const ObjectId& id : rev->second) {
+    auto it = leases_.find(id);
+    if (it == leases_.end()) continue;
+    it->second.erase(holder);
+    if (it->second.empty()) leases_.erase(it);
+  }
+  by_holder_.erase(rev);
+}
+
+std::size_t LeaseTable::LiveCount(sim::SimTime now) const {
+  std::size_t count = 0;
+  for (const auto& [id, holders] : leases_) {
+    for (const auto& [holder, expiry] : holders) {
+      if (expiry > now) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace dcdo

@@ -1,0 +1,43 @@
+#include "naming/name_id.h"
+
+#include <mutex>
+
+namespace dcdo {
+
+ObjectNameTable& ObjectNameTable::Global() {
+  static ObjectNameTable table;
+  return table;
+}
+
+NameId ObjectNameTable::Intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return NameId{it->second};
+  }
+  std::unique_lock lock(mutex_);
+  auto it = index_.find(name);  // raced with another interner?
+  if (it != index_.end()) return NameId{it->second};
+  auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return NameId{id};
+}
+
+NameId ObjectNameTable::Find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  auto it = index_.find(name);
+  return it == index_.end() ? NameId::Invalid() : NameId{it->second};
+}
+
+const std::string& ObjectNameTable::NameOf(NameId id) const {
+  std::shared_lock lock(mutex_);
+  return names_.at(id.value);
+}
+
+std::size_t ObjectNameTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace dcdo

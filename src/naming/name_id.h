@@ -1,0 +1,88 @@
+// NameId: dense interned handles for object names (context-space paths).
+//
+// The same fix FunctionId applies to the dynamic-function call path, applied
+// to the naming hot path: a string-keyed directory pays hashing and string
+// copies on every lookup, so a name is resolved to a dense NameId once and
+// every name-keyed map on the lookup path indexes by the 4-byte id instead.
+// NameService keys its binding map by NameId; the string form survives only
+// in the intern table (which also backs the ordered directory index).
+//
+// The table is process-global and append-only: ids are never reused, and the
+// backing strings have stable addresses for the life of the process, so
+// string_views handed out by NameOf() may be held indefinitely.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dcdo {
+
+// A dense handle for an interned object name. Value-comparable, hashable,
+// and cheap to copy; kInvalid means "never interned" (and therefore: no
+// NameService anywhere has ever bound the name).
+struct NameId {
+  static constexpr std::uint32_t kInvalidValue = 0xFFFFFFFFu;
+
+  std::uint32_t value = kInvalidValue;
+
+  static constexpr NameId Invalid() { return NameId{}; }
+  bool valid() const { return value != kInvalidValue; }
+
+  friend bool operator==(NameId, NameId) = default;
+};
+
+// Inline FNV-1a for object names, mirroring FunctionNameHash: paths are
+// short, and keeping the per-byte loop visible to the optimizer beats the
+// library hash's opaque call. Transparent so string_view probes never
+// construct a std::string.
+struct ObjectNameHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    std::uint64_t h = 14695981039346656037ull;
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// The process-global intern table. Read-mostly: Find() and NameOf() take a
+// shared lock; Intern() upgrades to exclusive only when the name is new.
+class ObjectNameTable {
+ public:
+  static ObjectNameTable& Global();
+
+  // Returns the id for `name`, creating one if this is the first sighting.
+  NameId Intern(std::string_view name);
+
+  // Returns the id for `name`, or NameId::Invalid() if never interned.
+  // Never allocates — this is the one string hash a by-name lookup pays.
+  NameId Find(std::string_view name) const;
+
+  // The interned name. The reference is stable for the process lifetime.
+  // `id` must be valid and in range.
+  const std::string& NameOf(NameId id) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> names_;  // deque: stable addresses across growth
+  // Views point into names_, so the index never owns string storage twice.
+  std::unordered_map<std::string_view, std::uint32_t, ObjectNameHash> index_;
+};
+
+}  // namespace dcdo
+
+template <>
+struct std::hash<dcdo::NameId> {
+  std::size_t operator()(dcdo::NameId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

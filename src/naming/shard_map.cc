@@ -1,0 +1,25 @@
+#include "naming/shard_map.h"
+
+namespace dcdo {
+
+void ShardMap::Build(int shard_count, int points_per_shard) {
+  shard_count_ = shard_count;
+  ring_.clear();
+  if (shard_count <= 1) return;  // shard 0 owns everything; no ring needed
+  ring_.reserve(static_cast<std::size_t>(shard_count) *
+                static_cast<std::size_t>(points_per_shard));
+  for (std::uint32_t shard = 0; shard < static_cast<std::uint32_t>(shard_count);
+       ++shard) {
+    for (std::uint32_t point = 0;
+         point < static_cast<std::uint32_t>(points_per_shard); ++point) {
+      // Point placement depends only on (shard, replica) — the ring is a pure
+      // function of its Build() arguments.
+      std::uint64_t seed =
+          (static_cast<std::uint64_t>(shard) << 32) | (point + 1);
+      ring_.emplace_back(Mix(seed), shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+}  // namespace dcdo

@@ -1,0 +1,75 @@
+// ShardMap: consistent-hash partitioning of the binding namespace.
+//
+// The directory is split across N shard replicas by hashing each key onto a
+// ring of virtual points (naming_ring_points per shard) and routing to the
+// first point at or after the key's hash. Consistent hashing keeps the map
+// stable under reconfiguration: growing N by one moves only ~1/(N+1) of the
+// keys, so a future shard-split protocol invalidates a sliver of the
+// namespace instead of all of it.
+//
+// Keys arrive pre-hashed as 64-bit values (ObjectIdHash for LOIDs, the
+// NameId value for interned names) — routing never touches a string. The
+// single-shard map short-circuits to shard 0 without hashing at all, which
+// is what keeps the shard_count = 1 configuration on the legacy path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/object_id.h"
+#include "naming/name_id.h"
+
+namespace dcdo {
+
+class ShardMap {
+ public:
+  // A map with `shard_count` = 1 (the default) routes everything to shard 0.
+  ShardMap() { Build(1, 1); }
+
+  // (Re)builds the ring deterministically from the shard count alone: two
+  // maps built with the same arguments route identically, across runs and
+  // across processes.
+  void Build(int shard_count, int points_per_shard);
+
+  int shard_count() const { return shard_count_; }
+
+  // Routes a pre-hashed 64-bit key to its owning shard, in [0, shard_count).
+  int ShardForHash(std::uint64_t hash) const {
+    if (shard_count_ == 1) return 0;  // legacy fast path: no ring walk
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), hash,
+        [](const RingPoint& p, std::uint64_t h) { return p.first < h; });
+    if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+    return static_cast<int>(it->second);
+  }
+
+  int ShardFor(const ObjectId& id) const {
+    if (shard_count_ == 1) return 0;
+    return ShardForHash(Mix(ObjectIdHash{}(id)));
+  }
+
+  int ShardFor(NameId id) const {
+    if (shard_count_ == 1) return 0;
+    return ShardForHash(Mix(id.value));
+  }
+
+ private:
+  using RingPoint = std::pair<std::uint64_t, std::uint32_t>;  // (point, shard)
+
+  // Finalizer-strength mix (splitmix64): ring placement and key routing both
+  // need all 64 bits scrambled, and ObjectIdHash alone leaves low-entropy
+  // instance counters clustered.
+  static std::uint64_t Mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::vector<RingPoint> ring_;  // sorted by point
+  int shard_count_ = 1;
+};
+
+}  // namespace dcdo

@@ -224,6 +224,31 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
     tr->metrics().GetCounter("rpc.timeouts").Increment();
   }
 
+  if (cost.binding_lease_duration > sim::SimDuration::Zero()) {
+    // Under leases the directory pushes a rebound object's fresh binding to
+    // this cache; if one arrived while the attempt was on the wire, switch
+    // to it now instead of probing the dead address through the rest of the
+    // timeout schedule.
+    std::optional<ObjectAddress> pushed = cache_.CachedAddress(call->target);
+    if (pushed.has_value() && !(*pushed == call->address)) {
+      lease_rebinds_.Increment();
+      DCDO_LOG(kDebug) << "rpc: lease push rebound " << call->target << " to "
+                       << pushed->ToString();
+      if (auto* tr = trace::ActiveContext()) {
+        tr->Instant("rpc.lease_rebind",
+                    {.category = "client",
+                     .parent = call->span,
+                     .node = static_cast<std::uint32_t>(node_),
+                     .call_id = call->call_id});
+        tr->metrics().GetCounter("rpc.lease_rebinds").Increment();
+      }
+      call->address = *pushed;
+      call->attempts_this_binding = 0;
+      Attempt(call);
+      return;
+    }
+  }
+
   if (call->attempts_this_binding <= cost.stale_retry_count) {
     DCDO_LOG(kDebug) << "rpc: timeout on " << call->method_name() << ", retry "
                      << call->attempts_this_binding;
@@ -249,24 +274,30 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
     sim::Simulation& simulation = transport_.simulation();
     simulation.Schedule(cost.rebind_query, [this, call, rebind_span]() {
       if (call->finished) return;
-      Result<ObjectAddress> fresh = cache_.RefreshFromAgent(call->target);
-      if (!fresh.ok()) {
-        call->finished = true;
-        if (auto* tr = trace::ActiveContext()) {
-          tr->EndSpan(rebind_span, "outcome", "unbound");
-          tr->EndSpan(call->span, "outcome", "unavailable");
-        }
-        call->done(UnavailableError("object " + call->target.ToString() +
-                                    " has no current binding"));
-        return;
-      }
-      DCDO_LOG(kDebug) << "rpc: rebound " << call->target << " to "
-                       << fresh->ToString();
-      if (auto* tr = trace::ActiveContext()) {
-        tr->EndSpan(rebind_span, "address", fresh->ToString());
-      }
-      call->address = *fresh;
-      Attempt(call);
+      // RefreshFromAgentAsync queues the fetch on the owning directory shard
+      // when the lookup-service model is on; otherwise it resolves
+      // synchronously (the legacy path) before returning.
+      cache_.RefreshFromAgentAsync(
+          call->target, [this, call, rebind_span](Result<ObjectAddress> fresh) {
+            if (call->finished) return;
+            if (!fresh.ok()) {
+              call->finished = true;
+              if (auto* tr = trace::ActiveContext()) {
+                tr->EndSpan(rebind_span, "outcome", "unbound");
+                tr->EndSpan(call->span, "outcome", "unavailable");
+              }
+              call->done(UnavailableError("object " + call->target.ToString() +
+                                          " has no current binding"));
+              return;
+            }
+            DCDO_LOG(kDebug) << "rpc: rebound " << call->target << " to "
+                             << fresh->ToString();
+            if (auto* tr = trace::ActiveContext()) {
+              tr->EndSpan(rebind_span, "address", fresh->ToString());
+            }
+            call->address = *fresh;
+            Attempt(call);
+          });
     });
     return;
   }

@@ -14,6 +14,12 @@
 // client takes ~30 s to recover from a stale binding — inside the paper's
 // observed 25-35 s band.
 //
+// When the binding agent grants leases (binding_lease_duration > 0), the
+// directory pushes fresh bindings into this client's cache the moment an
+// object rebinds; a timed-out attempt then notices the pushed replacement
+// and switches to it immediately instead of finishing the probe schedule,
+// and new calls resolve the fresh address before their first send.
+//
 // Fast-path mechanics (invisible to callers):
 //   * per-call state comes from a thread-local free list, not the heap;
 //   * arguments live in one shared buffer for the life of the call, so every
@@ -43,10 +49,11 @@ class RpcClient {
  public:
   using Callback = std::function<void(Result<ByteBuffer>)>;
 
-  RpcClient(RpcTransport* transport, const BindingAgent* agent,
-            sim::NodeId node)
+  // The agent pointer is non-const: under leases the cache registers itself
+  // as a leaseholder (and lease-granting lookups record it).
+  RpcClient(RpcTransport* transport, BindingAgent* agent, sim::NodeId node)
       : transport_(*transport),
-        cache_(agent, transport->cost_model().binding_cache_capacity),
+        cache_(agent, transport->cost_model().binding_cache_capacity, node),
         node_(node) {}
 
   // Asynchronous invocation; `done` runs exactly once, in sim time.
@@ -73,6 +80,9 @@ class RpcClient {
   std::uint64_t timeouts() const { return timeouts_.value(); }
   std::uint64_t rebinds() const { return rebinds_.value(); }
   std::uint64_t calls_started() const { return calls_started_.value(); }
+  // Calls that switched to a lease-pushed fresh binding mid-flight instead
+  // of burning the full timeout-probe schedule. Always 0 with leases off.
+  std::uint64_t lease_rebinds() const { return lease_rebinds_.value(); }
 
  private:
   struct CallState;
@@ -99,6 +109,7 @@ class RpcClient {
   trace::Counter timeouts_;
   trace::Counter rebinds_;
   trace::Counter calls_started_;
+  trace::Counter lease_rebinds_;
 };
 
 }  // namespace dcdo::rpc

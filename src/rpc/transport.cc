@@ -70,19 +70,14 @@ class DedupWindow {
 
 namespace {
 
-// How long an entry must survive: the client protocol sends up to
-// stale_retry_count + 1 attempts per binding round over two rounds
-// (original + rebound), so the LAST retry leaves the client at
-//   invocation_timeout * (2*stale_retry_count + 1) + rebind_query
-// after the call started (50.9 s under the default model). The window must
-// outlive that whole schedule — an entry is inserted when the FIRST attempt
-// arrives — plus slack for the last retry's own transit, so size the TTL one
-// full timeout past the last possible send:
-//   invocation_timeout * 2 * (stale_retry_count + 1) + rebind_query.
+// How long an entry must survive: the window must outlive the client's whole
+// retry schedule — an entry is inserted when the FIRST attempt arrives and
+// must still be there when the LAST possible retry lands. The arithmetic
+// lives in CostModel (RetryScheduleLastSend + one timeout of transit slack)
+// so this window and CostModel::StaleBindingDiscovery() derive from the same
+// attempt count and can never desynchronize on a knob change.
 sim::SimDuration DedupTtl(const sim::CostModel& cost) {
-  return cost.invocation_timeout *
-             static_cast<std::int64_t>(2 * (cost.stale_retry_count + 1)) +
-         cost.rebind_query;
+  return cost.DedupWindowTtl();
 }
 
 // One call in flight: the invocation and the caller's continuation ride the

@@ -1,5 +1,9 @@
 #include "runtime/testbed.h"
 
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
 #include "trace/chrome_trace.h"
 
 namespace dcdo {
@@ -52,6 +56,31 @@ Testbed::Testbed(const Options& options) {
         options.heterogeneous ? kRotation[i % 4] : sim::Architecture::kX86Linux;
     hosts_.push_back(std::make_unique<sim::SimHost>(
         &simulation_, network_.get(), static_cast<sim::NodeId>(i + 1), arch));
+  }
+  if (options.cost_model.NamingDirectoryModeled()) {
+    // The partitioned/leased directory: one dedicated host per shard, with
+    // NodeIds stacked above the regular host range so workload hosts keep
+    // their legacy ids. With the default cost model this block never runs
+    // and the agent stays the unattached monolithic store.
+    std::vector<sim::NodeId> shard_nodes;
+    shard_nodes.reserve(
+        static_cast<std::size_t>(options.cost_model.naming_shard_count));
+    for (int s = 0; s < options.cost_model.naming_shard_count; ++s) {
+      auto node = static_cast<sim::NodeId>(options.host_count + 1 + s);
+      shard_hosts_.push_back(std::make_unique<sim::SimHost>(
+          &simulation_, network_.get(), node, sim::Architecture::kX86Linux));
+      shard_nodes.push_back(node);
+    }
+    Status configured =
+        agent_.Configure(DirectoryConfig::FromCostModel(options.cost_model),
+                         &simulation_, network_.get(), std::move(shard_nodes));
+    // The config came from a cost model the caller controls; surface a bad
+    // one loudly instead of silently running the legacy directory.
+    if (!configured.ok()) {
+      DCDO_LOG(kError) << "testbed: directory configuration rejected: "
+                       << configured.message();
+      std::abort();
+    }
   }
 }
 

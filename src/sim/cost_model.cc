@@ -24,6 +24,19 @@ Status ValidateCostModel(const CostModel& m) {
   if (m.fetch_concurrency < 1) {
     return InvalidArgumentError("fetch concurrency must be at least 1");
   }
+  if (m.naming_shard_count < 1) {
+    return InvalidArgumentError("naming shard count must be at least 1");
+  }
+  if (m.naming_ring_points < 1) {
+    return InvalidArgumentError("naming ring points must be at least 1");
+  }
+  if (m.directory_lookup_service < SimDuration::Zero()) {
+    return InvalidArgumentError(
+        "directory lookup service time must be non-negative");
+  }
+  if (m.binding_lease_duration < SimDuration::Zero()) {
+    return InvalidArgumentError("binding lease duration must be non-negative");
+  }
   if (m.disk_read_bytes_per_sec <= 0 || m.disk_write_bytes_per_sec <= 0) {
     return InvalidArgumentError("disk bandwidth must be positive");
   }

@@ -109,6 +109,33 @@ struct CostModel {
   int stale_retry_count = 2;
   SimDuration rebind_query = SimDuration::Millis(900);
 
+  // --- Naming directory: sharding + binding leases (src/naming) ---
+  // NOTE: like fetch_concurrency, these are modelled-deployment knobs, NOT
+  // calibration constants. The defaults reproduce the paper's single
+  // monolithic binding agent with timeout-probed caches byte for byte;
+  // non-default values opt a deployment into the partitioned directory and
+  // lease/invalidation protocol measured by EXPERIMENTS.md E14.
+  //
+  // Number of directory shard replicas the binding namespace is partitioned
+  // across (consistent hashing). 1 = the legacy single agent.
+  int naming_shard_count = 1;
+  // Ring points per shard in the consistent-hash map; more points = smoother
+  // balance, slightly larger ring. Irrelevant at naming_shard_count = 1.
+  int naming_ring_points = 64;
+  // Service time a directory shard spends on one lookup/rebind request.
+  // Lookups queue behind each other on their shard, which is what makes
+  // directory throughput scale with shard count. Zero = unmodelled (lookups
+  // are instantaneous data-structure probes, the legacy behavior).
+  SimDuration directory_lookup_service = SimDuration::Zero();
+  // Lease granted to a BindingCache alongside each binding it fetches. The
+  // shard remembers leaseholders and pushes an invalidation (or the fresh
+  // binding) when the entry rebinds or dies; expiry is the fallback when the
+  // push is lost or the holder partitioned. Zero = leases off: stale
+  // bindings are discovered by the legacy timeout-probe schedule alone.
+  SimDuration binding_lease_duration = SimDuration::Zero();
+  // Wire size of one invalidation notification (ObjectId + address + lease).
+  std::size_t invalidation_bytes = 64;
+
   // --- State capture / restore for monolithic evolution ---
   double state_capture_bytes_per_sec = 6.0e6;
   double state_restore_bytes_per_sec = 8.0e6;
@@ -164,10 +191,41 @@ struct CostModel {
                                 state_restore_bytes_per_sec);
   }
 
+  // --- Stale-binding retry schedule (single source of truth) ---
+  // The client protocol (rpc/client.cc) sends up to this many attempts per
+  // binding round: the original send plus stale_retry_count retries.
+  int RetryAttemptsPerBinding() const { return stale_retry_count + 1; }
+
   // Time for a client to conclude its cached binding is stale: each attempt
-  // waits out the invocation timeout, plus the final binding-agent query.
+  // of the first round waits out the invocation timeout, plus the final
+  // binding-agent query.
   SimDuration StaleBindingDiscovery() const {
-    return invocation_timeout * (1 + stale_retry_count) + rebind_query;
+    return invocation_timeout * RetryAttemptsPerBinding() + rebind_query;
+  }
+
+  // When the LAST possible retry leaves the client, measured from the first
+  // send: a full first round of timeouts, the rebind query, then the rebound
+  // round's sends spaced one timeout apart (50.9 s under the defaults).
+  SimDuration RetryScheduleLastSend() const {
+    return invocation_timeout *
+               static_cast<std::int64_t>(2 * RetryAttemptsPerBinding() - 1) +
+           rebind_query;
+  }
+
+  // How long a server-side dedup entry must survive: it is inserted when the
+  // FIRST attempt arrives, and must still be there when the last retry lands,
+  // plus one timeout of slack for that retry's own transit.
+  SimDuration DedupWindowTtl() const {
+    return RetryScheduleLastSend() + invocation_timeout;
+  }
+
+  // True when any non-default naming-directory feature is active (sharding,
+  // modelled lookup service, or leases) — the testbed then attaches the
+  // binding agent to the simulation and spawns per-shard hosts.
+  bool NamingDirectoryModeled() const {
+    return naming_shard_count > 1 ||
+           directory_lookup_service > SimDuration::Zero() ||
+           binding_lease_duration > SimDuration::Zero();
   }
 };
 

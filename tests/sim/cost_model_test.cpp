@@ -113,5 +113,63 @@ TEST(CostModelValidate, RejectsNegativeRetries) {
   EXPECT_FALSE(ValidateCostModel(bad).ok());
 }
 
+// The stale-binding schedule arithmetic lives in one place: every derived
+// window is a function of (timeout, retries, rebind_query), and the default
+// model reproduces the exact legacy numbers.
+TEST_F(CostModelBands, StaleScheduleHelpersAgree) {
+  EXPECT_EQ(cost_.RetryAttemptsPerBinding(), 3);
+  EXPECT_DOUBLE_EQ(cost_.StaleBindingDiscovery().ToSeconds(), 30.9);
+  // Worst-case last send: the full stale schedule plus the refreshed
+  // binding's retries, minus the final timeout still to run.
+  EXPECT_DOUBLE_EQ(cost_.RetryScheduleLastSend().ToSeconds(), 50.9);
+  // The dedup window covers that last send plus one more timeout.
+  EXPECT_DOUBLE_EQ(cost_.DedupWindowTtl().ToSeconds(), 60.9);
+  EXPECT_EQ(cost_.DedupWindowTtl().nanos(),
+            (cost_.RetryScheduleLastSend() + cost_.invocation_timeout).nanos());
+}
+
+TEST_F(CostModelBands, StaleScheduleHelpersTrackTheKnobs) {
+  cost_.invocation_timeout = SimDuration::Seconds(4.0);
+  cost_.stale_retry_count = 1;
+  cost_.rebind_query = SimDuration::Seconds(0.5);
+  EXPECT_DOUBLE_EQ(cost_.StaleBindingDiscovery().ToSeconds(), 8.5);
+  EXPECT_DOUBLE_EQ(cost_.RetryScheduleLastSend().ToSeconds(), 12.5);
+  EXPECT_DOUBLE_EQ(cost_.DedupWindowTtl().ToSeconds(), 16.5);
+}
+
+// The naming-directory knobs default to "not modeled" (legacy path) and are
+// validated like every other knob.
+TEST(CostModelValidate, NamingDirectoryKnobs) {
+  CostModel cost;
+  EXPECT_FALSE(cost.NamingDirectoryModeled());
+
+  CostModel sharded;
+  sharded.naming_shard_count = 8;
+  EXPECT_TRUE(sharded.NamingDirectoryModeled());
+  EXPECT_TRUE(ValidateCostModel(sharded).ok());
+
+  CostModel leased;
+  leased.binding_lease_duration = SimDuration::Seconds(60.0);
+  EXPECT_TRUE(leased.NamingDirectoryModeled());
+  EXPECT_TRUE(ValidateCostModel(leased).ok());
+
+  CostModel modeled;
+  modeled.directory_lookup_service = SimDuration::Micros(100.0);
+  EXPECT_TRUE(modeled.NamingDirectoryModeled());
+
+  CostModel bad;
+  bad.naming_shard_count = 0;
+  EXPECT_FALSE(ValidateCostModel(bad).ok());
+  bad = CostModel{};
+  bad.naming_ring_points = 0;
+  EXPECT_FALSE(ValidateCostModel(bad).ok());
+  bad = CostModel{};
+  bad.binding_lease_duration = SimDuration::Seconds(-1.0);
+  EXPECT_FALSE(ValidateCostModel(bad).ok());
+  bad = CostModel{};
+  bad.directory_lookup_service = SimDuration::Seconds(-1.0);
+  EXPECT_FALSE(ValidateCostModel(bad).ok());
+}
+
 }  // namespace
 }  // namespace dcdo::sim
