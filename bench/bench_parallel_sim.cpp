@@ -1,0 +1,336 @@
+// E15 — Parallel simulation localities (DESIGN.md §14).
+//
+// Wall-clock scaling of the locality executor at sim_workers ∈ {1, 2, 4, 8}
+// over two multi-host workloads, plus the sharded-counter microbench:
+//
+//   * Wall_E15_CreationFanout/<types>/<workers> — E13-flavoured cold
+//     creation: `types` DCDO types, each homed on its own host, all fetch
+//     pipelines in flight at once toward distinct destination hosts.
+//     Fetch/stream pacing is control-plane (global locality), so this curve
+//     shows the executor's floor: NIC deliveries and mapping parallelize,
+//     the pipeline bookkeeping does not.
+//   * Wall_E15_LookupLoad/<shards>/<workers> — E14-flavoured open-loop
+//     lookup stream against a sharded directory with remote request routing
+//     (real client->shard messages), clients spread over 16 hosts. Shard
+//     service, NIC events, and completion callbacks are all data-plane, so
+//     this is the workload the acceptance speedup is measured on.
+//   * Wall_E15_CounterShardedLanes vs Wall_E15_CounterSharedAtomic — the
+//     MetricsRegistry sharding before/after: one trace::Counter cache line
+//     hammered from N threads vs trace::ShardedCounter's per-lane cells.
+//
+// Iteration time for the Wall_* workload entries is HOST wall seconds
+// around the event drain (manual time), so the recorded curve IS the
+// speedup curve; `sim_s` carries the simulated span. Determinism is
+// asserted in-process: every worker count must reproduce the workers=1
+// digest, event count, and final SimTime bit-for-bit (abort on mismatch).
+// SimTime_E15_* companions re-run each workload on manual *sim* time so
+// `bench.sh --compare` holds every worker count to zero drift — these
+// entries are deliberately NOT on the drift allowlist.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/object_id.h"
+#include "trace/metrics.h"
+
+namespace dcdo::bench {
+namespace {
+
+// Deterministic 64-bit mix (same as E14): reproducible key/arrival draws.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool SmokeMode() { return std::getenv("DCDO_BENCH_SMOKE") != nullptr; }
+
+double WallSeconds(const std::function<void()>& body) {
+  auto start = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct RunOutcome {
+  double wall_s = 0.0;
+  std::int64_t sim_ns = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t fired = 0;
+};
+
+// Every worker count must reproduce the workers=1 run exactly. The first
+// run of each (workload, scale) key records the baseline; later runs abort
+// the whole bench on any simulated divergence — a wall-clock speedup that
+// changes simulated results is not a speedup, it is a bug.
+void AssertMatchesBaseline(const std::string& key, const RunOutcome& out) {
+  static std::map<std::string, RunOutcome> baselines;
+  auto [it, inserted] = baselines.emplace(key, out);
+  if (inserted) return;
+  const RunOutcome& base = it->second;
+  if (base.sim_ns != out.sim_ns || base.digest != out.digest ||
+      base.fired != out.fired) {
+    std::abort();
+  }
+}
+
+// ===== E13-flavoured creation fan-out =====
+
+RunOutcome RunCreationFanout(int types, int workers) {
+  ObjectId::ResetCounterForTest();
+  const std::size_t functions = SmokeMode() ? 20 : 100;
+  const std::size_t components = SmokeMode() ? 5 : 20;
+  constexpr int kGridHosts = 16;
+
+  Testbed::Options options = BenchOptions();
+  options.host_count = kGridHosts + 1;
+  options.cost_model.sim_workers = workers;
+  options.cost_model.fetch_concurrency = 8;
+  Testbed testbed(options);
+  testbed.simulation().EnableDeterminismDigest(true);
+
+  std::vector<std::unique_ptr<DcdoManager>> managers;
+  std::vector<sim::SimHost*> destinations;
+  managers.reserve(static_cast<std::size_t>(types));
+  for (int t = 0; t < types; ++t) {
+    std::string type_name = "e15type" + std::to_string(t);
+    auto grid = MakeFunctionGrid(testbed, type_name, functions, components);
+    managers.push_back(MakeManagerWithVersion(
+        testbed, type_name, grid, MakeSingleVersionExplicit(),
+        testbed.host(1 + t % kGridHosts)));
+    destinations.push_back(testbed.host(1 + (t + types) % kGridHosts));
+  }
+
+  RunOutcome out;
+  std::size_t created = 0;
+  out.wall_s = WallSeconds([&] {
+    for (int t = 0; t < types; ++t) {
+      managers[static_cast<std::size_t>(t)]->CreateInstance(
+          destinations[static_cast<std::size_t>(t)],
+          [&created](Result<ObjectId> result) {
+            if (!result.ok()) std::abort();
+            ++created;
+          });
+    }
+    testbed.simulation().RunWhile(
+        [&] { return created < static_cast<std::size_t>(types); });
+    testbed.RunAll();  // full drain: digests compare whole runs
+  });
+  if (created != static_cast<std::size_t>(types)) std::abort();
+  out.sim_ns = testbed.simulation().Now().nanos();
+  out.digest = testbed.simulation().DeterminismDigest();
+  out.fired = testbed.simulation().events_fired();
+  return out;
+}
+
+// ===== E14-flavoured open-loop lookup load =====
+
+constexpr double kLookupServiceMicros = 100.0;
+constexpr double kUtilization = 0.7;
+
+RunOutcome RunLookupLoad(int shards, int workers) {
+  ObjectId::ResetCounterForTest();
+  constexpr int kGridHosts = 16;
+  const std::size_t objects = SmokeMode() ? 2000 : 20000;
+  const std::size_t lookups =
+      static_cast<std::size_t>(SmokeMode() ? 2000 : 10000) * shards;
+
+  Testbed::Options options = BenchOptions();
+  options.host_count = kGridHosts + 1;
+  options.cost_model.sim_workers = workers;
+  options.cost_model.naming_shard_count = shards;
+  options.cost_model.naming_ring_points = 512;
+  options.cost_model.directory_lookup_service =
+      sim::SimDuration::Micros(kLookupServiceMicros);
+  // Real request routing for every worker count, so the workload is
+  // identical whether or not the executor is parallel (required at
+  // sim_workers > 1; kept on at 1 for the apples-to-apples curve).
+  options.cost_model.directory_remote_requests = true;
+  // The conservative window is one lookahead (= network latency) wide; the
+  // paper's links are slow, so a 2 ms latency is period-accurate AND gives
+  // each barrier window enough events to amortize the synchronization.
+  options.cost_model.network_latency = sim::SimDuration::Millis(2);
+  Testbed testbed(options);
+  testbed.simulation().EnableDeterminismDigest(true);
+  BindingAgent& agent = testbed.agent();
+
+  std::vector<ObjectId> ids;
+  ids.reserve(objects);
+  for (std::size_t i = 0; i < objects; ++i) {
+    ids.push_back(ObjectId::Next(domains::kInstance));
+    agent.Bind(ids.back(),
+               ObjectAddress{static_cast<sim::NodeId>(1 + i % kGridHosts),
+                             static_cast<sim::ProcessId>(100 + i), 1});
+  }
+
+  // Open-loop Poisson arrivals at kUtilization of aggregate shard capacity,
+  // issued from clients spread over every grid host.
+  const double rate_per_sec =
+      kUtilization * shards * (1e6 / kLookupServiceMicros);
+  std::size_t completed = 0;
+  double arrival_s = 0.0;
+  for (std::size_t i = 0; i < lookups; ++i) {
+    double u = (static_cast<double>(Mix64(0xA0 + i) >> 11) + 1.0) /
+               9007199254740993.0;
+    arrival_s += -std::log(u) / rate_per_sec;
+    sim::SimDuration arrival = sim::SimDuration::Micros(arrival_s * 1e6);
+    const ObjectId& key = ids[Mix64(0xE15 + i) % objects];
+    const auto client = static_cast<sim::NodeId>(1 + i % kGridHosts);
+    testbed.simulation().Schedule(arrival, [&agent, &completed, key,
+                                            client]() {
+      agent.AsyncLookup(key, /*holder=*/0, client,
+                        [&completed](Result<ObjectAddress> result,
+                                     sim::SimTime) {
+                          if (!result.ok()) std::abort();
+                          ++completed;
+                        });
+    });
+  }
+
+  RunOutcome out;
+  out.wall_s = WallSeconds([&] { testbed.RunAll(); });
+  if (completed != lookups) std::abort();
+  out.sim_ns = testbed.simulation().Now().nanos();
+  out.digest = testbed.simulation().DeterminismDigest();
+  out.fired = testbed.simulation().events_fired();
+  return out;
+}
+
+// ===== Bench wrappers: Wall_* records wall time, SimTime_* sim time =====
+
+void Wall_E15_CreationFanout(benchmark::State& state) {
+  const int types = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    RunOutcome out = RunCreationFanout(types, workers);
+    AssertMatchesBaseline("creation/" + std::to_string(types), out);
+    state.SetIterationTime(out.wall_s);
+    state.counters["sim_s"] = static_cast<double>(out.sim_ns) / 1e9;
+    state.counters["events"] = static_cast<double>(out.fired);
+    // The wall curve only shows scaling when the host can co-run the
+    // workers; record the core count so a committed curve from a small
+    // machine is interpretable (on 1 core the executor runs windows
+    // inline and the curve is deliberately flat).
+    state.counters["cores"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+  }
+  state.SetLabel(std::to_string(types) + " types, " +
+                 std::to_string(workers) + " worker(s)");
+}
+
+void SimTime_E15_CreationFanout(benchmark::State& state) {
+  const int types = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    RunOutcome out = RunCreationFanout(types, workers);
+    AssertMatchesBaseline("creation/" + std::to_string(types), out);
+    state.SetIterationTime(static_cast<double>(out.sim_ns) / 1e9);
+    state.counters["wall_s"] = out.wall_s;
+  }
+  state.SetLabel(std::to_string(types) + " types, " +
+                 std::to_string(workers) + " worker(s)");
+}
+
+void Wall_E15_LookupLoad(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    RunOutcome out = RunLookupLoad(shards, workers);
+    AssertMatchesBaseline("lookup/" + std::to_string(shards), out);
+    state.SetIterationTime(out.wall_s);
+    state.counters["sim_s"] = static_cast<double>(out.sim_ns) / 1e9;
+    state.counters["events"] = static_cast<double>(out.fired);
+    state.counters["cores"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+  }
+  state.SetLabel(std::to_string(shards) + " shard(s), " +
+                 std::to_string(workers) + " worker(s)");
+}
+
+void SimTime_E15_LookupLoad(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    RunOutcome out = RunLookupLoad(shards, workers);
+    AssertMatchesBaseline("lookup/" + std::to_string(shards), out);
+    state.SetIterationTime(static_cast<double>(out.sim_ns) / 1e9);
+    state.counters["wall_s"] = out.wall_s;
+  }
+  state.SetLabel(std::to_string(shards) + " shard(s), " +
+                 std::to_string(workers) + " worker(s)");
+}
+
+// ===== Sharded-counter microbench (MetricsRegistry before/after) =====
+
+// Before: PR 4's fix — one relaxed atomic. Correct, but every increment
+// from every thread bounces the same cache line.
+void Wall_E15_CounterSharedAtomic(benchmark::State& state) {
+  static trace::Counter counter;
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(Wall_E15_CounterSharedAtomic)->Threads(1)->Threads(8)
+    ->UseRealTime();
+
+// After: per-locality lanes — each thread owns a padded cell, reads fold.
+void Wall_E15_CounterShardedLanes(benchmark::State& state) {
+  static trace::ShardedCounter counter;
+  trace::SetMetricsLane(
+      static_cast<std::size_t>(state.thread_index()) % 16 + 1);
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  trace::SetMetricsLane(0);  // the main thread doubles as the coordinator
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(Wall_E15_CounterShardedLanes)->Threads(1)->Threads(8)
+    ->UseRealTime();
+
+// Workload entries: the smoke miniatures keep CI on the same code paths;
+// the full-scale sweep (16 types / 8 shards, workers 1-2-4-8) is the
+// committed speedup curve. Workers are the LAST bench argument.
+const int dcdo_register_e15 = [] {
+  using ::benchmark::RegisterBenchmark;
+  const bool smoke = SmokeMode();
+  const int types = smoke ? 2 : 16;
+  const int shards = smoke ? 2 : 8;
+  auto* wall_creation = RegisterBenchmark("Wall_E15_CreationFanout",
+                                          Wall_E15_CreationFanout)
+                            ->UseManualTime()
+                            ->Iterations(1);
+  auto* sim_creation = RegisterBenchmark("SimTime_E15_CreationFanout",
+                                         SimTime_E15_CreationFanout)
+                           ->UseManualTime()
+                           ->Iterations(1);
+  auto* wall_lookup =
+      RegisterBenchmark("Wall_E15_LookupLoad", Wall_E15_LookupLoad)
+          ->UseManualTime()
+          ->Iterations(1);
+  auto* sim_lookup =
+      RegisterBenchmark("SimTime_E15_LookupLoad", SimTime_E15_LookupLoad)
+          ->UseManualTime()
+          ->Iterations(1);
+  for (int workers : {1, 2, 4, 8}) {
+    wall_creation->Args({types, workers});
+    sim_creation->Args({types, workers});
+    wall_lookup->Args({shards, workers});
+    sim_lookup->Args({shards, workers});
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace dcdo::bench
+
+DCDO_BENCH_MAIN();

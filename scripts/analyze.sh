@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Static-analysis driver for the dcdo-tidy checks (DESIGN.md §12).
 #
-# Runs the five repo-specific checks over src/ against the committed
+# Runs the six repo-specific checks over src/ against the committed
 # suppression baseline (tools/dcdo-tidy/baseline.txt) and fails on any
 # unsuppressed finding — this is what the CI `analyze` job gates on.
 #

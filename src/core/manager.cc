@@ -363,7 +363,9 @@ void DcdoManager::MigrateInstance(const ObjectId& instance,
     return;
   }
   Dcdo* object = it->second.object.get();
-  sim::SimHost& source = object->host();
+  // Captured by value into the deferred callback below: the host outlives
+  // the drained simulation, the pointer copy keeps the closure self-owned.
+  sim::SimHost* source = &object->host();
   const sim::CostModel& cost = home_.cost_model();
   sim::Simulation& simulation = home_.simulation();
   std::size_t state_bytes = object->mutable_state().CaptureSize();
@@ -381,7 +383,7 @@ void DcdoManager::MigrateInstance(const ObjectId& instance,
   }
 
   simulation.Schedule(cost.StateCapture(state_bytes), [this, instance, dest,
-                                                       state_bytes, &source,
+                                                       state_bytes, source,
                                                        done = std::move(
                                                            done)]() mutable {
     auto it = instances_.find(instance);
@@ -389,8 +391,8 @@ void DcdoManager::MigrateInstance(const ObjectId& instance,
       done(NotFoundError("instance destroyed during migration"));
       return;
     }
-    source.network().BulkTransfer(
-        source.node(), dest->node(), state_bytes,
+    source->network().BulkTransfer(
+        source->node(), dest->node(), state_bytes,
         [this, instance, dest, done = std::move(done)]() mutable {
           auto it = instances_.find(instance);
           if (it == instances_.end()) {

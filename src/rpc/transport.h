@@ -49,14 +49,28 @@ using ReplyFn = common::MoveFunction<void(MethodResult), 32>;
 // invocation, but must not touch it after destroying the functor.
 using Handler = std::function<void(const MethodInvocation&, ReplyFn)>;
 
+// Where an endpoint's handler may run under the parallel executor
+// (DESIGN.md §14). kSerialized endpoints dispatch in the global locality —
+// required for handlers that touch cross-host state (the manager, class
+// objects, anything driving reconfiguration). kParallel endpoints dispatch
+// on the locality owning the destination node; only handlers whose state is
+// confined to that node qualify (Dcdo application dispatch). Config-plane
+// methods (dcdo.*/mgr.*) are forced to the global locality even on a
+// kParallel endpoint. Single-threaded runs ignore the distinction beyond
+// recording the affinity tag (which keeps determinism digests comparable
+// across modes).
+enum class EndpointConcurrency { kSerialized, kParallel };
+
 class RpcTransport {
  public:
   explicit RpcTransport(sim::SimNetwork* network) : network_(*network) {}
 
   // Registers the activation of an object at (node, pid) with `epoch`.
   // Replaces any previous endpoint at that key.
-  void RegisterEndpoint(sim::NodeId node, sim::ProcessId pid,
-                        std::uint64_t epoch, Handler handler);
+  void RegisterEndpoint(
+      sim::NodeId node, sim::ProcessId pid, std::uint64_t epoch,
+      Handler handler,
+      EndpointConcurrency concurrency = EndpointConcurrency::kSerialized);
 
   // Removes the endpoint; subsequent deliveries to (node, pid) vanish.
   void UnregisterEndpoint(sim::NodeId node, sim::ProcessId pid);
@@ -106,6 +120,7 @@ class RpcTransport {
     // the activation re-registered still lands in *its* window (harmlessly
     // orphaned) instead of poisoning the successor's.
     std::shared_ptr<DedupWindow> dedup;
+    EndpointConcurrency concurrency = EndpointConcurrency::kSerialized;
   };
   struct EndpointKeyHash {
     std::size_t operator()(
@@ -120,10 +135,11 @@ class RpcTransport {
   std::unordered_map<std::pair<sim::NodeId, sim::ProcessId>, Endpoint,
                      EndpointKeyHash>
       endpoints_;
-  trace::Counter invocations_delivered_;
-  trace::Counter epoch_rejections_;
-  trace::Counter dedup_hits_;
-  trace::Counter dedup_evictions_;
+  // Sharded: bumped from worker localities on every parallel dispatch.
+  trace::ShardedCounter invocations_delivered_;
+  trace::ShardedCounter epoch_rejections_;
+  trace::ShardedCounter dedup_hits_;
+  trace::ShardedCounter dedup_evictions_;
 };
 
 }  // namespace dcdo::rpc

@@ -136,6 +136,30 @@ struct CostModel {
   // Wire size of one invalidation notification (ObjectId + address + lease).
   std::size_t invalidation_bytes = 64;
 
+  // --- Parallel simulation localities (src/sim/parallel_sim.*) ---
+  // NOTE: like fetch_concurrency, these are modelled-deployment knobs, NOT
+  // calibration constants: the executor is constrained to produce the same
+  // simulated results at any worker count, so sim_workers changes wall-clock
+  // throughput only. 1 (the default) keeps the byte-identical single-
+  // threaded engine.
+  //
+  // Worker localities (threads) the simulation's hosts are partitioned
+  // across (node % sim_workers), capped at 16. The conservative window
+  // protocol uses network_latency as its lookahead, so parallel execution
+  // requires a positive network latency and is incompatible with send
+  // batching (a batch mixes deliveries owned by different localities) and
+  // with the in-place modelled lookup service (see directory_remote_requests
+  // below); ValidateCostModel rejects those combinations.
+  int sim_workers = 1;
+  // Route directory lookups as real request messages to the shard's host
+  // instead of mutating the shard's service queue from the client's context.
+  // Required whenever sim_workers > 1 meets directory_lookup_service > 0:
+  // the shard's NIC then serializes concurrent lookups deterministically.
+  // Off by default — the in-place model stays byte-identical to PR 7.
+  bool directory_remote_requests = false;
+  // Wire size of one directory lookup request (ObjectId + holder id).
+  std::size_t directory_request_bytes = 64;
+
   // --- State capture / restore for monolithic evolution ---
   double state_capture_bytes_per_sec = 6.0e6;
   double state_restore_bytes_per_sec = 8.0e6;

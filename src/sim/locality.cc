@@ -1,0 +1,161 @@
+#include "sim/locality.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dcdo::sim {
+
+namespace {
+thread_local int tl_locality = -1;
+thread_local std::uint32_t tl_affinity = kAffinityGlobal;
+}  // namespace
+
+int CurrentThreadLocality() { return tl_locality; }
+void SetCurrentThreadLocality(int locality) { tl_locality = locality; }
+std::uint32_t CurrentThreadAffinity() { return tl_affinity; }
+void SetCurrentThreadAffinity(std::uint32_t affinity) {
+  tl_affinity = affinity;
+}
+
+std::uint64_t CombineDigests(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& per_affinity) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted(
+      per_affinity.begin(), per_affinity.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t digest = 1469598103934665603ull;  // FNV offset basis
+  for (const auto& [affinity, acc] : sorted) {
+    digest = DigestStep(digest, static_cast<std::int64_t>(affinity));
+    digest = DigestStep(digest, static_cast<std::int64_t>(acc));
+  }
+  return digest;
+}
+
+std::uint32_t Locality::AllocSlot() {
+  if (!free_slots_.empty()) {
+    std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Locality::FreeSlot(std::uint32_t slot) {
+  Event& event = slab_[slot];
+  event.fn = nullptr;
+  ++event.gen;  // invalidates the old id and any stale queue key
+  free_slots_.push_back(slot);
+  --live_count_;
+}
+
+std::uint64_t Locality::ScheduleLocal(SimTime when, std::uint32_t affinity,
+                                      EventFn fn) {
+  if (when < now_) when = now_;
+  const std::uint32_t slot = AllocSlot();
+  Event& event = slab_[slot];
+  event.when = when;
+  event.seq = next_seq_++;
+  event.fn = std::move(fn);
+  event.affinity = affinity;
+  ++live_count_;
+  queue_.push(QueueKey{when, event.seq, slot, event.gen});
+  return MakeId(slot, event.gen);
+}
+
+void Locality::CancelLocal(std::uint64_t id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32) & 0xffffffu;
+  if (slot >= slab_.size()) return;
+  Event& event = slab_[slot];
+  if ((event.gen & 0xffffffu) != gen || !event.fn) return;
+  // The queue key goes stale; PrepareTop purges it by generation mismatch.
+  FreeSlot(slot);
+}
+
+bool Locality::PrepareTop() {
+  while (!queue_.empty() &&
+         slab_[queue_.top().slot].gen != queue_.top().gen) {
+    queue_.pop();
+  }
+  return !queue_.empty();
+}
+
+bool Locality::PeekNext(SimTime* when) {
+  if (!PrepareTop()) return false;
+  *when = queue_.top().when;
+  return true;
+}
+
+bool Locality::FireOne() {
+  if (!PrepareTop()) return false;
+  const QueueKey key = queue_.top();
+  queue_.pop();
+  now_ = key.when;
+  const std::uint32_t affinity = slab_[key.slot].affinity;
+  // Free the slot before firing: the callback may schedule new events, which
+  // can then recycle it (its generation is already bumped).
+  EventFn fn = std::move(slab_[key.slot].fn);
+  FreeSlot(key.slot);
+  SetCurrentThreadAffinity(affinity);
+  if (digest_enabled_) {
+    std::uint64_t& acc = digest_[affinity];
+    acc = DigestStep(acc, key.when.nanos());
+  }
+  fn();
+  events_fired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t Locality::RunWindow(SimTime limit) {
+  std::size_t fired = 0;
+  while (PrepareTop() && queue_.top().when < limit) {
+    if (FireOne()) ++fired;
+  }
+  return fired;
+}
+
+void Locality::PushRemote(SimTime when, std::uint32_t origin,
+                          std::uint64_t origin_seq, std::uint32_t affinity,
+                          EventFn fn) {
+  std::lock_guard<std::mutex> lock(mailbox_mu_);
+  mailbox_.push_back(Remote{when, origin, origin_seq, affinity,
+                            std::move(fn)});
+  mailbox_count_.store(mailbox_.size(), std::memory_order_release);
+}
+
+std::size_t Locality::DrainMailbox(SimTime floor) {
+  // Drains happen at barriers (workers parked) or between global events
+  // (workers parked too), so a zero count is exact, not a racy hint: every
+  // push that could exist happened-before the barrier that parked its
+  // pusher.
+  if (mailbox_count_.load(std::memory_order_acquire) == 0) return 0;
+  std::vector<Remote> batch;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mu_);
+    batch.swap(mailbox_);
+    mailbox_count_.store(0, std::memory_order_release);
+  }
+  if (batch.empty()) return 0;
+  // Arrival order in the vector reflects thread interleaving; the sort key
+  // restores the unique deterministic order every worker count produces.
+  std::sort(batch.begin(), batch.end(), [](const Remote& a, const Remote& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.origin != b.origin) return a.origin < b.origin;
+    return a.origin_seq < b.origin_seq;
+  });
+  std::size_t late = 0;
+  for (Remote& remote : batch) {
+    SimTime when = remote.when;
+    if (when < floor) {
+      // Lookahead violation: the event targets a time this locality may
+      // already have passed. Clamping keeps the run causal; the caller
+      // counts these so the determinism gate can assert zero.
+      when = floor;
+      ++late;
+    }
+    ScheduleLocal(when, remote.affinity, std::move(remote.fn));
+  }
+  return late;
+}
+
+}  // namespace dcdo::sim

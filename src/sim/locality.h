@@ -1,0 +1,199 @@
+// One simulation locality: a partition of the event space with its own
+// clock, run queue, and sequence counter (cortx-motr's reqh locality shape
+// applied to a conservative parallel DES).
+//
+// The parallel executor (parallel_sim.h) owns W worker localities — each
+// responsible for a fixed subset of sim hosts (node % W) — plus one *global*
+// locality for control-plane events (lifecycle, config methods, fetch
+// machinery, driver code). Within a locality, events fire in exact
+// (time, sequence) order on a single thread, so per-locality execution is
+// deterministic by the same argument as the legacy engine. Cross-locality
+// scheduling goes through a mutex-protected mailbox whose entries carry a
+// deterministic (when, origin, origin_seq) sort key; mailboxes are drained
+// only at phase barriers, so the arrival interleaving of pushes never leaks
+// into execution order.
+//
+// The container here is deliberately simpler than Simulation's timing wheel:
+// a slab plus one priority queue of POD keys. Parallel workloads are
+// delivery-dominated (near-horizon events that bypass the wheel anyway), and
+// cancelled timers still destroy their callbacks eagerly at cancel time —
+// only a 24-byte stale key lingers until it surfaces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/move_function.h"
+#include "sim/sim_time.h"
+
+namespace dcdo::sim {
+
+// Same instantiation as Simulation::Callback (simulation.h re-exports it);
+// defined here so locality.h never needs to include simulation.h.
+using EventFn = common::MoveFunction<void(), 64>;
+
+// Affinity of control-plane events. Anything scheduled with this affinity
+// runs serially in the global locality, interleaved with worker windows at
+// barriers; anything scheduled with a node id runs on the worker locality
+// that owns that node. See DESIGN.md §14 for the ownership rules.
+inline constexpr std::uint32_t kAffinityGlobal = 0xffffffffu;
+
+// --- Thread identity -------------------------------------------------------
+// Which locality (and which event affinity) the calling thread is currently
+// executing for. Set by the executor around every event; read by
+// Simulation::Schedule to inherit affinity and to route insertions. -1 means
+// "not an executor-managed context" (only possible before ConfigureParallel).
+int CurrentThreadLocality();
+void SetCurrentThreadLocality(int locality);
+std::uint32_t CurrentThreadAffinity();
+void SetCurrentThreadAffinity(std::uint32_t affinity);
+
+// --- Determinism digest ----------------------------------------------------
+// Per-affinity FNV-style accumulator over fired-event timestamps. Within one
+// affinity, events fire in nondecreasing `when` order in every mode (legacy,
+// or parallel at any worker count) and same-timestamp ties contribute equal
+// values, so the accumulator is executor-invariant iff the simulation is
+// deterministic. The cross-affinity combine sorts by affinity id, making the
+// final digest independent of which locality finished last.
+inline std::uint64_t DigestStep(std::uint64_t acc, std::int64_t when_ns) {
+  return (acc ^ static_cast<std::uint64_t>(when_ns)) * 1099511628211ull;
+}
+std::uint64_t CombineDigests(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& per_affinity);
+
+class Locality {
+ public:
+  explicit Locality(std::uint32_t index) : index_(index) {
+    slab_.emplace_back().gen = 1;  // burn slot 0: no event gets id 0
+  }
+  Locality(const Locality&) = delete;
+  Locality& operator=(const Locality&) = delete;
+
+  std::uint32_t index() const { return index_; }
+  SimTime now() const { return now_; }
+  void set_now(SimTime t) { now_ = t; }
+  void AdvanceInline(SimDuration delta) { now_ = now_ + delta; }
+
+  // --- Owner-thread API ----------------------------------------------------
+  // Callable only from the thread that owns this locality, or from the
+  // coordinator while every worker is parked at a barrier.
+
+  // Schedules an event; `when` earlier than the local clock is clamped (same
+  // rule as Simulation::ScheduleAt). The returned id encodes this locality's
+  // index so Cancel can route without a lookup.
+  std::uint64_t ScheduleLocal(SimTime when, std::uint32_t affinity,
+                              EventFn fn);
+  // No-op if the id does not name a live event of this locality.
+  void CancelLocal(std::uint64_t id);
+
+  // Earliest pending event time; false if the locality is idle. Purges stale
+  // (cancelled) queue keys as a side effect.
+  bool PeekNext(SimTime* when);
+
+  // Fires every event with `when < limit`, in (when, seq) order, advancing
+  // the local clock to each event's timestamp. Returns the number fired.
+  std::size_t RunWindow(SimTime limit);
+
+  // Fires the single earliest event regardless of any limit (the global
+  // locality is driven one event at a time so the coordinator can re-check
+  // horizons and predicates between events). False if idle.
+  bool FireOne();
+
+  std::size_t live_count() const { return live_count_; }
+  // Relaxed atomic: summed across localities (Simulation::events_fired) by
+  // check-layer stamps taken on any worker thread mid-window.
+  std::uint64_t events_fired() const {
+    return events_fired_.load(std::memory_order_relaxed);
+  }
+
+  void EnableDigest(bool on) { digest_enabled_ = on; }
+  const std::unordered_map<std::uint32_t, std::uint64_t>& digest() const {
+    return digest_;
+  }
+
+  // --- Cross-thread API ----------------------------------------------------
+
+  // Appends an event to the mailbox. Callable from any locality thread;
+  // (origin, origin_seq) must be unique per push so the drain-time sort has
+  // a total order that does not depend on arrival interleaving.
+  void PushRemote(SimTime when, std::uint32_t origin, std::uint64_t origin_seq,
+                  std::uint32_t affinity, EventFn fn);
+
+  // Barrier-only: sorts the mailbox by (when, origin, origin_seq) and moves
+  // every entry into the local queue with fresh local sequence numbers.
+  // Entries with `when < floor` violate the lookahead contract; they are
+  // clamped to `floor` and counted in the return value (the determinism
+  // suite asserts the count stays zero).
+  std::size_t DrainMailbox(SimTime floor);
+
+  // Pending mailbox entries (lock-free count mirror).
+  std::size_t MailboxSize() const {
+    return mailbox_count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq = 0;
+    EventFn fn;
+    std::uint32_t gen = 0;
+    std::uint32_t affinity = kAffinityGlobal;
+  };
+  struct QueueKey {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct Later {
+    bool operator()(const QueueKey& a, const QueueKey& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  struct Remote {
+    SimTime when;
+    std::uint32_t origin;
+    std::uint64_t origin_seq;
+    std::uint32_t affinity;
+    EventFn fn;
+  };
+
+  // Ids pack (locality+1, 24-bit generation, slot): the top byte routes
+  // Cancel to the owning locality, and 16.7M generations per slot keep
+  // recycled-id collisions out of any plausible run length.
+  std::uint64_t MakeId(std::uint32_t slot, std::uint32_t gen) const {
+    return (static_cast<std::uint64_t>(index_ + 1) << 56) |
+           (static_cast<std::uint64_t>(gen & 0xffffffu) << 32) | slot;
+  }
+
+  std::uint32_t AllocSlot();
+  void FreeSlot(std::uint32_t slot);
+  bool PrepareTop();  // purge stale keys; false when idle
+
+  std::uint32_t index_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<std::uint64_t> events_fired_{0};
+  std::size_t live_count_ = 0;
+  bool digest_enabled_ = false;
+  std::unordered_map<std::uint32_t, std::uint64_t> digest_;
+  std::vector<Event> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::priority_queue<QueueKey, std::vector<QueueKey>, Later> queue_;
+
+  mutable std::mutex mailbox_mu_;
+  std::vector<Remote> mailbox_;
+  // Mirror of mailbox_.size(), written under mailbox_mu_. Lets the
+  // coordinator's per-iteration drain sweep (and PendingEvents) skip the
+  // mutex for the overwhelmingly common empty case; the release store in
+  // PushRemote pairs with the acquire load so a nonzero count always leads
+  // the reader to take the lock and see the entries.
+  std::atomic<std::size_t> mailbox_count_{0};
+};
+
+}  // namespace dcdo::sim

@@ -46,7 +46,13 @@ void TraceSendDrop(NodeId from, NodeId to) {
 }
 }  // namespace
 
-void SimNetwork::AddNode(NodeId node) { nodes_.insert(node); }
+void SimNetwork::AddNode(NodeId node) {
+  nodes_.insert(node);
+  // Pre-insert the NIC entry so parallel sends never mutate the map's
+  // structure: Send from worker threads only touches its own node's value
+  // (distinct keys, no rehash), which is race-free without a lock.
+  nic_busy_until_.try_emplace(node);
+}
 
 void SimNetwork::SetNodeUp(NodeId node, bool up) {
   if (up) {
@@ -75,7 +81,7 @@ bool SimNetwork::Reachable(NodeId from, NodeId to) const {
 }
 
 void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
-                      Delivery on_delivery) {
+                      Delivery on_delivery, std::uint32_t delivery_affinity) {
   if (!Reachable(from, to)) {
     messages_dropped_.Increment();
     TraceSendDrop(from, to);
@@ -107,14 +113,17 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
   }
   std::uint64_t span = BeginTransferSpan("net.xfer", from, bytes);
   if (from == to) {
-    // Loopback: no NIC serialization, negligible latency.
-    simulation_.Schedule(SimDuration::Micros(5),
-                         [this, span, fn = std::move(on_delivery)]() mutable {
-                           messages_in_flight_.Decrement();
-                           messages_delivered_.Increment();
-                           EndTransferSpan(span, /*delivered=*/true);
-                           fn();
-                         });
+    // Loopback: no NIC serialization, negligible latency. The sub-lookahead
+    // delay is safe under the parallel executor: the delivery lands on the
+    // sender's own locality (same node) or on the global locality (reply
+    // continuations), and neither edge needs lookahead.
+    simulation_.ScheduleFor(delivery_affinity, SimDuration::Micros(5),
+                            [this, span, fn = std::move(on_delivery)]() mutable {
+                              messages_in_flight_.Decrement();
+                              messages_delivered_.Increment();
+                              EndTransferSpan(span, /*delivered=*/true);
+                              fn();
+                            });
     return;
   }
   // NIC serialization: back-to-back sends from one node queue behind each
@@ -127,9 +136,11 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
   busy_until = start + wire;
   SimTime delivered = busy_until + cost_.network_latency;
   // Re-check reachability at delivery time: a partition that forms while the
-  // message is in flight loses the message.
-  simulation_.ScheduleAt(
-      delivered,
+  // message is in flight loses the message. Cross-host delivery is at least
+  // network_latency (= the executor's lookahead) in the future, which is
+  // exactly why firing a worker window below Tmin + lookahead is causal.
+  simulation_.ScheduleAtFor(
+      delivery_affinity, delivered,
       [this, from, to, span, fn = std::move(on_delivery)]() mutable {
         messages_in_flight_.Decrement();
         if (!Reachable(from, to)) {
@@ -200,9 +211,11 @@ void SimNetwork::StreamTransfer(NodeId from, NodeId to, std::size_t bytes,
     TraceSendDrop(from, to);
     // Unlike the fire-and-forget transfer paths, a stream caller is owed an
     // answer either way; defer through the event loop so the failure never
-    // re-enters the caller mid-call.
-    simulation_.Schedule(SimDuration::Zero(),
-                         [fn = std::move(on_done)]() mutable { fn(false); });
+    // re-enters the caller mid-call. Stream machinery is global-owned
+    // (DESIGN.md §14), so the deferral is pinned there.
+    simulation_.ScheduleGlobal(
+        SimDuration::Zero(),
+        [fn = std::move(on_done)]() mutable { fn(false); });
     return;
   }
   messages_sent_.Increment();
@@ -212,7 +225,7 @@ void SimNetwork::StreamTransfer(NodeId from, NodeId to, std::size_t bytes,
   if (from == to || peak_bytes_per_sec <= 0) {
     // Loopback (or a degenerate rate): the whole transfer is the fixed setup
     // duration — no NIC, nothing to share.
-    simulation_.Schedule(
+    simulation_.ScheduleGlobal(
         setup, [this, from, to, span, fn = std::move(on_done)]() mutable {
           messages_in_flight_.Decrement();
           if (!Reachable(from, to)) {
@@ -236,7 +249,12 @@ void SimNetwork::StreamTransfer(NodeId from, NodeId to, std::size_t bytes,
   flow.peak = peak_bytes_per_sec;
   flow.on_done = std::move(on_done);
   flow.span = span;
-  flow.event = simulation_.Schedule(
+  // Stream flow state (stream_flows_, node_stream_counts_, the re-share
+  // sweep) is global-owned: every mutation happens in a global-locality
+  // event, so the fair-share bookkeeping needs no locks under the parallel
+  // executor. Pinning the setup event keeps that true even if a data-plane
+  // event starts a stream.
+  flow.event = simulation_.ScheduleGlobal(
       setup, [this, flow_id]() { StartStreamPhase(flow_id); });
 }
 

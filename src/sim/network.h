@@ -67,7 +67,17 @@ class SimNetwork {
   // every message in the batch. Per-message counters are maintained either
   // way. With a zero window (the default) each message takes the exact
   // legacy path.
-  void Send(NodeId from, NodeId to, std::size_t bytes, Delivery on_delivery);
+  //
+  // The delivery event is tagged with the destination node's affinity, so
+  // under the parallel executor (DESIGN.md §14) it fires on the locality
+  // that owns `to`'s state. The overload takes an explicit affinity for
+  // callers whose delivery must resume elsewhere (an RPC reply resuming a
+  // control-plane continuation passes kAffinityGlobal).
+  void Send(NodeId from, NodeId to, std::size_t bytes, Delivery on_delivery) {
+    Send(from, to, bytes, std::move(on_delivery), to);
+  }
+  void Send(NodeId from, NodeId to, std::size_t bytes, Delivery on_delivery,
+            std::uint32_t delivery_affinity);
 
   // Streams `bytes` from -> to through the bulk (file-object) path; `on_done`
   // runs when the last byte lands. Dropped if unreachable at start.
@@ -113,8 +123,9 @@ class SimNetwork {
   // message-conservation invariant requires
   //   sent == delivered + dropped-in-flight + in-flight
   // at all times, and in-flight == 0 once the simulator is idle). Stored as
-  // trace::Counter — atomic, so cross-thread reads in concurrent tests are
-  // race-free, and snapshotable into an installed MetricsRegistry.
+  // trace::ShardedCounter — per-locality lanes, so parallel workers bump
+  // message counts without bouncing a cache line; value() folds the lanes,
+  // and snapshots into an installed MetricsRegistry work as before.
   std::uint64_t messages_sent() const { return messages_sent_.value(); }
   std::uint64_t messages_delivered() const {
     return messages_delivered_.value();
@@ -184,14 +195,14 @@ class SimNetwork {
   std::unordered_map<NodeId, int> node_stream_counts_;
   std::uint64_t next_stream_id_ = 1;
   std::size_t streaming_count_ = 0;
-  trace::Counter batches_sent_;
-  trace::Counter messages_coalesced_;
-  trace::Counter messages_sent_;
-  trace::Counter messages_delivered_;
-  trace::Counter messages_dropped_;            // refused at send time
-  trace::Counter messages_dropped_in_flight_;  // lost after acceptance
-  trace::Counter messages_in_flight_;
-  trace::Counter bytes_sent_;
+  trace::ShardedCounter batches_sent_;
+  trace::ShardedCounter messages_coalesced_;
+  trace::ShardedCounter messages_sent_;
+  trace::ShardedCounter messages_delivered_;
+  trace::ShardedCounter messages_dropped_;            // refused at send time
+  trace::ShardedCounter messages_dropped_in_flight_;  // lost after acceptance
+  trace::ShardedCounter messages_in_flight_;
+  trace::ShardedCounter bytes_sent_;
 };
 
 }  // namespace dcdo::sim

@@ -1,0 +1,68 @@
+// Gated locking for structures shared between simulation localities.
+//
+// The parallel executor (DESIGN.md §14) alternates two phases: a serial
+// *global* phase run by the coordinator thread, and a *worker* phase where
+// each locality thread fires only events owned by its own hosts. Most
+// runtime state never crosses that ownership line, so it needs no lock at
+// all — the barrier between phases provides the happens-before edge. The
+// handful of structures that ARE touched from more than one locality within
+// a single worker phase (the network's batch map, a directory shard's lease
+// table) take a GatedMutex: a real mutex when the parallel executor is
+// active, and a no-op in the default single-threaded configuration, so the
+// legacy path pays nothing and stays byte-identical.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace dcdo::sim {
+
+namespace internal {
+inline std::atomic<bool> g_parallel_active{false};
+}  // namespace internal
+
+// True while a Simulation in this process is configured with the parallel
+// locality executor. Set by ConfigureParallel, cleared when the executor is
+// destroyed. Process-wide rather than per-simulation: tests run simulations
+// sequentially, and a false positive only costs an uncontended lock.
+inline bool ParallelExecutionActive() {
+  return internal::g_parallel_active.load(std::memory_order_relaxed);
+}
+inline void SetParallelExecutionActive(bool active) {
+  internal::g_parallel_active.store(active, std::memory_order_relaxed);
+}
+
+// A mutex that only locks while parallel execution is active.
+class GatedMutex {
+ public:
+  GatedMutex() = default;
+  GatedMutex(const GatedMutex&) = delete;
+  GatedMutex& operator=(const GatedMutex&) = delete;
+
+  std::mutex& raw() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII guard for GatedMutex. Captures the gate once at construction so a
+// configuration change mid-scope (impossible by design, but cheap to make
+// harmless) cannot unbalance lock/unlock.
+class GatedLock {
+ public:
+  explicit GatedLock(GatedMutex& mutex)
+      : mutex_(mutex), locked_(ParallelExecutionActive()) {
+    if (locked_) mutex_.raw().lock();
+  }
+  ~GatedLock() {
+    if (locked_) mutex_.raw().unlock();
+  }
+  GatedLock(const GatedLock&) = delete;
+  GatedLock& operator=(const GatedLock&) = delete;
+
+ private:
+  GatedMutex& mutex_;
+  bool locked_;
+};
+
+}  // namespace dcdo::sim

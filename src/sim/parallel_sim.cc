@@ -1,0 +1,370 @@
+#include "sim/parallel_sim.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/parallel_gate.h"
+#include "trace/metrics.h"
+
+namespace dcdo::sim {
+
+namespace {
+// Which executor (if any) owns the calling thread. Distinguishes this
+// executor's worker threads from the coordinator/driver thread, and guards
+// against a stale thread-local locality index left behind by a previous
+// simulation in the same process.
+thread_local ParallelExecutor* tl_owner = nullptr;
+
+// Bounded spin before parking at the window barrier. A futex round trip
+// costs tens of microseconds of wakeup latency per window — more than many
+// whole windows of useful work — so both sides of the barrier burn a short
+// spin first and only fall back to the condition variable when the other
+// side is genuinely idle. Only worth it when cores outnumber workers; see
+// ResolveSpinIterations.
+constexpr int kBarrierSpinIterations = 1 << 12;
+
+// Whether to spawn real worker threads. On a host that cannot co-run the
+// pool (single CPU, or an explicit DCDO_SIM_THREADS=0) windows run inline
+// on the coordinator instead — same results, no barrier cost.
+bool ResolveUseThreads(ParallelExecutor::Options::ThreadMode mode) {
+  using ThreadMode = ParallelExecutor::Options::ThreadMode;
+  if (mode == ThreadMode::kThreads) return true;
+  if (mode == ThreadMode::kInline) return false;
+  if (const char* env = std::getenv("DCDO_SIM_THREADS");
+      env != nullptr && (env[0] == '0' || env[0] == '1')) {
+    return env[0] == '1';
+  }
+  return std::thread::hardware_concurrency() >= 2;
+}
+
+int ResolveSpinIterations(int workers) {
+  // The coordinator parks while workers run (and vice versa), so the pool
+  // needs `workers` cores busy at once; spin only when the host has at
+  // least that many plus one to absorb scheduling jitter.
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > static_cast<unsigned>(workers) ? kBarrierSpinIterations : 0;
+}
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(const Options& options)
+    : lookahead_(options.lookahead),
+      global_(static_cast<std::uint32_t>(options.workers)) {
+  workers_.reserve(static_cast<std::size_t>(options.workers));
+  for (int i = 0; i < options.workers; ++i) {
+    workers_.push_back(std::make_unique<Locality>(i));
+  }
+  remote_push_seq_.assign(static_cast<std::size_t>(options.workers) + 1, 0);
+  SetParallelExecutionActive(true);
+  // The constructing thread is the coordinator: it drives Run*/global events
+  // and owns every locality while the workers are parked.
+  tl_owner = this;
+  SetCurrentThreadLocality(GlobalIndex());
+  SetCurrentThreadAffinity(kAffinityGlobal);
+  if (ResolveUseThreads(options.thread_mode)) {
+    spin_iterations_ = ResolveSpinIterations(options.workers);
+    threads_.reserve(static_cast<std::size_t>(options.workers));
+    for (int i = 0; i < options.workers; ++i) {
+      threads_.emplace_back([this, i] { WorkerMain(i); });
+    }
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  shutdown_.store(true, std::memory_order_release);
+  // Empty critical section: a worker past its predicate check is inside
+  // wait() and will see the notify; one before it will see shutdown_.
+  { std::lock_guard<std::mutex> lock(pool_mu_); }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+  SetParallelExecutionActive(false);
+  if (tl_owner == this) tl_owner = nullptr;
+}
+
+int ParallelExecutor::CallerIndex() const {
+  if (tl_owner != this) return GlobalIndex();
+  const int locality = CurrentThreadLocality();
+  return locality < 0 ? GlobalIndex() : locality;
+}
+
+bool ParallelExecutor::OnWorkerThread() const {
+  return tl_owner == this && CurrentThreadLocality() != GlobalIndex();
+}
+
+std::uint64_t ParallelExecutor::ScheduleAt(SimTime when, std::uint32_t affinity,
+                                           EventFn fn) {
+  const int target = TargetIndex(affinity);
+  const int caller = CallerIndex();
+  if (caller == target || caller == GlobalIndex()) {
+    // Same locality, or coordinator context (every worker is parked at a
+    // barrier): direct insert is race-free.
+    return LocalityAt(target).ScheduleLocal(when, affinity, std::move(fn));
+  }
+  // Cross-locality from a worker: mailbox, resolved at the next barrier. The
+  // event has no slot yet, so the id is the "no event" sentinel 0 — code
+  // needing a cancellable timer arms it at its own affinity (the repo-wide
+  // convention; rpc timers already work this way).
+  LocalityAt(target).PushRemote(when, static_cast<std::uint32_t>(caller),
+                                remote_push_seq_[static_cast<std::size_t>(
+                                    caller)]++,
+                                affinity, std::move(fn));
+  return 0;
+}
+
+std::uint64_t ParallelExecutor::Schedule(SimDuration delay,
+                                         std::uint32_t affinity, EventFn fn) {
+  const SimTime now = LocalityAt(CallerIndex()).now();
+  return ScheduleAt(now + delay, affinity, std::move(fn));
+}
+
+void ParallelExecutor::Cancel(std::uint64_t event_id) {
+  if (event_id == 0) return;
+  const int locality = static_cast<int>(event_id >> 56) - 1;
+  if (locality < 0 || locality > GlobalIndex()) return;
+  const int caller = CallerIndex();
+  if (caller != locality && caller != GlobalIndex()) {
+    // A worker reaching into another locality's queue would race with its
+    // owner. No legitimate call site does this (timers are armed and
+    // cancelled at one affinity); fail loudly rather than corrupt the run.
+    DCDO_LOG(kError) << "cross-locality Cancel from locality " << caller
+                     << " into locality " << locality
+                     << "; timers must be armed and cancelled at one affinity";
+    std::abort();
+  }
+  LocalityAt(locality).CancelLocal(event_id);
+}
+
+SimTime ParallelExecutor::Now() const {
+  return LocalityAt(CallerIndex()).now();
+}
+
+void ParallelExecutor::AdvanceInline(SimDuration delta) {
+  LocalityAt(CallerIndex()).AdvanceInline(delta);
+}
+
+void ParallelExecutor::DrainAllMailboxes() {
+  // Worker floor: everything below the last window bound already had its
+  // chance to fire, so an arrival below it is a lookahead violation. The
+  // global locality runs one event at a time, so its own clock is the exact
+  // floor (worker→global messages carry no lookahead requirement).
+  for (auto& worker : workers_) {
+    late_remote_events_ += worker->DrainMailbox(last_window_end_);
+  }
+  late_remote_events_ += global_.DrainMailbox(global_.now());
+}
+
+void ParallelExecutor::WorkerMain(int index) {
+  tl_owner = this;
+  SetCurrentThreadLocality(index);
+  trace::SetMetricsLane(static_cast<std::size_t>(index) + 1);
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Fast path: under load the coordinator opens windows back to back, so
+    // the next epoch usually lands while we spin and the handoff never
+    // leaves user space.
+    bool ready = false;
+    for (int spin = 0; spin < spin_iterations_; ++spin) {
+      if (shutdown_.load(std::memory_order_acquire) ||
+          epoch_.load(std::memory_order_acquire) != seen) {
+        ready = true;
+        break;
+      }
+      CpuRelax();
+    }
+    if (!ready) {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               epoch_.load(std::memory_order_acquire) != seen;
+      });
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    seen = epoch_.load(std::memory_order_acquire);
+    // The acquire on epoch_ pairs with the coordinator's release bump, so
+    // the window bound (and every event inserted before the window opened)
+    // is visible here.
+    const SimTime end =
+        SimTime::FromNanos(window_end_ns_.load(std::memory_order_relaxed));
+    workers_[static_cast<std::size_t>(index)]->RunWindow(end);
+    if (running_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out. The coordinator may already be parked on done_cv_;
+      // the empty critical section pairs with its predicate check so the
+      // notify cannot slip between check and wait.
+      { std::lock_guard<std::mutex> lock(pool_mu_); }
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelExecutor::RunWorkerWindow(SimTime window_end) {
+  ++windows_run_;
+  int participants = 0;
+  int only = -1;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    SimTime t;
+    if (workers_[i]->PeekNext(&t) && t < window_end) {
+      ++participants;
+      only = static_cast<int>(i);
+    }
+  }
+  if (participants == 0) return;
+  if (participants == 1 || threads_.empty()) {
+    // Run the window(s) on the coordinator thread. Two cases land here: a
+    // single participating locality (sparse stretches — driver warm-up,
+    // control-plane-heavy phases — hit this constantly, and the wakeup
+    // round trip would dwarf the work), and the no-thread-pool fallback on
+    // hosts that cannot co-run workers. Index order keeps the late-event
+    // audit deterministic; results are identical either way because
+    // localities never touch each other inside a window.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (participants == 1 && static_cast<int>(i) != only) continue;
+      SimTime t;
+      if (participants != 1 && !(workers_[i]->PeekNext(&t) && t < window_end))
+        continue;
+      SetCurrentThreadLocality(static_cast<int>(i));
+      workers_[i]->RunWindow(window_end);
+    }
+    SetCurrentThreadLocality(GlobalIndex());
+    SetCurrentThreadAffinity(kAffinityGlobal);
+    return;
+  }
+  window_end_ns_.store(window_end.nanos(), std::memory_order_relaxed);
+  running_.store(static_cast<int>(threads_.size()), std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  // Spinning workers see the epoch bump directly; a parked worker is woken
+  // through the lock-then-notify handshake (see WorkerMain).
+  { std::lock_guard<std::mutex> lock(pool_mu_); }
+  work_cv_.notify_all();
+  for (int spin = 0; spin < spin_iterations_; ++spin) {
+    if (running_.load(std::memory_order_acquire) == 0) return;
+    CpuRelax();
+  }
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  done_cv_.wait(lock, [this] {
+    return running_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::size_t ParallelExecutor::RunCore(const SimTime* deadline,
+                                      const std::function<bool()>* predicate,
+                                      bool* satisfied) {
+  const std::uint64_t start_fired = TotalFired();
+  for (;;) {
+    if (predicate != nullptr && !(*predicate)()) {
+      if (satisfied != nullptr) *satisfied = true;
+      break;
+    }
+    DrainAllMailboxes();
+    SimTime tg{};
+    const bool has_global = global_.PeekNext(&tg);
+    SimTime tmin{};
+    bool has_worker = false;
+    for (auto& worker : workers_) {
+      SimTime t;
+      if (worker->PeekNext(&t)) {
+        if (!has_worker || t < tmin) tmin = t;
+        has_worker = true;
+      }
+    }
+    // Control plane first: fire global events while none of them trails the
+    // earliest worker event. Ties go to the global locality — at an exact
+    // tie the control plane acts before the data plane.
+    if (has_global && (!has_worker || tg <= tmin) &&
+        (deadline == nullptr || tg <= *deadline)) {
+      SetCurrentThreadLocality(GlobalIndex());
+      global_.FireOne();
+      NotifyObserver();
+      continue;  // horizons, mailboxes, and the predicate all need re-checks
+    }
+    if (!has_worker) break;
+    if (deadline != nullptr && tmin > *deadline) break;
+    SimTime window_end = tmin + lookahead_;
+    if (has_global && tg < window_end) window_end = tg;
+    if (deadline != nullptr) {
+      // RunUntil fires events AT the deadline (legacy semantics); windows
+      // fire strictly below their bound, so cap one nanosecond past it.
+      const SimTime cap = *deadline + SimDuration::Nanos(1);
+      if (cap < window_end) window_end = cap;
+    }
+    RunWorkerWindow(window_end);
+    last_window_end_ = window_end;
+    NotifyObserver();
+  }
+  SetCurrentThreadLocality(GlobalIndex());
+  SetCurrentThreadAffinity(kAffinityGlobal);
+  return static_cast<std::size_t>(TotalFired() - start_fired);
+}
+
+std::size_t ParallelExecutor::Run() {
+  const std::size_t fired = RunCore(nullptr, nullptr, nullptr);
+  // Legacy parity: after a full drain the clock stands at the final event's
+  // timestamp. Unify every locality on the maximum so a driver that keeps
+  // scheduling sees one consistent "end of run" instant.
+  SimTime max_now = global_.now();
+  for (auto& worker : workers_) max_now = std::max(max_now, worker->now());
+  global_.set_now(max_now);
+  for (auto& worker : workers_) worker->set_now(max_now);
+  return fired;
+}
+
+std::size_t ParallelExecutor::RunUntil(SimTime deadline) {
+  const std::size_t fired = RunCore(&deadline, nullptr, nullptr);
+  if (global_.now() < deadline) global_.set_now(deadline);
+  for (auto& worker : workers_) {
+    if (worker->now() < deadline) worker->set_now(deadline);
+  }
+  return fired;
+}
+
+bool ParallelExecutor::RunWhile(const std::function<bool()>& predicate) {
+  bool satisfied = false;
+  RunCore(nullptr, &predicate, &satisfied);
+  return satisfied;
+}
+
+bool ParallelExecutor::Idle() const { return PendingEvents() == 0; }
+
+std::size_t ParallelExecutor::PendingEvents() const {
+  std::size_t pending = global_.live_count() + global_.MailboxSize();
+  for (const auto& worker : workers_) {
+    pending += worker->live_count() + worker->MailboxSize();
+  }
+  return pending;
+}
+
+std::uint64_t ParallelExecutor::TotalFired() const {
+  std::uint64_t fired = global_.events_fired();
+  for (const auto& worker : workers_) fired += worker->events_fired();
+  return fired;
+}
+
+void ParallelExecutor::EnableDigest(bool on) {
+  global_.EnableDigest(on);
+  for (auto& worker : workers_) worker->EnableDigest(on);
+}
+
+std::uint64_t ParallelExecutor::Digest() const {
+  // Affinity sets are disjoint by construction — node events live on
+  // node % W, global events on the global locality — so a plain merge loses
+  // nothing and the combine is worker-count-invariant.
+  std::unordered_map<std::uint32_t, std::uint64_t> merged = global_.digest();
+  for (const auto& worker : workers_) {
+    for (const auto& [affinity, acc] : worker->digest()) {
+      merged[affinity] = acc;
+    }
+  }
+  return CombineDigests(merged);
+}
+
+}  // namespace dcdo::sim

@@ -1,0 +1,159 @@
+// Conservative parallel discrete-event executor over simulation localities.
+//
+// Window-synchronous LBTS-style protocol (DESIGN.md §14). Each iteration the
+// coordinator thread:
+//
+//   1. drains every locality's cross-thread mailbox (deterministic
+//      (when, origin, origin_seq) order),
+//   2. fires *global* (control-plane) events serially while the global
+//      horizon Tg does not exceed the earliest worker event Tmin — global
+//      wins exact-time ties, and the run predicate / deadline is re-checked
+//      between every global event, matching the legacy engine's granularity
+//      for the control plane,
+//   3. releases the worker localities to fire their own events strictly
+//      below window_end = min(Tg, Tmin + lookahead[, deadline + 1ns]), then
+//      barriers.
+//
+// The lookahead is the minimum cross-host link latency from CostModel:
+// during a window a worker can only influence another worker at least
+// `lookahead` in the future (cross-host interaction goes through
+// SimNetwork::Send), so firing events below Tmin + lookahead in parallel
+// cannot violate causal order. Worker→global messages carry no lookahead
+// requirement — the global locality never runs concurrently with workers.
+// Execution is therefore deterministic at any worker count: per-locality
+// order is exact (time, seq) order, and every cross-locality edge is
+// resolved at a barrier by a deterministic sort, never by thread timing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/locality.h"
+#include "sim/sim_time.h"
+
+namespace dcdo::sim {
+
+// Hard cap on worker localities. Keep in sync with trace::kMetricsLanes
+// (lane 0 is the coordinator, lanes 1..16 the workers).
+inline constexpr int kMaxSimWorkers = 16;
+
+class ParallelExecutor {
+ public:
+  struct Options {
+    int workers = 2;                // worker localities (hosts: node % workers)
+    SimDuration lookahead;          // min cross-host link latency, > 0
+    // Worker thread policy. kAuto spawns threads only when the hardware can
+    // actually co-run them (hardware_concurrency >= 2, overridable with
+    // DCDO_SIM_THREADS=0/1); on a single-CPU host every window would pay
+    // two context switches per worker for zero parallelism, so kAuto falls
+    // back to running the localities inline on the coordinator thread —
+    // bit-identical results (per-locality order and mailbox drain order do
+    // not depend on which thread runs a window). kThreads forces the real
+    // thread pool (determinism suite, TSan CI); kInline forces the serial
+    // fallback.
+    enum class ThreadMode { kAuto, kThreads, kInline };
+    ThreadMode thread_mode = ThreadMode::kAuto;
+  };
+
+  explicit ParallelExecutor(const Options& options);
+  ~ParallelExecutor();
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  // --- Facade entry points (Simulation delegates here when configured) ---
+  std::uint64_t ScheduleAt(SimTime when, std::uint32_t affinity, EventFn fn);
+  std::uint64_t Schedule(SimDuration delay, std::uint32_t affinity,
+                         EventFn fn);
+  void Cancel(std::uint64_t event_id);
+  SimTime Now() const;
+  void AdvanceInline(SimDuration delta);
+  std::size_t Run();
+  std::size_t RunUntil(SimTime deadline);
+  bool RunWhile(const std::function<bool()>& predicate);
+  bool Idle() const;
+  std::size_t PendingEvents() const;
+  std::uint64_t TotalFired() const;
+  void SetEventObserver(std::function<void(std::uint64_t)> observer) {
+    observer_ = std::move(observer);
+  }
+  void EnableDigest(bool on);
+  std::uint64_t Digest() const;
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+  // Mailbox entries that violated the lookahead contract (clamped at drain).
+  // The determinism suite asserts this stays zero.
+  std::uint64_t late_remote_events() const { return late_remote_events_; }
+  // Windows that ran worker events (excludes pure-global iterations).
+  std::uint64_t windows_run() const { return windows_run_; }
+
+  // True when the calling thread is a worker locality thread (as opposed to
+  // the coordinator). Blocking re-entry into the event loop is only legal
+  // from the coordinator.
+  bool OnWorkerThread() const;
+
+ private:
+  int GlobalIndex() const { return static_cast<int>(workers_.size()); }
+  Locality& LocalityAt(int index) {
+    return index == GlobalIndex() ? global_ : *workers_[index];
+  }
+  const Locality& LocalityAt(int index) const {
+    return index == GlobalIndex() ? global_ : *workers_[index];
+  }
+  int TargetIndex(std::uint32_t affinity) const {
+    return affinity == kAffinityGlobal
+               ? GlobalIndex()
+               : static_cast<int>(affinity % workers_.size());
+  }
+  // The calling thread's locality index within THIS executor; coordinator
+  // context (driver thread, or any thread not owned by this executor) maps
+  // to the global index.
+  int CallerIndex() const;
+
+  std::size_t RunCore(const SimTime* deadline,
+                      const std::function<bool()>* predicate, bool* satisfied);
+  void RunWorkerWindow(SimTime window_end);
+  void DrainAllMailboxes();
+  void WorkerMain(int index);
+  void NotifyObserver() {
+    if (observer_) observer_(TotalFired());
+  }
+
+  SimDuration lookahead_;
+  std::vector<std::unique_ptr<Locality>> workers_;
+  Locality global_;
+  // Per-origin-locality sequence for mailbox pushes; each entry is written
+  // only by its own locality's thread.
+  std::vector<std::uint64_t> remote_push_seq_;
+  SimTime last_window_end_;
+  std::uint64_t late_remote_events_ = 0;
+  std::uint64_t windows_run_ = 0;
+  std::function<void(std::uint64_t)> observer_;
+
+  // Worker pool handoff (epoch-based). The hot path is lock-free: the
+  // coordinator publishes the window bound, resets running_, then bumps
+  // epoch_ (release); workers spin briefly on epoch_ (acquire) before
+  // parking on work_cv_, and the coordinator spins briefly on running_
+  // before parking on done_cv_. The mutex/cv pair is only the slow path —
+  // a parked side is always woken through a lock-then-notify handshake, so
+  // no wakeup can be lost. Back-to-back windows (the common case under
+  // load) complete the whole barrier without a single futex call.
+  std::vector<std::thread> threads_;
+  // Spin budget before parking; 0 when the host has fewer spare cores than
+  // workers (spinning would steal cycles from the threads doing the work).
+  int spin_iterations_ = 0;
+  std::mutex pool_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::int64_t> window_end_ns_{0};
+  std::atomic<int> running_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace dcdo::sim

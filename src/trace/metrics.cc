@@ -57,11 +57,12 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return std::vector<std::uint64_t>(buckets_, buckets_ + kBuckets);
 }
 
-Counter& MetricsRegistry::GetCounter(std::string_view name) {
+ShardedCounter& MetricsRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+    it = counters_
+             .emplace(std::string(name), std::make_unique<ShardedCounter>())
              .first;
   }
   return *it->second;
@@ -77,7 +78,8 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
   return *it->second;
 }
 
-const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+const ShardedCounter* MetricsRegistry::FindCounter(
+    std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
@@ -90,14 +92,12 @@ const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
 }
 
 std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
-  const Counter* counter = FindCounter(name);
+  const ShardedCounter* counter = FindCounter(name);
   return counter == nullptr ? 0 : counter->value();
 }
 
 void MetricsRegistry::SetCounter(std::string_view name, std::uint64_t value) {
-  Counter& counter = GetCounter(name);
-  counter.Reset();
-  counter.Increment(value);
+  GetCounter(name).Set(value);
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>

@@ -142,7 +142,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("dcdo-shared-function-self-capture",
                       "dcdo-mutable-nonatomic-in-const",
                       "dcdo-unordered-iteration-schedules",
-                      "dcdo-wallclock-in-sim", "dcdo-status-discard"),
+                      "dcdo-wallclock-in-sim", "dcdo-status-discard",
+                      "dcdo-cross-locality-schedule"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       for (char& c : name) {
@@ -151,13 +152,13 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
-TEST(AnalyzerDriverTest, ListChecksNamesAllFive) {
+TEST(AnalyzerDriverTest, ListChecksNamesAllSix) {
   RunResult run = RunAnalyzer("--list-checks");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* check :
        {"dcdo-shared-function-self-capture", "dcdo-mutable-nonatomic-in-const",
         "dcdo-unordered-iteration-schedules", "dcdo-wallclock-in-sim",
-        "dcdo-status-discard"}) {
+        "dcdo-status-discard", "dcdo-cross-locality-schedule"}) {
     EXPECT_NE(run.output.find(check), std::string::npos) << run.output;
   }
 }

@@ -1,0 +1,53 @@
+// Reduced reproduction of the PR 8 parallel-executor hazard: handing a
+// deferred scheduling sink a lambda that captures locals by reference.
+// Under the locality executor (DESIGN.md §14) the callback may fire on a
+// different worker thread after this frame has returned, so `[&]` / `[&x]`
+// captures dangle (stack lifetime) or race (the referent is touched
+// concurrently with the locality that owns it). The single-threaded legacy
+// path hides the bug completely — events fire before the caller's stack
+// unwinds only by accident of Run() being on the same thread.
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+struct Simulation {
+  std::uint64_t Schedule(std::int64_t delay_ns, std::function<void()> fn);
+  std::uint64_t ScheduleFor(std::uint32_t affinity, std::int64_t delay_ns,
+                            std::function<void()> fn);
+};
+
+struct Network {
+  void Send(int from, int to, int bytes, std::function<void()> deliver);
+};
+
+class Churn {
+ public:
+  // Default by-ref capture into a deferred callback: every local it
+  // touches is stack storage that is gone by fire time.
+  void RestartLater(Simulation& sim) {
+    int attempts = 0;
+    sim.Schedule(1000, [&] { ++attempts; });  // expect: dcdo-cross-locality-schedule
+  }
+
+  // Named by-ref capture across an affinity boundary: the worker owning
+  // `affinity` fires the callback while this thread still owns `pending`.
+  void TrackCompletion(Simulation& sim, std::uint32_t affinity) {
+    int pending = 1;
+    sim.ScheduleFor(affinity, 2000,
+                    [this, &pending] { pending += seen_; });  // expect: dcdo-cross-locality-schedule
+  }
+
+  // A multi-line call is still one argument span; the delivery callback
+  // runs on the destination node's locality.
+  void Deliver(Network& net, int from, int to) {
+    bool delivered = false;
+    net.Send(from, to, 64,
+             [&delivered] { delivered = true; });  // expect: dcdo-cross-locality-schedule
+  }
+
+ private:
+  int seen_ = 0;
+};
+
+}  // namespace fixture

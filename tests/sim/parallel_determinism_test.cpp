@@ -1,0 +1,338 @@
+// Cross-worker-count determinism over the full substrate (DESIGN.md §14).
+//
+// The parallel executor's contract is that sim_workers changes wall-clock
+// throughput ONLY: the simulated execution — every event timestamp, every
+// final state — is identical at any worker count, including the legacy
+// single-threaded engine. This suite drives the two heaviest EXPERIMENTS.md
+// workloads at workers ∈ {1, 2, 4, 8} and compares:
+//
+//   * the SimTime event-order digest (per-affinity FNV over fired
+//     timestamps, locality.h),
+//   * total events fired and the final clock,
+//   * a final-state fingerprint (instance versions/placements for the E13
+//     churn; cached bindings and invalidation counts for the E14 storm),
+//   * late_remote_events == 0 — no lookahead violation ever happened,
+//
+// with the invariant checker and race detector live at every-event cadence
+// (zero reports required at workers = 4, the TSan CI configuration).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "check/check_context.h"
+#include "core/manager.h"
+#include "naming/binding_cache.h"
+#include "runtime/testbed.h"
+#include "sim/parallel_sim.h"
+#include "testing/fixtures.h"
+
+namespace dcdo {
+namespace {
+
+using check::CheckContext;
+
+std::uint64_t Fnv(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ull;
+}
+
+struct RunSummary {
+  std::uint64_t digest = 0;
+  std::uint64_t fired = 0;
+  std::int64_t end_ns = 0;
+  std::uint64_t state_hash = 0;
+  std::uint64_t late_remote = 0;
+  bool checker_clean = true;
+  std::string diagnostics;
+
+  bool operator==(const RunSummary& other) const {
+    return digest == other.digest && fired == other.fired &&
+           end_ns == other.end_ns && state_hash == other.state_hash;
+  }
+};
+
+// The test compares explicit worker counts; a CI-level DCDO_SIM_WORKERS
+// override would collapse them all onto one value and prove nothing.
+// Forcing DCDO_SIM_THREADS=1 keeps the real worker pool (and its barrier
+// protocol) under test even on single-CPU machines, where the executor's
+// auto mode would otherwise run every window inline on the coordinator.
+void ClearWorkerOverride() {
+  unsetenv("DCDO_SIM_WORKERS");
+  setenv("DCDO_SIM_THREADS", "1", /*overwrite=*/1);
+}
+
+// ===== E13: fetch-churn (concurrent creations, evolutions, migrations) =====
+
+RunSummary RunFetchChurn(int workers) {
+  ClearWorkerOverride();
+  ObjectId::ResetCounterForTest();
+  std::mt19937 rng(1999);
+
+  Testbed::Options options;
+  options.check_options.cadence = CheckContext::Cadence::kEveryEvent;
+  options.cost_model.sim_workers = workers;
+  options.cost_model.fetch_concurrency = 8;
+  options.cost_model.component_cache_capacity = 4;
+  Testbed testbed(options);
+  testbed.simulation().EnableDeterminismDigest(true);
+
+  DcdoManager manager("pardet", testbed.host(0), &testbed.transport(),
+                      &testbed.agent(), &testbed.registry(),
+                      MakeMultiVersionIncreasing());
+
+  std::vector<ImplementationComponent> pool;
+  const char* fns[] = {"alpha", "beta", "gamma"};
+  for (int i = 0; i < 6; ++i) {
+    pool.push_back(testing::MakeEchoComponent(
+        testbed.registry(), "pd" + std::to_string(i),
+        {fns[i % 3], fns[(i + 1) % 3]}, 256 * 1024));
+    EXPECT_TRUE(manager.PublishComponent(pool[i]).ok());
+  }
+
+  VersionId root = *manager.CreateRootVersion();
+  {
+    DfmDescriptor* d = *manager.MutableDescriptor(root);
+    EXPECT_TRUE(d->IncorporateComponent(pool[0]).ok());
+    EXPECT_TRUE(d->EnableFunction("alpha", pool[0].id).ok());
+    EXPECT_TRUE(d->EnableFunction("beta", pool[0].id).ok());
+    EXPECT_TRUE(manager.MarkInstantiable(root).ok());
+    EXPECT_TRUE(manager.SetCurrentVersion(root).ok());
+  }
+  std::vector<VersionId> instantiable{root};
+  for (int v = 0; v < 3; ++v) {
+    VersionId derived = *manager.DeriveVersion(instantiable.back());
+    DfmDescriptor* d = *manager.MutableDescriptor(derived);
+    for (int i = 0; i < 3; ++i) {
+      const ImplementationComponent& comp = pool[(v + i) % pool.size()];
+      (void)d->IncorporateComponent(comp);
+      for (const FunctionImplDescriptor& fn : comp.functions) {
+        (void)d->SwitchImplementation(fn.function.name, comp.id);
+      }
+    }
+    EXPECT_TRUE(manager.MarkInstantiable(derived).ok());
+    instantiable.push_back(derived);
+  }
+
+  std::vector<ObjectId> instances;
+  {
+    std::vector<std::optional<Result<ObjectId>>> created(4);
+    for (int i = 0; i < 4; ++i) {
+      manager.CreateInstance(testbed.host(1 + i / 2),
+                             [&created, i](Result<ObjectId> r) {
+                               created[i] = r;
+                             });
+    }
+    testbed.simulation().Run();
+    for (auto& result : created) {
+      EXPECT_TRUE(result.has_value() && (*result).ok());
+      if (result.has_value() && (*result).ok()) instances.push_back(**result);
+    }
+  }
+
+  std::uniform_int_distribution<int> op_dist(0, 2);
+  std::uniform_int_distribution<std::size_t> version_pick(
+      0, instantiable.size() - 1);
+  std::uniform_int_distribution<std::size_t> host_pick(1, 3);
+  for (int round = 0; round < 12; ++round) {
+    int pending = 0;
+    for (const ObjectId& instance : instances) {
+      switch (op_dist(rng)) {
+        case 0:
+          ++pending;
+          manager.EvolveInstanceTo(instance, instantiable[version_pick(rng)],
+                                   [&pending](Status) { --pending; });
+          break;
+        case 1:
+          ++pending;
+          manager.MigrateInstance(instance, testbed.host(host_pick(rng)),
+                                  [&pending](Status) { --pending; });
+          break;
+        case 2: {
+          Dcdo* object = manager.FindInstance(instance);
+          EXPECT_NE(object, nullptr);
+          if (object != nullptr) (void)object->Call(fns[round % 3], ByteBuffer{});
+          break;
+        }
+      }
+    }
+    testbed.simulation().RunWhile([&] { return pending > 0; });
+    testbed.simulation().Run();
+  }
+
+  RunSummary summary;
+  summary.digest = testbed.simulation().DeterminismDigest();
+  summary.fired = testbed.simulation().events_fired();
+  summary.end_ns = testbed.simulation().Now().nanos();
+  summary.state_hash = 1469598103934665603ull;
+  for (const ObjectId& instance : instances) {
+    Dcdo* object = manager.FindInstance(instance);
+    EXPECT_NE(object, nullptr);
+    if (object == nullptr) continue;
+    for (std::uint32_t part : object->version().parts()) {
+      summary.state_hash = Fnv(summary.state_hash, part);
+    }
+    summary.state_hash = Fnv(summary.state_hash, object->host().node());
+    summary.state_hash = Fnv(
+        summary.state_hash,
+        object->mapper().state().ValidateComplete().ok() ? 1u : 0u);
+  }
+  if (testbed.simulation().parallel()) {
+    summary.late_remote =
+        testbed.simulation().executor()->late_remote_events();
+  }
+  if (CheckContext* checker = testbed.checker()) {
+    summary.checker_clean = checker->diagnostics().Clean();
+    if (!summary.checker_clean) {
+      summary.diagnostics = checker->diagnostics().DumpText();
+    }
+  }
+  return summary;
+}
+
+// ===== E14: rebind storm over the leased, sharded, remote directory ========
+
+RunSummary RunRebindStorm(int workers) {
+  ClearWorkerOverride();
+  ObjectId::ResetCounterForTest();
+
+  Testbed::Options options;
+  options.host_count = 8;
+  options.check_options.cadence = CheckContext::Cadence::kEveryEvent;
+  options.cost_model.sim_workers = workers;
+  options.cost_model.naming_shard_count = 2;
+  options.cost_model.binding_lease_duration = sim::SimDuration::Seconds(60.0);
+  // The modelled per-lookup service time, routed as real request messages to
+  // the shard hosts — the configuration parallel execution requires, applied
+  // at every worker count so the comparison is like for like.
+  options.cost_model.directory_lookup_service = sim::SimDuration::Micros(100);
+  options.cost_model.directory_remote_requests = true;
+  Testbed testbed(options);
+  testbed.simulation().EnableDeterminismDigest(true);
+  BindingAgent& agent = testbed.agent();
+
+  constexpr int kHolders = 24;
+  constexpr int kTargets = 4;
+  // Real (checkable) activations: every bound address is a live registered
+  // endpoint, and a migration retires the old activation before the new one
+  // is served — the binding-coherence invariant watches all of it.
+  auto address_of = [](int t, std::uint64_t epoch) {
+    return ObjectAddress{
+        static_cast<sim::NodeId>(1 + (static_cast<std::uint64_t>(t) + epoch) % 8),
+        static_cast<sim::ProcessId>(100 + t), epoch};
+  };
+  std::vector<ObjectId> targets;
+  auto serve = [&](int t, std::uint64_t epoch) {
+    const ObjectAddress address = address_of(t, epoch);
+    testbed.transport().RegisterEndpoint(
+        address.node, address.pid, address.epoch,
+        [](const rpc::MethodInvocation& inv, rpc::ReplyFn reply) {
+          reply(rpc::MethodResult::Ok(
+              ByteBuffer::FromString(std::string(inv.method_name()))));
+        });
+    agent.Bind(targets[static_cast<std::size_t>(t)], address);
+  };
+  for (int t = 0; t < kTargets; ++t) {
+    targets.push_back(ObjectId::Next(domains::kInstance));
+    serve(t, 1);
+  }
+  std::vector<std::unique_ptr<BindingCache>> caches;
+  int resolved = 0;
+  for (int i = 0; i < kHolders; ++i) {
+    caches.push_back(std::make_unique<BindingCache>(
+        &agent, /*capacity=*/16,
+        static_cast<sim::NodeId>(1 + i % options.host_count)));
+    caches.back()->RefreshFromAgentAsync(targets[i % kTargets],
+                                         [&resolved](Result<ObjectAddress> r) {
+                                           EXPECT_TRUE(r.ok());
+                                           ++resolved;
+                                         });
+  }
+  testbed.RunAll();
+  EXPECT_EQ(resolved, kHolders);
+
+  // Three storms: every target migrates, the shards fan the fresh bindings
+  // out to all leaseholders, the run settles, repeat.
+  for (std::uint64_t epoch = 2; epoch <= 4; ++epoch) {
+    for (int t = 0; t < kTargets; ++t) {
+      const ObjectAddress old = address_of(t, epoch - 1);
+      testbed.transport().UnregisterEndpoint(old.node, old.pid);
+      serve(t, epoch);
+    }
+    testbed.RunAll();
+  }
+
+  RunSummary summary;
+  summary.digest = testbed.simulation().DeterminismDigest();
+  summary.fired = testbed.simulation().events_fired();
+  summary.end_ns = testbed.simulation().Now().nanos();
+  summary.state_hash = 1469598103934665603ull;
+  for (int i = 0; i < kHolders; ++i) {
+    auto cached = caches[static_cast<std::size_t>(i)]->CachedAddress(
+        targets[i % kTargets]);
+    summary.state_hash = Fnv(summary.state_hash, cached.has_value() ? 1u : 0u);
+    if (cached.has_value()) {
+      summary.state_hash = Fnv(summary.state_hash, cached->node);
+      summary.state_hash = Fnv(summary.state_hash, cached->pid);
+      summary.state_hash = Fnv(summary.state_hash, cached->epoch);
+    }
+  }
+  summary.state_hash = Fnv(summary.state_hash, agent.invalidations_delivered());
+  summary.state_hash = Fnv(summary.state_hash, agent.lookups_served());
+  if (testbed.simulation().parallel()) {
+    summary.late_remote =
+        testbed.simulation().executor()->late_remote_events();
+  }
+  if (CheckContext* checker = testbed.checker()) {
+    summary.checker_clean = checker->diagnostics().Clean();
+    if (!summary.checker_clean) {
+      summary.diagnostics = checker->diagnostics().DumpText();
+    }
+  }
+  return summary;
+}
+
+// ===== The cross-worker-count comparisons ==================================
+
+void ExpectIdenticalAcrossWorkerCounts(RunSummary (*run)(int)) {
+  const RunSummary baseline = run(1);
+  ASSERT_GT(baseline.fired, 0u);
+  EXPECT_TRUE(baseline.checker_clean) << baseline.diagnostics;
+  for (int workers : {2, 4, 8}) {
+    const RunSummary parallel = run(workers);
+    EXPECT_EQ(parallel.digest, baseline.digest) << workers << " workers";
+    EXPECT_EQ(parallel.fired, baseline.fired) << workers << " workers";
+    EXPECT_EQ(parallel.end_ns, baseline.end_ns) << workers << " workers";
+    EXPECT_EQ(parallel.state_hash, baseline.state_hash)
+        << workers << " workers";
+    EXPECT_EQ(parallel.late_remote, 0u) << workers << " workers";
+    // The checker + race detector ride along at every worker count; the
+    // acceptance gate names workers = 4 (the TSan CI configuration), but a
+    // report at any count is a bug.
+    EXPECT_TRUE(parallel.checker_clean)
+        << workers << " workers:\n" << parallel.diagnostics;
+  }
+}
+
+TEST(ParallelDeterminism, FetchChurnIdenticalAtEveryWorkerCount) {
+  ExpectIdenticalAcrossWorkerCounts(&RunFetchChurn);
+}
+
+TEST(ParallelDeterminism, RebindStormIdenticalAtEveryWorkerCount) {
+  ExpectIdenticalAcrossWorkerCounts(&RunRebindStorm);
+}
+
+// Run-to-run stability of the instrument itself: two legacy runs must agree
+// before cross-mode equality means anything (a global counter or container-
+// order dependence would already break this).
+TEST(ParallelDeterminism, LegacyBaselineIsRunToRunStable) {
+  EXPECT_TRUE(RunFetchChurn(1) == RunFetchChurn(1));
+  EXPECT_TRUE(RunRebindStorm(1) == RunRebindStorm(1));
+}
+
+}  // namespace
+}  // namespace dcdo

@@ -146,6 +146,30 @@ TEST(SimulationTest, RunWhileReturnsFalseWhenDrained) {
   EXPECT_FALSE(satisfied);
 }
 
+TEST(SimulationTest, RunWhileChecksPredicateBeforeFirstEvent) {
+  Simulation simulation;
+  int count = 0;
+  simulation.Schedule(SimDuration::Millis(1), [&] { ++count; });
+  EXPECT_TRUE(simulation.RunWhile([] { return false; }));
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(simulation.pending_events(), 1u);
+}
+
+TEST(SimulationTest, RunWhileDrainsQueueThenReportsUnsatisfied) {
+  // The queue-empties-first return path: every event fires, the clock ends at
+  // the last event's timestamp, and the false return tells the caller the
+  // predicate never turned false (it is still true).
+  Simulation simulation;
+  int count = 0;
+  for (int i = 1; i <= 3; ++i) {
+    simulation.Schedule(SimDuration::Millis(i), [&] { ++count; });
+  }
+  EXPECT_FALSE(simulation.RunWhile([&] { return count < 100; }));
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(simulation.Idle());
+  EXPECT_EQ(simulation.Now(), SimTime::Zero() + SimDuration::Millis(3));
+}
+
 TEST(SimulationTest, AdvanceInlineMovesClockWithoutEvents) {
   Simulation simulation;
   simulation.AdvanceInline(SimDuration::Micros(12));

@@ -13,6 +13,7 @@ constexpr const char kMutableConst[] = "dcdo-mutable-nonatomic-in-const";
 constexpr const char kUnorderedSched[] = "dcdo-unordered-iteration-schedules";
 constexpr const char kWallclock[] = "dcdo-wallclock-in-sim";
 constexpr const char kStatusDiscard[] = "dcdo-status-discard";
+constexpr const char kCrossLocality[] = "dcdo-cross-locality-schedule";
 
 void Report(const SourceFile& file, std::size_t offset, const char* check,
             std::string message, std::vector<Finding>* findings) {
@@ -36,7 +37,7 @@ std::string Snippet(std::string_view code, Piece p) {
 const std::vector<std::string>& AllCheckNames() {
   static const std::vector<std::string> kNames = {
       kSelfCapture, kMutableConst, kUnorderedSched, kWallclock,
-      kStatusDiscard};
+      kStatusDiscard, kCrossLocality};
   return kNames;
 }
 
@@ -958,6 +959,86 @@ void IndexFile(const SourceFile& file, ProjectIndex* index) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// dcdo-cross-locality-schedule
+//
+// The PR 8 parallel-executor hazard class: a callback handed to a deferred
+// scheduling sink (Simulation::Schedule / ScheduleAt / ScheduleFor /
+// ScheduleAtFor / ScheduleGlobal, Locality::PushRemote, SimNetwork::Send)
+// does not run in the enclosing frame — under the locality executor
+// (DESIGN.md §14) it may fire later on a *different worker thread*. A
+// by-reference capture (`[&]` or `[&x]`) then either dangles (the stack
+// frame is long gone by the fire time) or races (the referent is touched
+// concurrently with the locality that owns it). Deferred callbacks must
+// capture by value: ids, copies, or owner pointers whose lifetime the
+// scheduler controls. Driver code that runs the simulation to completion
+// inside the capturing frame can suppress with NOLINT and a reason.
+// ---------------------------------------------------------------------------
+void CheckCrossLocalitySchedule(const SourceFile& file,
+                                std::vector<Finding>* findings) {
+  std::string_view code = file.code();
+
+  static constexpr std::array<const char*, 7> kSinks = {
+      "Schedule",      "ScheduleAt", "ScheduleFor", "ScheduleAtFor",
+      "ScheduleGlobal", "PushRemote", "Send"};
+  for (const char* sink : kSinks) {
+    const std::size_t sink_len = std::string_view(sink).size();
+    for (std::size_t pos = FindIdent(code, sink);
+         pos != std::string_view::npos;
+         pos = FindIdent(code, sink, pos + 1)) {
+      std::size_t paren = SkipWs(code, pos + sink_len);
+      if (paren == std::string_view::npos || code[paren] != '(') continue;
+      // A type name directly before the identifier marks a declaration
+      // (`std::uint64_t Schedule(...)`), not a call.
+      std::size_t prev = SkipWsBack(code, pos == 0 ? 0 : pos - 1);
+      if (prev != std::string_view::npos && IsIdentChar(code[prev])) continue;
+      std::size_t close = MatchForward(code, paren);
+      if (close == std::string_view::npos) continue;
+
+      // Every lambda introducer inside the argument span.
+      for (std::size_t lb = paren + 1; lb < close; ++lb) {
+        if (code[lb] != '[') continue;
+        // '[' at expression start is a lambda; after an identifier, ')' or
+        // ']' it is a subscript.
+        std::size_t lp = SkipWsBack(code, lb == 0 ? 0 : lb - 1);
+        if (lp != std::string_view::npos &&
+            (IsIdentChar(code[lp]) || code[lp] == ')' || code[lp] == ']')) {
+          continue;
+        }
+        std::size_t rb = MatchForward(code, lb);
+        if (rb == std::string_view::npos || rb > close) continue;
+        // Confirm a lambda: a parameter list or body must follow.
+        std::size_t after = SkipWs(code, rb + 1);
+        if (after == std::string_view::npos ||
+            (code[after] != '(' && code[after] != '{')) {
+          continue;
+        }
+        for (Piece item : SplitTopLevel(code, lb + 1, rb)) {
+          Piece t = Trim(code, item.begin, item.end);
+          if (t.begin >= t.end || code[t.begin] != '&') continue;
+          // Any leading '&' is a by-reference capture: bare `&` (default),
+          // `&name`, or `&name = expr` (reference init-capture). `&&` cannot
+          // appear in a capture list.
+          std::string what =
+              (t.end - t.begin) == 1
+                  ? std::string("default by-reference capture '&'")
+                  : "by-reference capture '" + Snippet(code, t) + "'";
+          Report(file, t.begin, kCrossLocality,
+                 what + " in a callback passed to deferred sink '" +
+                     std::string(sink) +
+                     "' — under the parallel locality executor the callback "
+                     "may fire on another worker thread after this frame "
+                     "returns (dangling reference or cross-locality race); "
+                     "capture by value instead",
+                 findings);
+          break;  // one report per lambda
+        }
+        lb = rb;  // resume after this capture list
+      }
+    }
+  }
+}
+
 void RunChecks(const SourceFile& file, const ProjectIndex& index,
                const CheckOptions& options, std::vector<Finding>* findings) {
   auto enabled = [&](const char* name) {
@@ -982,6 +1063,7 @@ void RunChecks(const SourceFile& file, const ProjectIndex& index,
     if (!allowed) CheckWallclockInSim(file, findings);
   }
   if (enabled(kStatusDiscard)) CheckStatusDiscard(file, index, findings);
+  if (enabled(kCrossLocality)) CheckCrossLocalitySchedule(file, findings);
   std::sort(findings->begin(), findings->end());
 }
 

@@ -1,4 +1,4 @@
-// The five dcdo-tidy checks, lexical-engine implementation.
+// The six dcdo-tidy checks, lexical-engine implementation.
 //
 // Each check mechanizes a bug class this repo has fixed by hand at least
 // once (see DESIGN.md §12 for the catalogue and the history behind each):
@@ -8,8 +8,9 @@
 //   dcdo-unordered-iteration-schedules  PR 5 determinism hazard class
 //   dcdo-wallclock-in-sim               sim-determinism hazard
 //   dcdo-status-discard                 silently dropped error paths
+//   dcdo-cross-locality-schedule        PR 8 parallel-executor lifetime class
 //
-// The same five checks exist as clang-tidy AST-matcher checks in
+// The same six checks exist as clang-tidy AST-matcher checks in
 // ../plugin/ (built when LLVM/Clang dev headers are present). This engine
 // is the dependency-free fallback so analysis runs on every machine; it is
 // deliberately conservative — heuristics are tuned so that everything it
@@ -95,6 +96,8 @@ void CheckWallclockInSim(const SourceFile& file,
                          std::vector<Finding>* findings);
 void CheckStatusDiscard(const SourceFile& file, const ProjectIndex& index,
                         std::vector<Finding>* findings);
+void CheckCrossLocalitySchedule(const SourceFile& file,
+                                std::vector<Finding>* findings);
 
 }  // namespace dcdo_tidy
 

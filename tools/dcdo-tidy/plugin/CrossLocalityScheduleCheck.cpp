@@ -1,0 +1,61 @@
+//===--- CrossLocalityScheduleCheck.cpp - clang-tidy ----------------------===//
+
+#include "CrossLocalityScheduleCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+void CrossLocalityScheduleCheck::registerMatchers(MatchFinder *Finder) {
+  // Deferred-execution sinks: the callback argument does not run in the
+  // enclosing frame, and under the parallel executor may run on another
+  // locality's worker thread.
+  auto Sink = callee(functionDecl(
+      hasAnyName("Schedule", "ScheduleAt", "ScheduleFor", "ScheduleAtFor",
+                 "ScheduleGlobal", "PushRemote", "Send")));
+
+  // Any lambda inside the sink's argument list — direct argument or nested
+  // inside a wrapper expression (std::move, adapter construction, ...).
+  Finder->addMatcher(
+      callExpr(Sink, forEachDescendant(lambdaExpr().bind("lambda"))), this);
+}
+
+void CrossLocalityScheduleCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Lambda = Result.Nodes.getNodeAs<LambdaExpr>("lambda");
+  if (!Lambda)
+    return;
+  // One diagnostic per lambda, anchored at the first by-reference capture.
+  for (const LambdaCapture &Capture : Lambda->captures()) {
+    const bool ByRef = Capture.getCaptureKind() == LCK_ByRef;
+    if (!ByRef)
+      continue;
+    const bool IsDefault = !Capture.isExplicit();
+    std::string What;
+    if (IsDefault) {
+      What = "default by-reference capture '&'";
+    } else if (Capture.capturesVariable()) {
+      What = ("by-reference capture '&" +
+              Capture.getCapturedVar()->getName() + "'")
+                 .str();
+    } else {
+      What = "by-reference capture";
+    }
+    diag(Capture.getLocation(),
+         "%0 in a callback passed to a deferred scheduling sink — under the "
+         "parallel locality executor the callback may fire on another worker "
+         "thread after this frame returns (dangling reference or "
+         "cross-locality race); capture by value instead")
+        << What;
+    return;
+  }
+}
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,39 @@
+//===--- CrossLocalityScheduleCheck.h - clang-tidy --------------*- C++ -*-===//
+//
+// dcdo-cross-locality-schedule: a lambda passed to a deferred scheduling
+// sink (Simulation::Schedule/ScheduleAt/ScheduleFor/ScheduleAtFor/
+// ScheduleGlobal, Locality::PushRemote, SimNetwork::Send) captures by
+// reference. Under the parallel locality executor (DESIGN.md §14) the
+// callback may fire on a different worker thread after the scheduling
+// frame has returned, so `[&]` / `[&x]` captures dangle or race with the
+// locality that owns the referent. The PR 8 audit rule: deferred callbacks
+// capture by value — ids, copies, or an owner pointer whose lifetime the
+// scheduler controls.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCDO_TIDY_PLUGIN_CROSSLOCALITYSCHEDULECHECK_H
+#define DCDO_TIDY_PLUGIN_CROSSLOCALITYSCHEDULECHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace dcdo_check {
+
+class CrossLocalityScheduleCheck : public ClangTidyCheck {
+public:
+  CrossLocalityScheduleCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus11;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace dcdo_check
+} // namespace tidy
+} // namespace clang
+
+#endif // DCDO_TIDY_PLUGIN_CROSSLOCALITYSCHEDULECHECK_H

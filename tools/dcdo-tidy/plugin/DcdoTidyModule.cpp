@@ -1,6 +1,6 @@
 //===--- DcdoTidyModule.cpp - clang-tidy module for dcdo checks -----------===//
 //
-// Registers the five repo-specific checks (DESIGN.md §12) as a clang-tidy
+// Registers the six repo-specific checks (DESIGN.md §12) as a clang-tidy
 // loadable module:
 //
 //   clang-tidy --load=dcdo_tidy_module.so --checks='dcdo-*' ...
@@ -15,6 +15,7 @@
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
+#include "CrossLocalityScheduleCheck.h"
 #include "MutableNonatomicInConstCheck.h"
 #include "SharedFunctionSelfCaptureCheck.h"
 #include "StatusDiscardCheck.h"
@@ -36,6 +37,8 @@ public:
         "dcdo-unordered-iteration-schedules");
     CheckFactories.registerCheck<WallclockInSimCheck>("dcdo-wallclock-in-sim");
     CheckFactories.registerCheck<StatusDiscardCheck>("dcdo-status-discard");
+    CheckFactories.registerCheck<CrossLocalityScheduleCheck>(
+        "dcdo-cross-locality-schedule");
   }
 };
 
