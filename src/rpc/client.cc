@@ -3,6 +3,7 @@
 #include <atomic>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/pool_allocator.h"
@@ -35,6 +36,18 @@ struct RpcClient::CallState {
   Callback done;
   ObjectAddress address;
   int attempts_this_binding = 0;
+  // Pushed-rebind rounds consumed (capped at CostModel::lease_rebind_limit;
+  // each round restarts the per-binding retry schedule).
+  int lease_rebind_rounds = 0;
+  // Session state (session_slots > 0 only). `grant` is the slot the current
+  // attempt ships under — the entry of `grants` matching `address`. A call
+  // holds EVERY slot it ever acquired until it finishes: releasing a slot on
+  // rebind would let its seq advance, and a later rebind back to that
+  // activation would then send a fresh seq — re-executing a body that
+  // already ran there. Bounded by the rebind caps (≤ 2 + lease_rebind_limit
+  // activations per call).
+  SlotGrant grant;
+  std::vector<std::pair<ObjectAddress, SlotGrant>> grants;
   bool refreshed = false;
   bool finished = false;
   std::uint64_t call_id = 0;
@@ -128,7 +141,50 @@ void RpcClient::StartCall(const std::shared_ptr<CallState>& call) {
     return;
   }
   call->address = *address;
-  Attempt(call);
+  if (transport_.cost_model().session_slots > 0) {
+    AcquireSlot(call);
+  } else {
+    Attempt(call);
+  }
+}
+
+void RpcClient::AcquireSlot(const std::shared_ptr<CallState>& call) {
+  // Rebinding back to an activation this call already attempted: resend
+  // under the SAME (slot, seq), so a body that executed there replays its
+  // cached answer instead of running again.
+  for (const auto& [addr, grant] : call->grants) {
+    if (addr == call->address) {
+      call->grant = grant;
+      Attempt(call);
+      return;
+    }
+  }
+  sessions_.Acquire(
+      call->address, [this, call, address = call->address](SlotGrant grant) {
+        if (call->finished) {
+          // The call died while parked for a slot; the grant must not leak.
+          sessions_.Release(address, grant);
+          return;
+        }
+        call->grants.emplace_back(address, grant);
+        if (call->address == address) {
+          call->grant = grant;
+          Attempt(call);
+        } else {
+          // The call rebound while parked (no path does this today — a
+          // parked call has no timer — but the grant bookkeeping must not
+          // depend on that): acquire for wherever it points now.
+          AcquireSlot(call);
+        }
+      });
+}
+
+void RpcClient::ReleaseSlots(const std::shared_ptr<CallState>& call) {
+  call->grant = SlotGrant{};
+  // May hand each slot straight to a queued caller, whose first attempt then
+  // runs inline here.
+  for (auto& [addr, grant] : call->grants) sessions_.Release(addr, grant);
+  call->grants.clear();
 }
 
 void RpcClient::Attempt(const std::shared_ptr<CallState>& call) {
@@ -157,6 +213,13 @@ void RpcClient::Attempt(const std::shared_ptr<CallState>& call) {
   if (call->args) invocation.SetSharedArgs(call->args);
   invocation.expected_epoch = call->address.epoch;
   invocation.call_id = call->call_id;
+  if (call->grant.held()) {
+    // Every retry of this call resends identical values — that stability is
+    // what the server's per-slot seq comparison keys on.
+    invocation.session_id = call->grant.session_id;
+    invocation.session_slot = call->grant.slot;
+    invocation.session_seq = call->grant.seq;
+  }
 
   // Arm the timeout before sending; the reply cancels it. The timer lands in
   // the simulator's timing wheel, so the overwhelmingly common arm-then-
@@ -177,6 +240,7 @@ void RpcClient::Attempt(const std::shared_ptr<CallState>& call) {
           if (call->finished) return;  // a late reply after we gave up
           call->finished = true;
           transport_.simulation().Cancel(call->timer_id);
+          ReleaseSlots(call);
           if (auto* tr2 = trace::ActiveContext()) {
             // attempt_span is captured by value: a late reply from an earlier
             // attempt must close THAT attempt's span (a no-op if OnTimeout
@@ -224,13 +288,21 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
     tr->metrics().GetCounter("rpc.timeouts").Increment();
   }
 
-  if (cost.binding_lease_duration > sim::SimDuration::Zero()) {
+  if (cost.binding_lease_duration > sim::SimDuration::Zero() &&
+      call->lease_rebind_rounds < cost.lease_rebind_limit) {
     // Under leases the directory pushes a rebound object's fresh binding to
     // this cache; if one arrived while the attempt was on the wire, switch
     // to it now instead of probing the dead address through the rest of the
-    // timeout schedule.
+    // timeout schedule. Capped at lease_rebind_limit rounds per call: each
+    // switch restarts the retry schedule, and an uncapped call chasing a
+    // churning object could retry forever — and land a retry after the
+    // server's dedup window retired its entry, re-executing the body. The
+    // window's TTL (CostModel::DedupWindowTtl) budgets for exactly this many
+    // rounds; a call past the cap falls through to the normal probe schedule
+    // and terminal timeout, whose retries the TTL already covers.
     std::optional<ObjectAddress> pushed = cache_.CachedAddress(call->target);
     if (pushed.has_value() && !(*pushed == call->address)) {
+      ++call->lease_rebind_rounds;
       lease_rebinds_.Increment();
       DCDO_LOG(kDebug) << "rpc: lease push rebound " << call->target << " to "
                        << pushed->ToString();
@@ -242,9 +314,17 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
                      .call_id = call->call_id});
         tr->metrics().GetCounter("rpc.lease_rebinds").Increment();
       }
+      // A different address is a different activation, hence a different
+      // session. The slot held here is NOT released — a retry may yet land
+      // at this activation, and a rebind back must reuse it (AcquireSlot).
+      call->grant = SlotGrant{};
       call->address = *pushed;
       call->attempts_this_binding = 0;
-      Attempt(call);
+      if (cost.session_slots > 0) {
+        AcquireSlot(call);
+      } else {
+        Attempt(call);
+      }
       return;
     }
   }
@@ -282,6 +362,7 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
             if (call->finished) return;
             if (!fresh.ok()) {
               call->finished = true;
+              ReleaseSlots(call);
               if (auto* tr = trace::ActiveContext()) {
                 tr->EndSpan(rebind_span, "outcome", "unbound");
                 tr->EndSpan(call->span, "outcome", "unavailable");
@@ -295,14 +376,25 @@ void RpcClient::OnTimeout(const std::shared_ptr<CallState>& call) {
             if (auto* tr = trace::ActiveContext()) {
               tr->EndSpan(rebind_span, "address", fresh->ToString());
             }
+            if (*fresh == call->address) {
+              // Same binding reconfirmed: keep the slot (and seq) we hold.
+              Attempt(call);
+              return;
+            }
+            call->grant = SlotGrant{};
             call->address = *fresh;
-            Attempt(call);
+            if (transport_.cost_model().session_slots > 0) {
+              AcquireSlot(call);
+            } else {
+              Attempt(call);
+            }
           });
     });
     return;
   }
 
   call->finished = true;
+  ReleaseSlots(call);
   DCDO_TRACE_HOOK(EndSpan(call->span, "outcome", "timeout"));
   call->done(TimeoutError("invocation of " +
                           std::string(call->method_name()) + " on " +

@@ -18,7 +18,21 @@
 // directory pushes fresh bindings into this client's cache the moment an
 // object rebinds; a timed-out attempt then notices the pushed replacement
 // and switches to it immediately instead of finishing the probe schedule,
-// and new calls resolve the fresh address before their first send.
+// and new calls resolve the fresh address before their first send. A call
+// switches to pushed bindings at most CostModel::lease_rebind_limit times —
+// each switch restarts the retry round, so an uncapped call could retry
+// forever and (worse) land a retry after the server's dedup window retired
+// its entry, re-executing the body (DESIGN.md §15.2).
+//
+// With CostModel::session_slots > 0 every call occupies a slot of the
+// per-server-endpoint session (src/rpc/session.h) for its whole lifetime:
+// slots are acquired before the first attempt (queueing client-side when all
+// are busy — the admission/backpressure point) and every slot the call ever
+// acquired is released only when the call finishes — a rebind keeps the old
+// activation's slot so a rebind BACK resends the same (slot, seq) and
+// replays instead of re-executing. Retries carry the same (session, slot,
+// seq), which is what lets the server dedup them from never-expiring
+// O(slots) state.
 //
 // Fast-path mechanics (invisible to callers):
 //   * per-call state comes from a thread-local free list, not the heap;
@@ -40,6 +54,7 @@
 #include "common/status.h"
 #include "dfm/function_id.h"
 #include "naming/binding_cache.h"
+#include "rpc/session.h"
 #include "rpc/transport.h"
 #include "trace/metrics.h"
 
@@ -54,7 +69,8 @@ class RpcClient {
   RpcClient(RpcTransport* transport, BindingAgent* agent, sim::NodeId node)
       : transport_(*transport),
         cache_(agent, transport->cost_model().binding_cache_capacity, node),
-        node_(node) {}
+        node_(node),
+        sessions_(transport->cost_model().session_slots) {}
 
   // Asynchronous invocation; `done` runs exactly once, in sim time.
   // Ships by-id when `method` is already interned and not a config method.
@@ -83,6 +99,12 @@ class RpcClient {
   // Calls that switched to a lease-pushed fresh binding mid-flight instead
   // of burning the full timeout-probe schedule. Always 0 with leases off.
   std::uint64_t lease_rebinds() const { return lease_rebinds_.value(); }
+  // Sessioned admission (session_slots > 0): calls that ever had to queue
+  // for a slot, and calls currently parked waiting. Always 0 otherwise.
+  std::uint64_t backpressure_waits() const {
+    return sessions_.backpressure_waits();
+  }
+  std::size_t queued_calls() const { return sessions_.queued(); }
 
  private:
   struct CallState;
@@ -92,11 +114,20 @@ class RpcClient {
   void StartCall(const std::shared_ptr<CallState>& call);
   void Attempt(const std::shared_ptr<CallState>& call);
   void OnTimeout(const std::shared_ptr<CallState>& call);
+  // Session slot lifecycle: AcquireSlot runs Attempt once a slot on the
+  // call's current address is granted (reusing the call's existing grant
+  // when it rebinds back to an activation it already attempted, inline when
+  // a slot is free, queued otherwise); ReleaseSlots returns every slot the
+  // call holds when it finishes. Neither runs when sessions are off.
+  void AcquireSlot(const std::shared_ptr<CallState>& call);
+  void ReleaseSlots(const std::shared_ptr<CallState>& call);
   [[nodiscard]] Result<ByteBuffer> DriveToCompletion(std::optional<Result<ByteBuffer>>& out);
 
   RpcTransport& transport_;
   BindingCache cache_;
   sim::NodeId node_;
+  // Per-server-endpoint sessions (unused when session_slots == 0).
+  SessionPool sessions_;
   // One-entry memo of the last name->id resolution. The intern table is
   // append-only and a name's id is immutable, so a positive memo can never
   // go stale; steady-state callers re-invoking the same method skip the

@@ -37,6 +37,11 @@ inline constexpr std::size_t kHeaderBytes = 96;
 // Wire footprint of the by-id method form: u32 FunctionId + u32 name epoch.
 inline constexpr std::size_t kMethodIdWireBytes = 8;
 
+// Wire footprint of the session carriage (u64 session id + u32 slot +
+// u64 slot sequence), present only on sessioned invocations — unsessioned
+// traffic's wire size is untouched.
+inline constexpr std::size_t kSessionWireBytes = 20;
+
 // Configuration methods are dispatched by name in the configurable-object
 // layer (Dcdo/Manager), before any method table is consulted; they must stay
 // on the string path so that layer keeps seeing them.
@@ -53,6 +58,14 @@ struct MethodInvocation {
   std::uint32_t name_epoch = 0;
   std::uint64_t expected_epoch = 0;
   std::uint64_t call_id = 0;  // assigned by the client; echoed in the reply
+  // Session carriage (src/rpc/session.*): 0 = unsessioned, the legacy dedup
+  // window governs at-most-once. Non-zero names the client session this call
+  // occupies a slot of; (session_slot, session_seq) let the server's
+  // per-slot "last executed seq + cached reply" state give exactly-once in
+  // O(slots) memory. Retries of one logical call carry identical values.
+  std::uint64_t session_id = 0;
+  std::uint32_t session_slot = 0;
+  std::uint64_t session_seq = 0;
 
   // The id form, iff it is trustworthy at this receiver: the local intern
   // table must have reached the sender's epoch (so the id maps to the same
@@ -84,7 +97,7 @@ struct MethodInvocation {
   std::size_t WireSize() const {
     return kHeaderBytes +
            (method_id.valid() ? kMethodIdWireBytes : method.size()) +
-           args().size();
+           (session_id != 0 ? kSessionWireBytes : 0) + args().size();
   }
 
  private:

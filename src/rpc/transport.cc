@@ -7,6 +7,7 @@
 #include "check/check_context.h"
 #include "common/logging.h"
 #include "common/pool_allocator.h"
+#include "rpc/session.h"
 #include "trace/trace_context.h"
 
 namespace dcdo::rpc {
@@ -47,6 +48,23 @@ class DedupWindow {
       ++purged;
     }
     return purged;
+  }
+
+  // Capacity bound (CostModel::dedup_window_max_entries): evicts oldest-first
+  // until an Insert would keep the window at or under `max_entries`; returns
+  // how many. 0 = unbounded. Unlike TTL retirement this can forget an answer
+  // the retry schedule still needs, which is why evictions are counted
+  // separately — the cap trades a bounded risk of re-execution under extreme
+  // fan-in for a hard memory bound (sessions remove the trade entirely).
+  std::size_t EnforceCapacity(std::size_t max_entries) {
+    std::size_t evicted = 0;
+    while (max_entries != 0 && entries_.size() >= max_entries &&
+           !order_.empty()) {
+      entries_.erase(order_.front().key);
+      order_.pop_front();
+      ++evicted;
+    }
+    return evicted;
   }
 
   std::size_t size() const { return entries_.size(); }
@@ -92,9 +110,11 @@ struct InFlight {
   sim::ProcessId to_pid;
   MethodInvocation invocation;
   ReplyFn on_reply;
-  // Set at delivery: the receiving endpoint's dedup window, so the reply
-  // functor can cache the handler's answer for replay.
+  // Set at delivery: the receiving endpoint's dedup window (unsessioned
+  // path) or session table (sessioned path), so the reply functor can cache
+  // the handler's answer for replay. At most one is non-null.
   std::shared_ptr<DedupWindow> window;
+  std::shared_ptr<ServerSessionTable> sessions;
   // Trace carriage across the async hops (0 = untraced).
   std::uint64_t send_span = 0;
   std::uint64_t dispatch_span = 0;
@@ -124,6 +144,7 @@ void RpcTransport::RegisterEndpoint(sim::NodeId node, sim::ProcessId pid,
   SweepDedupWindows();
   endpoints_[{node, pid}] = Endpoint{epoch, std::move(handler),
                                      std::make_shared<DedupWindow>(),
+                                     std::make_shared<ServerSessionTable>(),
                                      concurrency};
   DCDO_CHECK_HOOK(OnEndpointOpened(node, pid, epoch));
 }
@@ -159,13 +180,20 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
   // between send and delivery is then handled serially, which is merely
   // conservative.
   std::uint32_t dispatch_affinity = sim::kAffinityGlobal;
+  const bool config_plane = IsConfigMethodName(invocation.method_name());
   if (auto ep = endpoints_.find({to_node, to_pid});
       ep != endpoints_.end() &&
       ep->second.concurrency == EndpointConcurrency::kParallel &&
-      !IsConfigMethodName(invocation.method_name())) {
+      !config_plane) {
     dispatch_affinity = static_cast<std::uint32_t>(to_node);
   }
   const std::uint32_t reply_affinity = simulation.CurrentAffinity();
+  // Formation hint: config-plane calls (dcdo.*/mgr.*) are the latency-
+  // sensitive minority — under the adaptive formation policy they must not
+  // sit out a coalescing window behind data-plane traffic.
+  const sim::SimNetwork::SendClass send_class =
+      config_plane ? sim::SimNetwork::SendClass::kUrgent
+                   : sim::SimNetwork::SendClass::kNormal;
 
   // The send span covers marshaling and the hand-off to the network; the
   // net.xfer span begun inside network_.Send nests under it via the scope
@@ -194,8 +222,7 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
   try {
     call = InFlightPtr(::new (block) InFlight{this, from_node, to_node, to_pid,
                                               std::move(invocation),
-                                              std::move(on_reply), nullptr, 0,
-                                              0});
+                                              std::move(on_reply)});
   } catch (...) {
     common::PoolFree<sizeof(InFlight)>(block);
     if (auto* tr = trace::ActiveContext()) {
@@ -245,7 +272,70 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
                               .GetCounter("rpc.dedup_evictions")
                               .Increment(purged));
         }
-        if (call_id != 0) {
+        if (call->invocation.session_id != 0) {
+          // Sessioned call: the slot table decides, the window never sees
+          // it. Per-slot state never expires, so a retry landing arbitrarily
+          // late — after any number of lease rebinds — still dedups.
+          ServerSessionTable::Decision decision = it->second.sessions->Admit(
+              call->from_node, call->invocation.session_id,
+              call->invocation.session_slot, call->invocation.session_seq);
+          switch (decision.disposition) {
+            case ServerSessionTable::Disposition::kDropStale:
+              // Older seq than the slot's current occupant: provably a ghost
+              // of a call the client already abandoned. Its answer can no
+              // longer matter, so drop without replying.
+              session_stale_drops_.Increment();
+              DCDO_TRACE_HOOK(
+                  metrics().GetCounter("rpc.session_stale").Increment());
+              DCDO_LOG(kDebug)
+                  << "rpc: stale session delivery for call " << call_id
+                  << " from node " << call->from_node << " dropped";
+              return;
+            case ServerSessionTable::Disposition::kDropInFlight:
+              // The original attempt is still executing; its answer will
+              // reach the client. Same reasoning as the window's in-flight
+              // drop.
+              session_hits_.Increment();
+              DCDO_TRACE_HOOK(
+                  metrics().GetCounter("rpc.session_hits").Increment());
+              DCDO_LOG(kDebug)
+                  << "rpc: duplicate of in-flight sessioned call " << call_id
+                  << " from node " << call->from_node << " dropped";
+              return;
+            case ServerSessionTable::Disposition::kReplayReply: {
+              // Executed before — replay the slot's cached reply without
+              // re-running the body, charging only the dispatch cost.
+              session_hits_.Increment();
+              if (auto* tr = trace::ActiveContext()) {
+                tr->metrics().GetCounter("rpc.session_hits").Increment();
+                tr->Instant("rpc.session_replay",
+                            {.category = "server",
+                             .parent = call->send_span,
+                             .node = static_cast<std::uint32_t>(call->to_node),
+                             .call_id = call_id});
+              }
+              network_.simulation().AdvanceInline(cost_model().rpc_dispatch);
+              MethodResult replay = *decision.reply;
+              const sim::NodeId to_node = call->to_node;
+              const sim::NodeId from_node = call->from_node;
+              const std::uint32_t reply_affinity = call->reply_affinity;
+              std::size_t reply_bytes = replay.WireSize();
+              network_.Send(
+                  to_node, from_node, reply_bytes,
+                  [call = std::move(call),
+                   replay = std::move(replay)]() mutable {
+                    call->on_reply(std::move(replay));
+                  },
+                  reply_affinity);
+              return;
+            }
+            case ServerSessionTable::Disposition::kExecute:
+              // New seq on this slot: run the body; the reply functor below
+              // records the answer in the slot via Complete.
+              call->sessions = it->second.sessions;
+              break;
+          }
+        } else if (call_id != 0) {
           DedupWindow::Key key{call->from_node, call_id};
           if (DedupWindow::Entry* seen = window.Find(key)) {
             dedup_hits_.Increment();
@@ -284,6 +374,14 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
                 reply_affinity);
             return;
           }
+          if (std::size_t evicted = window.EnforceCapacity(
+                  cost_model().dedup_window_max_entries);
+              evicted != 0) {
+            dedup_capacity_evictions_.Increment(evicted);
+            DCDO_TRACE_HOOK(metrics()
+                                .GetCounter("rpc.dedup_capacity_evictions")
+                                .Increment(evicted));
+          }
           window.Insert(key, now + DedupTtl(cost_model()));
           call->window = it->second.dedup;
         }  // call_id 0: a hand-rolled invocation; bypasses the window.
@@ -313,7 +411,14 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
         const MethodInvocation& invocation = call->invocation;
         ReplyFn wire_reply = [call =
                                   std::move(call)](MethodResult result) mutable {
-          if (call->window != nullptr) {
+          if (call->sessions != nullptr) {
+            // Park the answer in the slot for replay — Complete itself
+            // guards against the slot having moved on to a successor call.
+            call->sessions->Complete(call->from_node,
+                                     call->invocation.session_id,
+                                     call->invocation.session_slot,
+                                     call->invocation.session_seq, result);
+          } else if (call->window != nullptr) {
             // Record the outcome for replay — even if the reply message is
             // about to be lost on the wire, the *execution* happened, and a
             // retry must get this answer instead of a second execution.
@@ -342,7 +447,7 @@ void RpcTransport::Invoke(sim::NodeId from_node, sim::NodeId to_node,
         it->second.handler(invocation, std::move(wire_reply));
         if (tr != nullptr) tr->PopScope();
       },
-      dispatch_affinity);
+      dispatch_affinity, send_class);
   if (auto* tr = trace::ActiveContext()) {
     tr->PopScope();
     tr->EndSpan(send_span);

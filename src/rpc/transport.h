@@ -15,10 +15,15 @@
 // dcdo.*/mgr.* configuration calls). The window drops a duplicate whose
 // original is still executing and replays the cached reply for one whose
 // original already answered; entries retire after
-// invocation_timeout * 2 * (stale_retry_count + 1) + rebind_query — a full
-// timeout past the last instant the client protocol can still send a retry
-// (see DESIGN.md §9). call_id 0 (a hand-rolled invocation that never set
-// one) bypasses the window.
+// CostModel::DedupWindowTtl() — a full timeout past the last instant the
+// client protocol can still send a retry, including the bounded lease-rebind
+// extension (see DESIGN.md §9, §15.2). call_id 0 (a hand-rolled invocation
+// that never set one) bypasses the window.
+//
+// Sessioned traffic (invocation.session_id != 0; see src/rpc/session.h)
+// bypasses the window entirely: the endpoint's ServerSessionTable gives
+// exactly-once from per-slot (last seq, cached reply) state that never
+// expires, in O(slots) memory (DESIGN.md §15).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +42,7 @@
 namespace dcdo::rpc {
 
 class DedupWindow;  // transport.cc; per-endpoint at-most-once state
+class ServerSessionTable;  // session.h; per-endpoint exactly-once slot state
 
 // Called by a handler to send its reply (may be deferred). Move-only: reply
 // closures own the caller's continuation, which is never copied. The buffer
@@ -107,6 +113,27 @@ class RpcTransport {
   // and window entries retired by the TTL sweep.
   std::uint64_t dedup_hits() const { return dedup_hits_.value(); }
   std::uint64_t dedup_evictions() const { return dedup_evictions_.value(); }
+  // Window entries evicted by the dedup_window_max_entries capacity cap —
+  // distinct from TTL retirement: a capacity eviction can forget an answer
+  // early, so a non-zero count flags an undersized window.
+  std::uint64_t dedup_capacity_evictions() const {
+    return dedup_capacity_evictions_.value();
+  }
+  // Session-path duplicates absorbed (in-flight drops + cached-reply
+  // replays) and provably-stale deliveries dropped (older seq than the
+  // slot's current occupant — a ghost of an abandoned call).
+  std::uint64_t session_hits() const { return session_hits_.value(); }
+  std::uint64_t session_stale_drops() const {
+    return session_stale_drops_.value();
+  }
+
+  // The endpoint's session table (null if the endpoint is gone) — tests pin
+  // the O(slots) memory bound through this.
+  const ServerSessionTable* EndpointSessions(sim::NodeId node,
+                                             sim::ProcessId pid) const {
+    auto it = endpoints_.find({node, pid});
+    return it == endpoints_.end() ? nullptr : it->second.sessions.get();
+  }
 
  private:
   // Purges expired dedup entries from every endpoint's window; called on
@@ -120,6 +147,10 @@ class RpcTransport {
     // the activation re-registered still lands in *its* window (harmlessly
     // orphaned) instead of poisoning the successor's.
     std::shared_ptr<DedupWindow> dedup;
+    // Same sharing discipline for session slot state: per activation, so
+    // re-registration resets it (the epoch check already fences cross-epoch
+    // deliveries).
+    std::shared_ptr<ServerSessionTable> sessions;
     EndpointConcurrency concurrency = EndpointConcurrency::kSerialized;
   };
   struct EndpointKeyHash {
@@ -140,6 +171,9 @@ class RpcTransport {
   trace::ShardedCounter epoch_rejections_;
   trace::ShardedCounter dedup_hits_;
   trace::ShardedCounter dedup_evictions_;
+  trace::ShardedCounter dedup_capacity_evictions_;
+  trace::ShardedCounter session_hits_;
+  trace::ShardedCounter session_stale_drops_;
 };
 
 }  // namespace dcdo::rpc

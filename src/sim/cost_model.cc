@@ -21,6 +21,12 @@ Status ValidateCostModel(const CostModel& m) {
   if (m.stale_retry_count < 0) {
     return InvalidArgumentError("stale retry count must be non-negative");
   }
+  if (m.session_slots < 0) {
+    return InvalidArgumentError("session slots must be non-negative");
+  }
+  if (m.lease_rebind_limit < 0) {
+    return InvalidArgumentError("lease rebind limit must be non-negative");
+  }
   if (m.fetch_concurrency < 1) {
     return InvalidArgumentError("fetch concurrency must be at least 1");
   }
@@ -42,17 +48,14 @@ Status ValidateCostModel(const CostModel& m) {
   }
   if (m.sim_workers > 1) {
     // The parallel executor's correctness arguments (DESIGN.md §14) depend
-    // on these: lookahead comes from the link latency, batches would mix
-    // deliveries owned by different localities, and the in-place lookup
-    // service mutates shard queues from the caller's thread.
+    // on these: lookahead comes from the link latency, and the in-place
+    // lookup service mutates shard queues from the caller's thread. Send
+    // batching is allowed since PR 9: batches carry per-delivery affinity
+    // and batch state is partitioned per sender node (DESIGN.md §15.4).
     if (m.network_latency <= SimDuration::Zero()) {
       return InvalidArgumentError(
           "parallel simulation requires a positive network latency "
           "(the conservative lookahead)");
-    }
-    if (m.send_batch_window > SimDuration::Zero()) {
-      return InvalidArgumentError(
-          "parallel simulation is incompatible with send batching");
     }
     if (m.directory_lookup_service > SimDuration::Zero() &&
         !m.directory_remote_requests) {

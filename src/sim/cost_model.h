@@ -51,6 +51,17 @@ struct CostModel {
   // A batch is flushed early once it accumulates this many payload bytes,
   // bounding the latency a full pipeline adds to the first message.
   std::size_t send_batch_max_bytes = 64 * 1024;
+  // Adaptive formation policy over the batching window (cortx-motr
+  // rpc/formation.c shape: form by size, deadline, or urgency). When on,
+  // senders may tag a message urgent — config-plane invocations and
+  // protocol-critical notices — and an urgent message flushes the pending
+  // batch to its destination and ships with it immediately instead of
+  // waiting out the window; bulk traffic keeps coalescing. NOTE: a
+  // deployment knob, NOT a calibration constant — off (with batching off)
+  // reproduces the per-message legacy path byte for byte; EXPERIMENTS.md E16
+  // measures when turning it on wins. No effect while send_batch_window is
+  // zero.
+  bool formation_policy = false;
 
   // --- Binding cache bound (client-side LRU; see naming/binding_cache) ---
   // Generous by default: eviction only matters under millions of distinct
@@ -101,6 +112,39 @@ struct CostModel {
   double disk_write_bytes_per_sec = 18.0e6;
   SimDuration disk_seek = SimDuration::Millis(8);
 
+  // --- RPC sessions: bounded in-flight slots (src/rpc/session.*) ---
+  // NOTE: deployment knobs, NOT calibration constants (the
+  // fetch_concurrency convention). The defaults keep the PR 4 per-endpoint
+  // dedup window byte for byte; non-zero session_slots opts a deployment
+  // into the sessioned exactly-once protocol measured by EXPERIMENTS.md E16.
+  //
+  // In-flight slots each client negotiates per (client, server-endpoint)
+  // session. Each slot carries a monotone sequence number; the server keeps
+  // "last executed seq + cached reply" per slot, so exactly-once costs
+  // O(slots) memory regardless of retry schedules, migration churn, or
+  // lease rebinds — no TTL arithmetic to outlive. A caller that finds every
+  // slot occupied queues client-side (admission/backpressure, the
+  // rpc.backpressure metric) instead of flooding the wire. 0 = sessions off:
+  // at-most-once comes from the legacy TTL-tuned dedup window alone.
+  int session_slots = 0;
+  // Upper bound on lease-pushed rebind rounds one call may consume
+  // (rpc/client.cc OnTimeout). Every pushed rebind restarts the retry round,
+  // so without a cap a continuously migrating target extends the retry
+  // schedule forever — retrying endlessly and outliving the legacy dedup
+  // window's TTL (re-opening double execution). The dedup TTL budgets for
+  // exactly this many extra rounds when leases are on (LeaseRebindExtension
+  // below); a call that exhausts the cap falls back to the ordinary
+  // stale-binding schedule and then fails. Irrelevant with leases off.
+  int lease_rebind_limit = 3;
+  // Cap on entries one endpoint's legacy dedup window may hold (0 =
+  // unbounded). The window caches a full reply per completed call for the
+  // whole TTL (~61 s at the defaults), so a hot endpoint during an overload
+  // spike would otherwise hold TTL x call-rate replies in memory; past the
+  // cap the oldest entry is evicted early (rpc.dedup_capacity_evictions) —
+  // trading a sliver of the at-most-once window, under exactly the overload
+  // the sessioned path handles in O(slots), for a hard memory bound.
+  std::size_t dedup_window_max_entries = 8192;
+
   // --- Binding / stale-address discovery (paper: 25-35 s) ---
   // A call on a dead address times out after this long...
   SimDuration invocation_timeout = SimDuration::Seconds(10);
@@ -146,10 +190,14 @@ struct CostModel {
   // Worker localities (threads) the simulation's hosts are partitioned
   // across (node % sim_workers), capped at 16. The conservative window
   // protocol uses network_latency as its lookahead, so parallel execution
-  // requires a positive network latency and is incompatible with send
-  // batching (a batch mixes deliveries owned by different localities) and
-  // with the in-place modelled lookup service (see directory_remote_requests
-  // below); ValidateCostModel rejects those combinations.
+  // requires a positive network latency, and is incompatible with the
+  // in-place modelled lookup service (see directory_remote_requests below);
+  // ValidateCostModel rejects those combinations. Send batching composes
+  // with parallel execution: batches carry each delivery's locality
+  // affinity, batch state is partitioned per sender node (a node's sends
+  // all execute on the locality owning it, or on the coordinator between
+  // worker windows), and cross-node batch deliveries land at least one
+  // network latency (= the lookahead) in the future.
   int sim_workers = 1;
   // Route directory lookups as real request messages to the shard's host
   // instead of mutating the shard's service queue from the client's context.
@@ -236,11 +284,29 @@ struct CostModel {
            rebind_query;
   }
 
+  // Extra retry-schedule length lease pushes can add: each pushed rebind
+  // resets the client's per-binding attempt count, so a call may send up to
+  // lease_rebind_limit additional rounds of RetryAttemptsPerBinding attempts
+  // (one timeout apart) before the cap forces it onto the ordinary schedule.
+  // Zero with leases off — the legacy TTL arithmetic is untouched.
+  SimDuration LeaseRebindExtension() const {
+    if (binding_lease_duration <= SimDuration::Zero()) {
+      return SimDuration::Zero();
+    }
+    return invocation_timeout * static_cast<std::int64_t>(
+                                    lease_rebind_limit *
+                                    RetryAttemptsPerBinding());
+  }
+
   // How long a server-side dedup entry must survive: it is inserted when the
   // FIRST attempt arrives, and must still be there when the last retry lands,
-  // plus one timeout of slack for that retry's own transit.
+  // plus one timeout of slack for that retry's own transit. Under leases the
+  // pushed-rebind rounds extend the schedule, so the TTL budgets for the
+  // capped extension too — the PR 9 fix for rebind-reopened double
+  // execution on the legacy (non-sessioned) path.
   SimDuration DedupWindowTtl() const {
-    return RetryScheduleLastSend() + invocation_timeout;
+    return RetryScheduleLastSend() + LeaseRebindExtension() +
+           invocation_timeout;
   }
 
   // True when any non-default naming-directory feature is active (sharding,

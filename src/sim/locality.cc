@@ -50,7 +50,6 @@ void Locality::FreeSlot(std::uint32_t slot) {
 
 std::uint64_t Locality::ScheduleLocal(SimTime when, std::uint32_t affinity,
                                       EventFn fn) {
-  if (when < now_) when = now_;
   const std::uint32_t slot = AllocSlot();
   Event& event = slab_[slot];
   event.when = when;
@@ -91,6 +90,7 @@ bool Locality::FireOne() {
   const QueueKey key = queue_.top();
   queue_.pop();
   now_ = key.when;
+  last_fired_ = key.when;
   const std::uint32_t affinity = slab_[key.slot].affinity;
   // Free the slot before firing: the callback may schedule new events, which
   // can then recycle it (its generation is already bumped).

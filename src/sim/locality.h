@@ -75,16 +75,34 @@ class Locality {
 
   std::uint32_t index() const { return index_; }
   SimTime now() const { return now_; }
-  void set_now(SimTime t) { now_ = t; }
+  void set_now(SimTime t) {
+    now_ = t;
+    last_fired_ = t;
+  }
   void AdvanceInline(SimDuration delta) { now_ = now_ + delta; }
+
+  // Timestamp of the most recently fired event — the clock EXCLUDING any
+  // AdvanceInline the event's callback added on top. This is the causal
+  // position of the locality: an insertion at or after last_fired() cannot
+  // reorder against anything that already executed, even when the cosmetic
+  // cost-model clock (now()) has been inflated past it. The executor drains
+  // the global mailbox against this floor, because inline advances routinely
+  // exceed the lookahead (rpc_marshal_per_call > network_latency) and the
+  // legacy engine orders purely by event timestamps.
+  SimTime last_fired() const { return last_fired_; }
 
   // --- Owner-thread API ----------------------------------------------------
   // Callable only from the thread that owns this locality, or from the
   // coordinator while every worker is parked at a barrier.
 
-  // Schedules an event; `when` earlier than the local clock is clamped (same
-  // rule as Simulation::ScheduleAt). The returned id encodes this locality's
-  // index so Cancel can route without a lookup.
+  // Schedules an event at exactly `when` — no clamping here. The legacy
+  // engine clamps `when` against the SCHEDULING context's clock (one shared
+  // clock), so the executor applies that clamp at the caller's locality
+  // before routing; clamping again at the target against now_ would reorder
+  // cross-locality arrivals that legacy fires in timestamp order (the target
+  // clock may sit inline-advanced past a perfectly causal arrival). The
+  // returned id encodes this locality's index so Cancel can route without a
+  // lookup.
   std::uint64_t ScheduleLocal(SimTime when, std::uint32_t affinity,
                               EventFn fn);
   // No-op if the id does not name a live event of this locality.
@@ -177,6 +195,7 @@ class Locality {
 
   std::uint32_t index_;
   SimTime now_;
+  SimTime last_fired_;
   std::uint64_t next_seq_ = 0;
   std::atomic<std::uint64_t> events_fired_{0};
   std::size_t live_count_ = 0;

@@ -48,10 +48,11 @@ void TraceSendDrop(NodeId from, NodeId to) {
 
 void SimNetwork::AddNode(NodeId node) {
   nodes_.insert(node);
-  // Pre-insert the NIC entry so parallel sends never mutate the map's
-  // structure: Send from worker threads only touches its own node's value
-  // (distinct keys, no rehash), which is race-free without a lock.
+  // Pre-insert the NIC and batch entries so parallel sends never mutate the
+  // maps' structure: Send from worker threads only touches its own node's
+  // value (distinct keys, no rehash), which is race-free without a lock.
   nic_busy_until_.try_emplace(node);
+  pending_batches_.try_emplace(node);
 }
 
 void SimNetwork::SetNodeUp(NodeId node, bool up) {
@@ -81,7 +82,8 @@ bool SimNetwork::Reachable(NodeId from, NodeId to) const {
 }
 
 void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
-                      Delivery on_delivery, std::uint32_t delivery_affinity) {
+                      Delivery on_delivery, std::uint32_t delivery_affinity,
+                      SendClass send_class) {
   if (!Reachable(from, to)) {
     messages_dropped_.Increment();
     TraceSendDrop(from, to);
@@ -92,21 +94,31 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
   messages_in_flight_.Increment();
   bytes_sent_.Increment(bytes);
   if (cost_.send_batch_window > SimDuration::Zero()) {
-    const auto key = std::make_pair(from, to);
-    auto [it, opened] = pending_batches_.try_emplace(key);
+    SenderBatches& sender = pending_batches_[from];
+    auto [it, opened] = sender.by_dest.try_emplace(to);
     PendingBatch& batch = it->second;
     if (opened) {
-      batch.id = next_batch_id_++;
-      simulation_.Schedule(cost_.send_batch_window,
-                           [this, from, to, batch_id = batch.id]() {
-                             FlushBatch(from, to, batch_id);
-                           });
+      batch.id = sender.next_batch_id++;
+      // The flush event carries the sender's affinity: it reads and ships
+      // this node's batch/NIC state, which only the owning locality (or the
+      // coordinator, never concurrently) may touch.
+      simulation_.ScheduleFor(from, cost_.send_batch_window,
+                              [this, from, to, batch_id = batch.id]() {
+                                FlushBatch(from, to, batch_id);
+                              });
     } else {
       messages_coalesced_.Increment();
     }
     batch.bytes += bytes;
-    batch.deliveries.push_back(std::move(on_delivery));
-    if (batch.bytes >= cost_.send_batch_max_bytes) {
+    batch.deliveries.push_back({std::move(on_delivery), delivery_affinity});
+    // Formation policy: urgent traffic ships now (the whole pending batch
+    // rides with it); coalesce-class traffic defers even the byte cap to the
+    // window deadline so bulk-adjacent chatter forms the largest batches.
+    const bool urgent =
+        cost_.formation_policy && send_class == SendClass::kUrgent;
+    const bool defer_cap =
+        cost_.formation_policy && send_class == SendClass::kCoalesce;
+    if (urgent || (!defer_cap && batch.bytes >= cost_.send_batch_max_bytes)) {
       FlushBatch(from, to, batch.id);  // the armed window flush will no-op
     }
     return;
@@ -156,44 +168,79 @@ void SimNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
 }
 
 void SimNetwork::FlushBatch(NodeId from, NodeId to, std::uint64_t batch_id) {
-  auto it = pending_batches_.find(std::make_pair(from, to));
-  // A byte-cap flush may have shipped this batch already (and a successor
-  // may have opened since); the stale window event must not touch it.
-  if (it == pending_batches_.end() || it->second.id != batch_id) return;
+  std::map<NodeId, PendingBatch>& by_dest = pending_batches_[from].by_dest;
+  auto it = by_dest.find(to);
+  // A byte-cap/urgent flush may have shipped this batch already (and a
+  // successor may have opened since); the stale window event must not touch
+  // it.
+  if (it == by_dest.end() || it->second.id != batch_id) return;
   PendingBatch batch = std::move(it->second);
-  pending_batches_.erase(it);
+  by_dest.erase(it);
   DispatchBatch(from, to, batch.bytes, std::move(batch.deliveries));
 }
 
 void SimNetwork::DispatchBatch(NodeId from, NodeId to, std::size_t bytes,
-                               std::vector<Delivery> deliveries) {
+                               std::vector<BatchEntry> deliveries) {
   batches_sent_.Increment();
   std::uint64_t span = BeginTransferSpan("net.batch", from, bytes);
-  auto deliver = [this, from, to, span,
-                  fns = std::move(deliveries)]() mutable {
-    messages_in_flight_.Decrement(fns.size());
-    if (!Reachable(from, to)) {
-      messages_dropped_.Increment(fns.size());
-      messages_dropped_in_flight_.Increment(fns.size());
-      EndTransferSpan(span, /*delivered=*/false);
-      return;
-    }
-    messages_delivered_.Increment(fns.size());
-    EndTransferSpan(span, /*delivered=*/true);
-    for (Delivery& fn : fns) fn();
+  // The batch crosses the NIC as one transfer, but each message must land on
+  // the locality its sender named: group the deliveries by affinity (stable,
+  // first-appearance order — a single-affinity batch stays one event,
+  // byte-identical to the ungrouped behavior) and give each group its own
+  // delivery event at the batch's single arrival instant.
+  struct Group {
+    std::uint32_t affinity;
+    std::vector<Delivery> fns;
   };
-  if (from == to) {
-    simulation_.Schedule(SimDuration::Micros(5), std::move(deliver));
-    return;
+  std::vector<Group> groups;
+  for (BatchEntry& entry : deliveries) {
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.affinity == entry.affinity) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back({entry.affinity, {}});
+      group = &groups.back();
+    }
+    group->fns.push_back(std::move(entry.fn));
   }
-  SimTime now = simulation_.Now();
-  SimTime& busy_until = nic_busy_until_[from];
-  SimTime start = std::max(now, busy_until);
-  SimDuration wire = SimDuration::Seconds(
-      static_cast<double>(bytes) / cost_.wire_bandwidth_bytes_per_sec);
-  busy_until = start + wire;
-  simulation_.ScheduleAt(busy_until + cost_.network_latency,
-                         std::move(deliver));
+  auto make_deliver = [this, from, to](std::uint64_t group_span,
+                                       std::vector<Delivery> fns) {
+    return [this, from, to, group_span, fns = std::move(fns)]() mutable {
+      messages_in_flight_.Decrement(fns.size());
+      if (!Reachable(from, to)) {
+        messages_dropped_.Increment(fns.size());
+        messages_dropped_in_flight_.Increment(fns.size());
+        EndTransferSpan(group_span, /*delivered=*/false);
+        return;
+      }
+      messages_delivered_.Increment(fns.size());
+      EndTransferSpan(group_span, /*delivered=*/true);
+      for (Delivery& fn : fns) fn();
+    };
+  };
+  SimTime arrival;
+  if (from == to) {
+    arrival = simulation_.Now() + SimDuration::Micros(5);
+  } else {
+    SimTime now = simulation_.Now();
+    SimTime& busy_until = nic_busy_until_[from];
+    SimTime start = std::max(now, busy_until);
+    SimDuration wire = SimDuration::Seconds(
+        static_cast<double>(bytes) / cost_.wire_bandwidth_bytes_per_sec);
+    busy_until = start + wire;
+    arrival = busy_until + cost_.network_latency;
+  }
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    // The net.batch span closes with the first group (one span per wire
+    // transfer; every group arrives at the same instant).
+    simulation_.ScheduleAtFor(
+        groups[i].affinity, arrival,
+        make_deliver(i == 0 ? span : 0, std::move(groups[i].fns)));
+  }
 }
 
 void SimNetwork::BulkTransfer(NodeId from, NodeId to, std::size_t bytes,

@@ -106,6 +106,14 @@ std::uint64_t ParallelExecutor::ScheduleAt(SimTime when, std::uint32_t affinity,
                                            EventFn fn) {
   const int target = TargetIndex(affinity);
   const int caller = CallerIndex();
+  // Clamp against the SCHEDULING context's clock — the exact legacy rule
+  // (Simulation::ScheduleAtFor clamps against its one shared clock, which is
+  // always the firing context's). The target's clock must NOT be consulted:
+  // it may sit inline-advanced (AdvanceInline models per-call costs that can
+  // exceed the lookahead) past an arrival that legacy fires in plain
+  // timestamp order.
+  const SimTime caller_now = LocalityAt(caller).now();
+  if (when < caller_now) when = caller_now;
   if (caller == target || caller == GlobalIndex()) {
     // Same locality, or coordinator context (every worker is parked at a
     // barrier): direct insert is race-free.
@@ -156,12 +164,16 @@ void ParallelExecutor::AdvanceInline(SimDuration delta) {
 void ParallelExecutor::DrainAllMailboxes() {
   // Worker floor: everything below the last window bound already had its
   // chance to fire, so an arrival below it is a lookahead violation. The
-  // global locality runs one event at a time, so its own clock is the exact
-  // floor (worker→global messages carry no lookahead requirement).
+  // global locality runs one event at a time, so the timestamp of its last
+  // fired event is the exact floor (worker→global messages carry no
+  // lookahead requirement). last_fired(), not now(): inline advances inflate
+  // now() past the fired timestamp by more than the lookahead (marshal and
+  // dispatch costs both exceed network_latency), and an arrival in that gap
+  // is perfectly causal — legacy fires it right after the inflating event.
   for (auto& worker : workers_) {
     late_remote_events_ += worker->DrainMailbox(last_window_end_);
   }
-  late_remote_events_ += global_.DrainMailbox(global_.now());
+  late_remote_events_ += global_.DrainMailbox(global_.last_fired());
 }
 
 void ParallelExecutor::WorkerMain(int index) {

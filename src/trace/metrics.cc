@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace dcdo::trace {
 
@@ -50,6 +51,33 @@ double Histogram::mean_nanos() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return count_ == 0 ? 0.0
                      : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t Histogram::ValueAtPercentile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the wanted sample (1-based, nearest-rank).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             p / 100.0 * static_cast<double>(count_) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (seen + buckets_[b] < rank) {
+      seen += buckets_[b];
+      continue;
+    }
+    // Interpolate within [2^b, 2^(b+1)) by the rank's position in the bucket.
+    // ldexp, not shifts: bucket 62's upper edge (2^63) overflows int64.
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+    const double hi = std::ldexp(2.0, static_cast<int>(b));
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(buckets_[b]);
+    const auto value = static_cast<std::int64_t>(lo + (hi - lo) * frac);
+    return std::clamp(value, min_, max_);
+  }
+  return max_;
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {

@@ -126,6 +126,12 @@ class Histogram {
   std::int64_t min_nanos() const;  // 0 when empty
   std::int64_t max_nanos() const;  // 0 when empty
   double mean_nanos() const;
+  // Approximate percentile (p in [0, 100]) from the log2 buckets: walks to
+  // the bucket holding the p-th sample and interpolates linearly inside it,
+  // clamped to the observed [min, max]. Resolution is the bucket width (a
+  // factor of 2), which is plenty for p50/p99 latency reporting — exact
+  // quantiles would need per-sample storage. 0 when empty.
+  std::int64_t ValueAtPercentile(double p) const;
   // Bucket counts, index = floor(log2(ns)).
   std::vector<std::uint64_t> bucket_counts() const;
 

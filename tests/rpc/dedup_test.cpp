@@ -245,6 +245,51 @@ TEST_F(DedupTest, CoLocatedClientsDoNotCollide) {
   EXPECT_EQ(transport_.dedup_hits(), 0u);
 }
 
+// Capacity cap (CostModel::dedup_window_max_entries): a hot endpoint's
+// window cannot grow past the cap — the oldest entry is evicted early and
+// counted separately from TTL retirement, since a capacity eviction can
+// forget an answer the retry schedule still needed.
+TEST(DedupCapacityTest, WindowEvictsOldestPastTheCap) {
+  sim::Simulation simulation;
+  sim::CostModel cost;
+  cost.dedup_window_max_entries = 4;
+  sim::SimNetwork network(&simulation, cost);
+  RpcTransport transport(&network);
+  network.AddNode(1);
+  network.AddNode(2);
+
+  int body_runs = 0;
+  transport.RegisterEndpoint(2, 10, 1,
+                             [&](const MethodInvocation&, ReplyFn reply) {
+                               ++body_runs;
+                               reply(MethodResult::Ok());
+                             });
+  auto invoke_with_id = [&](std::uint64_t call_id) {
+    MethodInvocation invocation;
+    invocation.method = "poke";
+    invocation.call_id = call_id;
+    transport.Invoke(1, 2, 10, std::move(invocation), [](MethodResult) {});
+  };
+
+  // Ten distinct calls, all inside the TTL: only the cap evicts.
+  for (std::uint64_t id = 1; id <= 10; ++id) invoke_with_id(id);
+  simulation.Run();
+  EXPECT_EQ(body_runs, 10);
+  EXPECT_EQ(transport.dedup_capacity_evictions(), 6u);
+  EXPECT_EQ(transport.dedup_evictions(), 0u);  // nothing TTL-expired
+
+  // The newest entries survived: their duplicates still replay...
+  invoke_with_id(10);
+  simulation.Run();
+  EXPECT_EQ(body_runs, 10);
+  EXPECT_EQ(transport.dedup_hits(), 1u);
+  // ...while a capacity-evicted call's duplicate re-executes — the bounded
+  // risk the cap trades for its memory bound (and what sessions eliminate).
+  invoke_with_id(1);
+  simulation.Run();
+  EXPECT_EQ(body_runs, 11);
+}
+
 // An endpoint that re-registers (new activation, same (node, pid)) gets a
 // FRESH window; a reply parked by the old activation lands harmlessly in the
 // old window instead of poisoning the successor's.

@@ -296,6 +296,124 @@ RunSummary RunRebindStorm(int workers) {
   return summary;
 }
 
+// ===== E16-shaped batched + sessioned RPC traffic ==========================
+//
+// Batching composes with the parallel executor since PR 9: batches carry a
+// per-delivery affinity (grouped at flush), batch state is partitioned per
+// sender node, and the flush event runs on the sender's locality. This
+// workload makes every piece matter: data-plane calls to kParallel endpoints
+// (delivery affinity = destination node) interleave with urgent config-plane
+// calls (delivery affinity = global) from the same senders, so one batch
+// carries mixed affinities; sessions bound the in-flight calls per client.
+RunSummary RunBatchedSessionTraffic(int workers) {
+  ClearWorkerOverride();
+  ObjectId::ResetCounterForTest();
+
+  Testbed::Options options;
+  options.host_count = 8;
+  options.check_options.cadence = CheckContext::Cadence::kEveryEvent;
+  options.cost_model.sim_workers = workers;
+  options.cost_model.send_batch_window = sim::SimDuration::Millis(1);
+  options.cost_model.formation_policy = true;
+  options.cost_model.session_slots = 2;
+  Testbed testbed(options);
+  testbed.simulation().EnableDeterminismDigest(true);
+  BindingAgent& agent = testbed.agent();
+  sim::Simulation& simulation = testbed.simulation();
+
+  // Four served targets on nodes 1..4; handler state (the per-endpoint call
+  // tally) is touched only by data-plane dispatches, which all run on the
+  // endpoint's own locality.
+  constexpr int kTargets = 4;
+  std::vector<ObjectId> targets;
+  std::vector<std::uint64_t> served(kTargets, 0);
+  for (int t = 0; t < kTargets; ++t) {
+    targets.push_back(ObjectId::Next(domains::kInstance));
+    const ObjectAddress address{static_cast<sim::NodeId>(1 + t),
+                                static_cast<sim::ProcessId>(50 + t), 1};
+    testbed.transport().RegisterEndpoint(
+        address.node, address.pid, address.epoch,
+        [&served, t](const rpc::MethodInvocation& inv, rpc::ReplyFn reply) {
+          if (!rpc::IsConfigMethodName(inv.method_name())) {
+            ++served[static_cast<std::size_t>(t)];
+          }
+          reply(rpc::MethodResult::Ok(
+              ByteBuffer::FromString(std::string(inv.method_name()))));
+        },
+        rpc::EndpointConcurrency::kParallel);
+    agent.Bind(targets.back(), address);
+  }
+
+  // Four clients on nodes 5..8, driven from the global locality (client call
+  // state, the session pool, and the binding cache are global-confined in
+  // this scenario). Each round sends a back-to-back burst to one target —
+  // six data-plane calls (twice the slot bound, so admission queues) plus a
+  // config-plane call that the formation policy flushes urgently — forming
+  // mixed-affinity batches on the (client node, server node) lane.
+  std::vector<std::unique_ptr<rpc::RpcClient>> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(std::make_unique<rpc::RpcClient>(
+        &testbed.transport(), &agent, static_cast<sim::NodeId>(5 + c)));
+  }
+  // One invoke per scheduled event, at pairwise-distinct offsets. Bunching
+  // many invokes into one event would inline-advance the global clock past
+  // the executor's lookahead (each invoke models marshal cost via
+  // AdvanceInline), and a single event that outruns its own cross-locality
+  // sends by more than the lookahead is outside the conservative window
+  // contract (DESIGN.md §15.4). The 350 us per-call stagger still lands 2-3
+  // calls inside each 1 ms batch window, so coalescing stays exercised.
+  std::uint64_t replies = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int c = 0; c < 4; ++c) {
+      const ObjectId& target =
+          targets[static_cast<std::size_t>((c + round) % kTargets)];
+      for (int i = 0; i < 7; ++i) {
+        const bool poke = i == 6;  // the urgent config call rides last
+        const auto at = sim::SimDuration::Millis(10 * round) +
+                        sim::SimDuration::Micros(100 * c + 350 * i);
+        simulation.Schedule(at, [&, c, target, poke]() {
+          clients[static_cast<std::size_t>(c)]->Invoke(
+              target, poke ? "dcdo.poke" : "work", {},
+              [&replies](Result<ByteBuffer> r) { replies += r.ok(); });
+        });
+      }
+    }
+  }
+  testbed.RunAll();
+
+  RunSummary summary;
+  summary.digest = testbed.simulation().DeterminismDigest();
+  summary.fired = testbed.simulation().events_fired();
+  summary.end_ns = testbed.simulation().Now().nanos();
+  summary.state_hash = 1469598103934665603ull;
+  summary.state_hash = Fnv(summary.state_hash, replies);
+  for (int t = 0; t < kTargets; ++t) {
+    summary.state_hash = Fnv(summary.state_hash, served[t]);
+  }
+  summary.state_hash =
+      Fnv(summary.state_hash, testbed.transport().session_hits());
+  // The scenario must actually exercise what it claims to: batches formed,
+  // messages coalesced, admission queued.
+  EXPECT_GT(testbed.network().batches_sent(), 0u);
+  EXPECT_GT(testbed.network().messages_coalesced(), 0u);
+  for (const auto& client : clients) {
+    EXPECT_GT(client->backpressure_waits(), 0u);
+    EXPECT_EQ(client->queued_calls(), 0u);  // all admitted by quiescence
+  }
+  EXPECT_EQ(replies, 4u * 6u * 7u);
+  if (testbed.simulation().parallel()) {
+    summary.late_remote =
+        testbed.simulation().executor()->late_remote_events();
+  }
+  if (CheckContext* checker = testbed.checker()) {
+    summary.checker_clean = checker->diagnostics().Clean();
+    if (!summary.checker_clean) {
+      summary.diagnostics = checker->diagnostics().DumpText();
+    }
+  }
+  return summary;
+}
+
 // ===== The cross-worker-count comparisons ==================================
 
 void ExpectIdenticalAcrossWorkerCounts(RunSummary (*run)(int)) {
@@ -324,6 +442,10 @@ TEST(ParallelDeterminism, FetchChurnIdenticalAtEveryWorkerCount) {
 
 TEST(ParallelDeterminism, RebindStormIdenticalAtEveryWorkerCount) {
   ExpectIdenticalAcrossWorkerCounts(&RunRebindStorm);
+}
+
+TEST(ParallelDeterminism, BatchedSessionTrafficIdenticalAtEveryWorkerCount) {
+  ExpectIdenticalAcrossWorkerCounts(&RunBatchedSessionTraffic);
 }
 
 // Run-to-run stability of the instrument itself: two legacy runs must agree
